@@ -1,0 +1,68 @@
+// Ablation over the two architecture hyper-parameters the paper searches
+// (§V-D): the observation window w in [0, 2] and the GCN depth g in
+// [1, 3], on Cholesky T=4 with the hybrid platform. Also sweeps the
+// entropy ratio, reporting final evaluation makespans relative to HEFT.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+namespace {
+
+double train_and_eval(int window, int gcn_layers, double entropy_beta,
+                      const Budget& budget, util::ThreadPool& pool) {
+  const auto graph = core::make_graph(core::App::kCholesky, 4);
+  const auto costs = core::make_costs(core::App::kCholesky);
+  const auto platform = sim::Platform::hybrid(2, 2);
+  const double sigma = util::env_double("READYS_TRAIN_SIGMA", 0.2);
+
+  rl::AgentConfig cfg = default_agent_config(budget);
+  cfg.window = window;
+  cfg.gcn_layers = gcn_layers;
+  cfg.entropy_beta = entropy_beta;
+  rl::ReadysAgent agent(graph.num_kernel_types(), cfg);
+  rl::TrainOptions opts;
+  opts.episodes = budget.episodes_for(graph.num_tasks());
+  opts.sigma = sigma;
+  agent.train(graph, platform, costs, opts);
+
+  const auto p = evaluate_point(graph, platform, costs, agent, sigma,
+                                budget.eval_seeds, &pool);
+  return p.over_heft();
+}
+
+}  // namespace
+
+int main() {
+  const Budget budget = Budget::from_env();
+  util::ThreadPool pool;
+
+  std::printf("=== Ablation: window w x GCN depth g (Cholesky T=4, "
+              "2CPU+2GPU) ===\n");
+  std::printf("cells show improvement over HEFT (>1 beats HEFT)\n\n");
+  util::CsvWriter csv("ablation.csv",
+                      {"window", "gcn_layers", "entropy", "over_heft"});
+
+  util::Table grid({"w \\ g", "g=1", "g=2", "g=3"});
+  for (int w : {0, 1, 2}) {
+    std::vector<std::string> row{"w=" + std::to_string(w)};
+    for (int g : {1, 2, 3}) {
+      const double r = train_and_eval(w, g, 5e-3, budget, pool);
+      row.push_back(fmt(r));
+      csv.row({std::to_string(w), std::to_string(g), "5e-3", fmt(r, 4)});
+    }
+    grid.add_row(row);
+  }
+  grid.print();
+
+  std::printf("\n=== Ablation: entropy regularization (w=1, g=2) ===\n\n");
+  util::Table ent({"entropy beta", "vs HEFT"});
+  for (double beta : {1e-3, 5e-3, 1e-2}) {
+    const double r = train_and_eval(1, 2, beta, budget, pool);
+    ent.add_row({fmt(beta, 4), fmt(r)});
+    csv.row({"1", "2", fmt(beta, 4), fmt(r, 4)});
+  }
+  ent.print();
+  std::printf("\nseries written to ablation.csv\n");
+  return 0;
+}

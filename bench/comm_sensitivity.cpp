@@ -1,0 +1,56 @@
+// Sensitivity of the zero-communication assumption (§III-A): sweep the
+// per-transfer cost from free to drastic and measure how the baselines
+// degrade on the hybrid platform. Not a paper figure — it quantifies
+// when the paper's modeling assumption stops holding and shows the
+// comm-aware MCT refinement recovering most of the loss.
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  const int runs = util::env_int("READYS_EVAL_SEEDS", 5);
+  const double sigma = util::env_double("READYS_TRAIN_SIGMA", 0.2);
+  const auto graph = core::make_graph(core::App::kCholesky, 8);
+  const auto costs = core::make_costs(core::App::kCholesky);
+  const auto platform = sim::Platform::hybrid(2, 2);
+  util::ThreadPool pool;
+
+  std::printf("=== Communication sensitivity (Cholesky T=8, %s, "
+              "sigma=%.2f) ===\n\n",
+              platform.name().c_str(), sigma);
+  util::CsvWriter csv("comm_sensitivity.csv",
+                      {"transfer_ms", "heft", "mct", "mct_comm"});
+  util::Table table({"ms/transfer", "HEFT", "MCT", "MCT-COMM",
+                     "MCT-COMM gain"});
+
+  for (double transfer_ms : {0.0, 0.5, 2.0, 5.0, 10.0, 20.0}) {
+    const sim::CommModel comm =
+        transfer_ms == 0.0 ? sim::CommModel::free()
+                           : sim::CommModel(transfer_ms, 1.0, 0.0);
+    auto eval = [&](const core::SchedulerFactory& factory) {
+      std::vector<double> out(static_cast<std::size_t>(runs));
+      pool.parallel_for(out.size(), [&](std::size_t i) {
+        auto sched = factory(i);
+        sim::Simulator s(graph, platform, costs,
+                         {sigma, 100 + i, comm});
+        out[i] = s.run(*sched).makespan;
+      });
+      return util::mean(out);
+    };
+    const double heft = eval(core::heft_factory());
+    const double mct = eval(core::mct_factory());
+    const double mct_comm = eval([](std::uint64_t) {
+      return std::make_unique<sched::MctScheduler>(/*comm_aware=*/true);
+    });
+    table.add_row({fmt(transfer_ms, 1), fmt(heft, 0), fmt(mct, 0),
+                   fmt(mct_comm, 0), fmt(mct / mct_comm)});
+    csv.row({fmt(transfer_ms, 2), fmt(heft, 2), fmt(mct, 2),
+             fmt(mct_comm, 2)});
+  }
+  table.print();
+  std::printf("\nseries written to comm_sensitivity.csv\n");
+  std::printf("(transfer cost applies per cross-domain input tile; 0 = the "
+              "paper's assumption)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 3: makespan improvement of READYS over HEFT and MCT on a
+// 2 CPU + 2 GPU node, for each application (Cholesky / LU / QR), tile
+// count T and noise level sigma. Reported values are ratios
+// makespan(baseline) / makespan(READYS) averaged over evaluation seeds
+// (> 1 means READYS wins).
+//
+// One agent is trained per (application, T, sigma) cell, as in the
+// paper; training keeps the best of READYS_TRAIN_SEEDS independent
+// seeds. READYS_CURRICULUM=1 instead warm-starts each size from the
+// previous one within a (application, sigma) pair (§V-F style).
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  const Budget budget = Budget::from_env();
+  const auto sigmas = util::env_double_list("READYS_SIGMAS", {0.0, 0.5});
+  auto tiles = util::env_int_list("READYS_TILES", {2, 4, 8});
+  std::sort(tiles.begin(), tiles.end());  // curriculum: small -> large
+  const bool curriculum = util::env_int("READYS_CURRICULUM", 0) != 0;
+  const auto platform = sim::Platform::hybrid(2, 2);
+  util::ThreadPool pool;
+
+  std::printf("=== Figure 3: improvement over HEFT / MCT on %s ===\n",
+              platform.name().c_str());
+  std::printf("budget: %d base episodes, %d eval seeds, curriculum=%s\n\n",
+              budget.base_episodes, budget.eval_seeds,
+              curriculum ? "on" : "off");
+
+  util::CsvWriter csv("fig3.csv", {"app", "tiles", "sigma", "readys_ms",
+                                   "heft_ms", "mct_ms", "over_heft",
+                                   "over_mct"});
+
+  for (auto app : {core::App::kCholesky, core::App::kLu, core::App::kQr}) {
+    const auto costs = core::make_costs(app);
+    for (double sigma : sigmas) {
+      std::printf("--- %s, sigma=%.2f ---\n", core::app_name(app).c_str(),
+                  sigma);
+      util::Table table({"T", "tasks", "READYS(ms)", "HEFT(ms)", "MCT(ms)",
+                         "vs HEFT", "vs MCT"});
+      std::unique_ptr<rl::ReadysAgent> agent;
+      for (int t : tiles) {
+        const auto graph = core::make_graph(app, t);
+        if (!agent || !curriculum) {
+          agent = std::make_unique<rl::ReadysAgent>(
+              graph.num_kernel_types(), default_agent_config(budget));
+        }
+        rl::TrainOptions opts;
+        opts.episodes = budget.episodes_for(graph.num_tasks());
+        opts.sigma = sigma;
+        agent->train(graph, platform, costs, opts);
+
+        const auto p = evaluate_point(graph, platform, costs, *agent, sigma,
+                                      budget.eval_seeds, &pool);
+        table.add_row({std::to_string(t), std::to_string(graph.num_tasks()),
+                       fmt(p.readys, 1), fmt(p.heft, 1), fmt(p.mct, 1),
+                       fmt(p.over_heft()), fmt(p.over_mct())});
+        csv.row({core::app_name(app), std::to_string(t), fmt(sigma, 3),
+                 fmt(p.readys, 3), fmt(p.heft, 3), fmt(p.mct, 3),
+                 fmt(p.over_heft(), 4), fmt(p.over_mct(), 4)});
+      }
+      table.print();
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("series written to fig3.csv\n");
+  std::printf("expected shape (paper): vs HEFT ~1 at sigma=0, rising with "
+              "sigma; vs MCT > 1 for trained sizes.\n");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 4: transfer learning on a homogeneous 4-CPU platform.
+
+#include "transfer_common.hpp"
+
+int main() {
+  return bench::run_transfer_figure("fig4",
+                                    bench::sim::Platform::cpus(4));
+}

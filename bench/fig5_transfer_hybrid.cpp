@@ -1,0 +1,8 @@
+// Figure 5: transfer learning on the hybrid 2 CPU + 2 GPU platform.
+
+#include "transfer_common.hpp"
+
+int main() {
+  return bench::run_transfer_figure("fig5",
+                                    bench::sim::Platform::hybrid(2, 2));
+}

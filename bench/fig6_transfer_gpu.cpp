@@ -1,0 +1,8 @@
+// Figure 6: transfer learning on a homogeneous 4-GPU platform.
+
+#include "transfer_common.hpp"
+
+int main() {
+  return bench::run_transfer_figure("fig6",
+                                    bench::sim::Platform::gpus(4));
+}

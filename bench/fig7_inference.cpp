@@ -1,0 +1,85 @@
+// Figure 7: mean per-decision inference time of the READYS network as a
+// function of the number of tasks in the observation window, with 99%
+// confidence intervals. States are harvested from rollouts on Cholesky
+// DAGs of growing size (the paper reports an average window of ~45 tasks
+// and millisecond-scale inference on one CPU core).
+
+#include <chrono>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  const Budget budget = Budget::from_env();
+  const auto tiles = util::env_int_list("READYS_TILES", {4, 6, 8, 10, 12});
+  const int window = util::env_int("READYS_WINDOW", 2);
+
+  rl::AgentConfig cfg = default_agent_config(budget);
+  cfg.window = window;
+  rl::PolicyNet net(rl::StateEncoder::node_feature_width(4),
+                    rl::StateEncoder::kResourceFeatureWidth, cfg);
+
+  std::printf("=== Figure 7: inference time vs window size (w=%d, hidden=%d,"
+              " %d GCN layers) ===\n\n",
+              window, cfg.hidden, cfg.gcn_layers);
+
+  // (window size bucket) -> per-decision forward times in microseconds.
+  std::map<std::size_t, std::vector<double>> samples;
+  const auto costs = core::make_costs(core::App::kCholesky);
+  const auto platform = sim::Platform::hybrid(2, 2);
+
+  for (int t : tiles) {
+    const auto graph = core::make_graph(core::App::kCholesky, t);
+    rl::SchedulingEnv env(graph, platform, costs, {0.3, window, 7});
+    util::Rng rng(11);
+    for (int episode = 0; episode < 3; ++episode) {
+      env.reset(static_cast<std::uint64_t>(episode) + 50);
+      bool done = env.done();
+      while (!done) {
+        const auto& obs = env.observation();
+        const auto start = std::chrono::steady_clock::now();
+        const auto out = net.forward(obs);
+        const auto stop = std::chrono::steady_clock::now();
+        const double us =
+            std::chrono::duration<double, std::micro>(stop - start).count();
+        const std::size_t bucket = (obs.window.size() / 10) * 10;
+        samples[bucket].push_back(us);
+        // Follow the policy so visited states are representative.
+        std::size_t a = 0;
+        const auto& p = out.probs.value();
+        const double u = rng.uniform();
+        double acc = 0.0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+          acc += p[i];
+          if (u < acc) {
+            a = i;
+            break;
+          }
+        }
+        done = env.step(a).done;
+      }
+    }
+  }
+
+  util::Table table({"window tasks", "decisions", "mean (us)", "ci99 (us)",
+                     "p95 (us)"});
+  util::CsvWriter csv("fig7.csv",
+                      {"window_bucket", "n", "mean_us", "ci99_us", "p95_us"});
+  for (const auto& [bucket, xs] : samples) {
+    const auto s = util::summarize(xs);
+    const double p95 = util::quantile(xs, 0.95);
+    const std::string label =
+        std::to_string(bucket) + "-" + std::to_string(bucket + 9);
+    table.add_row({label, std::to_string(s.count), fmt(s.mean, 1),
+                   fmt(s.ci99_half_width, 1), fmt(p95, 1)});
+    csv.row({label, std::to_string(s.count), fmt(s.mean, 2),
+             fmt(s.ci99_half_width, 2), fmt(p95, 2)});
+  }
+  table.print();
+  std::printf("\nseries written to fig7.csv\n");
+  std::printf("expected shape (paper): grows with window size, stays at "
+              "millisecond scale or below.\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+// readys_cli — command-line front end over the library.
+//
+//   readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> <sigma> <out.weights>
+//   readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> <weights> [runs]
+//   readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]
+//   readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> [sigma]
+//   readys_cli dot      <app> <tiles> <out.dot>
+//
+// <app> ∈ {cholesky, lu, qr}; <scheduler> ∈ {heft, mct, greedy, cp,
+// minmin, maxmin, sufferage, olb, random}.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/readys.hpp"
+
+using namespace readys;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> "
+      "<sigma> <out.weights>\n"
+      "  readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> "
+      "<weights> [runs]\n"
+      "  readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]\n"
+      "  readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> "
+      "[sigma]\n"
+      "  readys_cli dot      <app> <tiles> <out.dot>\n");
+  return 2;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
+  using Rule = sched::BatchModeScheduler::Rule;
+  if (name == "heft") return std::make_unique<sched::HeftScheduler>();
+  if (name == "mct") return std::make_unique<sched::MctScheduler>();
+  if (name == "greedy") return std::make_unique<sched::GreedyEftScheduler>();
+  if (name == "cp") return std::make_unique<sched::CriticalPathScheduler>();
+  if (name == "minmin")
+    return std::make_unique<sched::BatchModeScheduler>(Rule::kMinMin);
+  if (name == "maxmin")
+    return std::make_unique<sched::BatchModeScheduler>(Rule::kMaxMin);
+  if (name == "sufferage")
+    return std::make_unique<sched::BatchModeScheduler>(Rule::kSufferage);
+  if (name == "olb")
+    return std::make_unique<sched::BatchModeScheduler>(Rule::kOlb);
+  if (name == "random") return std::make_unique<sched::RandomScheduler>();
+  return nullptr;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 9) return usage();
+  const auto app = core::parse_app(argv[2]);
+  const auto graph = core::make_graph(app, std::atoi(argv[3]));
+  const auto platform =
+      sim::Platform::hybrid(std::atoi(argv[4]), std::atoi(argv[5]));
+  const auto costs = core::make_costs(app);
+  const int episodes = std::atoi(argv[6]);
+  const double sigma = std::atof(argv[7]);
+
+  rl::ReadysAgent agent(graph.num_kernel_types(), rl::AgentConfig{});
+  std::printf("training %s on %s, %d episodes, sigma=%.2f...\n",
+              graph.name().c_str(), platform.name().c_str(), episodes,
+              sigma);
+  const auto report = agent.train(
+      graph, platform, costs,
+      {.episodes = episodes, .sigma = sigma, .verbose = true});
+  agent.save(argv[8]);
+  std::printf("best makespan %.1f ms; weights -> %s\n",
+              report.best_makespan, argv[8]);
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  if (argc < 8) return usage();
+  const auto app = core::parse_app(argv[2]);
+  const auto graph = core::make_graph(app, std::atoi(argv[3]));
+  const auto platform =
+      sim::Platform::hybrid(std::atoi(argv[4]), std::atoi(argv[5]));
+  const auto costs = core::make_costs(app);
+  const double sigma = std::atof(argv[6]);
+  const int runs = argc > 8 ? std::atoi(argv[8]) : 5;
+
+  rl::ReadysAgent agent(graph.num_kernel_types(), rl::AgentConfig{});
+  agent.load(argv[7]);
+  const auto mks =
+      agent.evaluate(graph, platform, costs, sigma, runs, 1234);
+  const auto s = util::summarize(mks);
+  std::printf("READYS on %s / %s, sigma=%.2f: %.1f ms (+/- %.1f over %d "
+              "runs)\n",
+              graph.name().c_str(), platform.name().c_str(), sigma, s.mean,
+              s.ci95_half_width, runs);
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  if (argc < 7) return usage();
+  const auto app = core::parse_app(argv[2]);
+  const auto graph = core::make_graph(app, std::atoi(argv[3]));
+  const auto platform =
+      sim::Platform::hybrid(std::atoi(argv[4]), std::atoi(argv[5]));
+  const auto costs = core::make_costs(app);
+  const double sigma = std::atof(argv[6]);
+  const int runs = argc > 7 ? std::atoi(argv[7]) : 10;
+
+  util::ThreadPool pool;
+  util::Table table({"scheduler", "mean (ms)", "ci95", "min", "max"});
+  for (const char* name : {"heft", "mct", "greedy", "cp", "minmin",
+                           "maxmin", "sufferage", "olb", "random"}) {
+    const auto mks = core::evaluate_makespans(
+        graph, platform, costs,
+        [name](std::uint64_t seed) {
+          auto s = make_scheduler(name);
+          (void)seed;
+          return s;
+        },
+        sigma, runs, 77, &pool);
+    const auto s = util::summarize(mks);
+    table.add_row({name, util::Table::num(s.mean, 1),
+                   util::Table::num(s.ci95_half_width, 1),
+                   util::Table::num(s.min, 1), util::Table::num(s.max, 1)});
+  }
+  std::printf("%s on %s, sigma=%.2f, %d runs\n", graph.name().c_str(),
+              platform.name().c_str(), sigma, runs);
+  table.print();
+  return 0;
+}
+
+int cmd_gantt(int argc, char** argv) {
+  if (argc < 7) return usage();
+  const auto app = core::parse_app(argv[2]);
+  const auto graph = core::make_graph(app, std::atoi(argv[3]));
+  const auto platform =
+      sim::Platform::hybrid(std::atoi(argv[4]), std::atoi(argv[5]));
+  const auto costs = core::make_costs(app);
+  auto scheduler = make_scheduler(argv[6]);
+  if (!scheduler) return usage();
+  const double sigma = argc > 7 ? std::atof(argv[7]) : 0.0;
+
+  sim::Simulator sim(graph, platform, costs, {sigma, 42});
+  const auto result = sim.run(*scheduler);
+  std::printf("%s via %s: makespan %.1f ms\n", graph.name().c_str(),
+              scheduler->name().c_str(), result.makespan);
+  std::fputs(sim::to_ascii_gantt(result.trace, graph, platform, 100).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto app = core::parse_app(argv[2]);
+  const auto graph = core::make_graph(app, std::atoi(argv[3]));
+  dag::write_dot(graph, argv[4]);
+  std::printf("%s (%zu tasks, %zu edges) -> %s\n", graph.name().c_str(),
+              graph.num_tasks(), graph.num_edges(), argv[4]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "train") return cmd_train(argc, argv);
+    if (cmd == "evaluate") return cmd_evaluate(argc, argv);
+    if (cmd == "compare") return cmd_compare(argc, argv);
+    if (cmd == "gantt") return cmd_gantt(argc, argv);
+    if (cmd == "dot") return cmd_dot(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,69 @@
+#include "core/apps.hpp"
+
+#include <stdexcept>
+
+#include "dag/cholesky.hpp"
+#include "dag/lu.hpp"
+#include "dag/qr.hpp"
+
+namespace readys::core {
+
+std::string app_name(App app) {
+  switch (app) {
+    case App::kCholesky:
+      return "cholesky";
+    case App::kLu:
+      return "lu";
+    case App::kQr:
+      return "qr";
+  }
+  throw std::invalid_argument("app_name: bad enum value");
+}
+
+App parse_app(const std::string& name) {
+  if (name == "cholesky") return App::kCholesky;
+  if (name == "lu") return App::kLu;
+  if (name == "qr") return App::kQr;
+  throw std::invalid_argument("parse_app: unknown application '" + name +
+                              "'");
+}
+
+dag::TaskGraph make_graph(App app, int tiles) {
+  switch (app) {
+    case App::kCholesky:
+      return dag::cholesky_graph(tiles);
+    case App::kLu:
+      return dag::lu_graph(tiles);
+    case App::kQr:
+      return dag::qr_graph(tiles);
+  }
+  throw std::invalid_argument("make_graph: bad enum value");
+}
+
+sim::CostModel make_costs(App app) {
+  switch (app) {
+    case App::kCholesky:
+      return sim::CostModel::cholesky();
+    case App::kLu:
+      return sim::CostModel::lu();
+    case App::kQr:
+      return sim::CostModel::qr();
+  }
+  throw std::invalid_argument("make_costs: bad enum value");
+}
+
+std::size_t expected_task_count(App app, int tiles) {
+  const std::size_t t = static_cast<std::size_t>(tiles);
+  switch (app) {
+    case App::kCholesky:
+      // T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk + T(T-1)(T-2)/6 gemm
+      return t + t * (t - 1) + t * (t - 1) * (t - 2) / 6;
+    case App::kLu:
+    case App::kQr:
+      // T panel + 2 * T(T-1)/2 solves/applies + sum_{k<T} (T-1-k)^2
+      return t + t * (t - 1) + (t - 1) * t * (2 * t - 1) / 6;
+  }
+  throw std::invalid_argument("expected_task_count: bad enum value");
+}
+
+}  // namespace readys::core

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "dag/task_graph.hpp"
+#include "sim/cost_model.hpp"
+
+namespace readys::core {
+
+/// The three linear-algebra applications the paper evaluates.
+enum class App { kCholesky, kLu, kQr };
+
+/// "cholesky", "lu", "qr".
+std::string app_name(App app);
+
+/// Parses an application name; throws std::invalid_argument otherwise.
+App parse_app(const std::string& name);
+
+/// Tiled factorization DAG for a T x T tile matrix.
+dag::TaskGraph make_graph(App app, int tiles);
+
+/// Matching kernel cost table.
+sim::CostModel make_costs(App app);
+
+/// Closed-form task count of each application's DAG (used as test
+/// anchors; e.g. Cholesky T=8 -> 120 tasks as quoted in the paper).
+std::size_t expected_task_count(App app, int tiles);
+
+}  // namespace readys::core

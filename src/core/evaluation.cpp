@@ -1,0 +1,74 @@
+#include "core/evaluation.hpp"
+
+#include "sched/critical_path.hpp"
+#include "sched/greedy_eft.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sched/random_sched.hpp"
+
+namespace readys::core {
+
+std::vector<double> evaluate_makespans(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, const SchedulerFactory& factory,
+    double sigma, int runs, std::uint64_t seed_base,
+    util::ThreadPool* pool) {
+  std::vector<double> out(static_cast<std::size_t>(runs), 0.0);
+  auto run_one = [&](std::size_t i) {
+    const std::uint64_t seed = seed_base + i;
+    auto scheduler = factory(seed);
+    sim::Simulator sim(graph, platform, costs, {sigma, seed});
+    out[i] = sim.run(*scheduler).makespan;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(out.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < out.size(); ++i) run_one(i);
+  }
+  return out;
+}
+
+ImprovementResult improvement_over(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, const SchedulerFactory& a,
+    const SchedulerFactory& b, double sigma, int runs,
+    std::uint64_t seed_base, util::ThreadPool* pool) {
+  ImprovementResult result;
+  const auto ma = evaluate_makespans(graph, platform, costs, a, sigma, runs,
+                                     seed_base, pool);
+  const auto mb = evaluate_makespans(graph, platform, costs, b, sigma, runs,
+                                     seed_base, pool);
+  result.a = util::summarize(ma);
+  result.b = util::summarize(mb);
+  result.improvement = result.a.mean > 0.0 ? result.b.mean / result.a.mean
+                                           : 0.0;
+  return result;
+}
+
+SchedulerFactory heft_factory() {
+  return [](std::uint64_t) { return std::make_unique<sched::HeftScheduler>(); };
+}
+
+SchedulerFactory mct_factory() {
+  return [](std::uint64_t) { return std::make_unique<sched::MctScheduler>(); };
+}
+
+SchedulerFactory random_factory() {
+  return [](std::uint64_t seed) {
+    return std::make_unique<sched::RandomScheduler>(seed);
+  };
+}
+
+SchedulerFactory greedy_eft_factory() {
+  return [](std::uint64_t) {
+    return std::make_unique<sched::GreedyEftScheduler>();
+  };
+}
+
+SchedulerFactory critical_path_factory() {
+  return [](std::uint64_t) {
+    return std::make_unique<sched::CriticalPathScheduler>();
+  };
+}
+
+}  // namespace readys::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace readys::core {
+
+/// Builds an independent scheduler instance for one evaluation run;
+/// `seed` individualizes any internal randomness (the READYS processor
+/// draw, the random baseline). Stateless schedulers can ignore it.
+using SchedulerFactory =
+    std::function<std::unique_ptr<sim::Scheduler>(std::uint64_t seed)>;
+
+/// Runs `runs` independent executions (noise seeds seed_base, seed_base+1,
+/// ...) and returns the makespans. When `pool` is non-null the runs are
+/// distributed across its workers (each run gets its own engine and
+/// scheduler instance, so this is safe by construction).
+std::vector<double> evaluate_makespans(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, const SchedulerFactory& factory,
+    double sigma, int runs, std::uint64_t seed_base,
+    util::ThreadPool* pool = nullptr);
+
+/// Mean makespans of two strategies and their ratio — the paper's
+/// "improvement of A over B" is makespan(B)/makespan(A) (bars above 1
+/// mean A wins).
+struct ImprovementResult {
+  util::Summary a;
+  util::Summary b;
+  double improvement = 0.0;  ///< mean(b) / mean(a)
+};
+
+ImprovementResult improvement_over(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, const SchedulerFactory& a,
+    const SchedulerFactory& b, double sigma, int runs,
+    std::uint64_t seed_base, util::ThreadPool* pool = nullptr);
+
+/// Factories for the library's reference schedulers.
+SchedulerFactory heft_factory();
+SchedulerFactory mct_factory();
+SchedulerFactory random_factory();
+SchedulerFactory greedy_eft_factory();
+SchedulerFactory critical_path_factory();
+
+}  // namespace readys::core

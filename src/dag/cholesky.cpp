@@ -1,0 +1,56 @@
+#include "dag/cholesky.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace readys::dag {
+
+TaskGraph cholesky_graph(int tiles) {
+  if (tiles < 1) {
+    throw std::invalid_argument("cholesky_graph: tiles must be >= 1");
+  }
+  const std::size_t t = static_cast<std::size_t>(tiles);
+  TaskGraph g("cholesky_T" + std::to_string(tiles),
+              {"POTRF", "TRSM", "SYRK", "GEMM"});
+
+  // last[i][j]: the task that last wrote tile (i, j) (lower triangle).
+  std::vector<std::vector<TaskId>> last(
+      t, std::vector<TaskId>(t, kInvalidTask));
+  auto depend_on_writer = [&](TaskId task, std::size_t i, std::size_t j) {
+    if (last[i][j] != kInvalidTask) g.add_edge(last[i][j], task);
+  };
+
+  // Right-looking tiled Cholesky. trsm[i] caches the panel solve of
+  // iteration k so the trailing updates can reference it.
+  std::vector<TaskId> trsm(t, kInvalidTask);
+  for (std::size_t k = 0; k < t; ++k) {
+    const TaskId potrf = g.add_task(kPotrf);
+    depend_on_writer(potrf, k, k);
+    last[k][k] = potrf;
+    for (std::size_t i = k + 1; i < t; ++i) {
+      const TaskId task = g.add_task(kTrsm);
+      g.add_edge(potrf, task);
+      depend_on_writer(task, i, k);
+      last[i][k] = task;
+      trsm[i] = task;
+    }
+    for (std::size_t i = k + 1; i < t; ++i) {
+      // SYRK updates the diagonal tile (i, i) with the panel column i.
+      const TaskId syrk = g.add_task(kSyrk);
+      g.add_edge(trsm[i], syrk);
+      depend_on_writer(syrk, i, i);
+      last[i][i] = syrk;
+      // GEMM updates (i, j) for k < j < i with panel columns i and j.
+      for (std::size_t j = k + 1; j < i; ++j) {
+        const TaskId gemm = g.add_task(kGemm);
+        g.add_edge(trsm[i], gemm);
+        g.add_edge(trsm[j], gemm);
+        depend_on_writer(gemm, i, j);
+        last[i][j] = gemm;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace readys::dag

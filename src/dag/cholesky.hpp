@@ -1,0 +1,23 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+
+namespace readys::dag {
+
+/// Kernel-type ids used by cholesky_graph (order matters for the cost
+/// model tables).
+enum CholeskyKernel : int {
+  kPotrf = 0,  ///< panel factorization of a diagonal tile
+  kTrsm = 1,   ///< triangular solve of a sub-diagonal tile
+  kSyrk = 2,   ///< symmetric rank-k update of a diagonal tile
+  kGemm = 3,   ///< general update of an off-diagonal tile
+};
+
+/// Tiled Cholesky factorization DAG for a T x T tile matrix.
+///
+/// Task counts (anchors from the paper): T potrf, T(T-1)/2 trsm,
+/// T(T-1)/2 syrk, T(T-1)(T-2)/6 gemm — e.g. T=4 -> 20 tasks, T=8 -> 120,
+/// T=12 -> 364.
+TaskGraph cholesky_graph(int tiles);
+
+}  // namespace readys::dag

@@ -1,0 +1,38 @@
+#include "dag/dot_export.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace readys::dag {
+
+std::string to_dot(const TaskGraph& graph) {
+  static constexpr std::array<const char*, 8> kColors = {
+      "lightblue", "orange", "palegreen", "plum",
+      "khaki",     "salmon", "lightgray", "cyan"};
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [style=filled];\n";
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const int k = graph.kernel(t);
+    os << "  n" << t << " [label=\"" << graph.kernel_name(k) << "\\n#" << t
+       << "\", fillcolor=" << kColors[static_cast<std::size_t>(k) % kColors.size()]
+       << "];\n";
+  }
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    for (TaskId s : graph.successors(t)) {
+      os << "  n" << t << " -> n" << s << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const TaskGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dot: cannot open " + path);
+  out << to_dot(graph);
+}
+
+}  // namespace readys::dag

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "dag/task_graph.hpp"
+
+namespace readys::dag {
+
+/// Renders the graph in Graphviz DOT format (kernel types become colors)
+/// for debugging and documentation.
+std::string to_dot(const TaskGraph& graph);
+
+/// Writes to_dot(graph) to `path`; throws std::runtime_error on failure.
+void write_dot(const TaskGraph& graph, const std::string& path);
+
+}  // namespace readys::dag

@@ -1,0 +1,65 @@
+#include "dag/features.hpp"
+
+#include <algorithm>
+
+namespace readys::dag {
+
+StaticFeatures::StaticFeatures(const TaskGraph& graph)
+    : out_deg_(graph.num_tasks()),
+      in_deg_(graph.num_tasks()),
+      f_(graph.num_tasks(), static_cast<std::size_t>(
+                                std::max(graph.num_kernel_types(), 1))),
+      type_width_(std::max(graph.num_kernel_types(), 1)) {
+  const std::size_t n = graph.num_tasks();
+  double max_out = 1.0;
+  double max_in = 1.0;
+  for (TaskId t = 0; t < n; ++t) {
+    max_out = std::max(max_out, static_cast<double>(graph.out_degree(t)));
+    max_in = std::max(max_in, static_cast<double>(graph.in_degree(t)));
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    out_deg_[t] = static_cast<double>(graph.out_degree(t)) / max_out;
+    in_deg_[t] = static_cast<double>(graph.in_degree(t)) / max_in;
+  }
+
+  // F̄(i) = onehot(type(i)) + sum over successors c of F̄(c) / |P(c)|,
+  // evaluated in reverse topological order (successors first).
+  const auto order = graph.topological_order();
+  const std::size_t k = static_cast<std::size_t>(type_width_);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId i = *it;
+    f_.at(i, static_cast<std::size_t>(graph.kernel(i))) += 1.0;
+    for (TaskId c : graph.successors(i)) {
+      const double w = 1.0 / static_cast<double>(graph.in_degree(c));
+      for (std::size_t type = 0; type < k; ++type) {
+        f_.at(i, type) += f_.at(c, type) * w;
+      }
+    }
+  }
+  // The per-type mass summed over all sources equals the per-type task
+  // count (each task's unit is split across its predecessors on the way
+  // up). Normalize by those totals, matching the paper's F(i)=F̄(i)/F̄(0).
+  const auto counts = graph.kernel_counts();
+  for (TaskId t = 0; t < n; ++t) {
+    for (std::size_t type = 0; type < k; ++type) {
+      const double total =
+          type < counts.size() ? static_cast<double>(counts[type]) : 0.0;
+      f_.at(t, type) = total > 0.0 ? f_.at(t, type) / total : 0.0;
+    }
+  }
+}
+
+void StaticFeatures::write_static(TaskId t, const TaskGraph& graph,
+                                  double* out) const {
+  int pos = 0;
+  out[pos++] = norm_out_degree(t);
+  out[pos++] = norm_in_degree(t);
+  for (int type = 0; type < type_width_; ++type) {
+    out[pos++] = (graph.kernel(t) == type) ? 1.0 : 0.0;
+  }
+  for (int type = 0; type < type_width_; ++type) {
+    out[pos++] = descendant_mass(t, type);
+  }
+}
+
+}  // namespace readys::dag

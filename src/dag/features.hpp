@@ -1,0 +1,48 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace readys::dag {
+
+/// Static (schedule-independent) per-task features of a graph, following
+/// the paper's representation
+///   X̂_i = [|S(i)|, |P(i)|, type(i), ready(i), F(i)].
+/// The dynamic `ready` bit (and any resource-dependent fields) is added by
+/// the RL state encoder; everything here depends only on the topology.
+class StaticFeatures {
+ public:
+  explicit StaticFeatures(const TaskGraph& graph);
+
+  /// Out-degree normalized by the maximum out-degree of the graph.
+  double norm_out_degree(TaskId t) const { return out_deg_[t]; }
+  /// In-degree normalized by the maximum in-degree of the graph.
+  double norm_in_degree(TaskId t) const { return in_deg_[t]; }
+
+  /// One-hot kernel type padded to `type_width()` entries.
+  int type_width() const noexcept { return type_width_; }
+
+  /// F(i): per-kernel-type descendant mass of task i, normalized so that
+  /// the entry for type c is in [0, 1] (1 = "everything of that type is
+  /// still downstream of i"). Computed with the paper's recursion
+  ///   F̄(i) = onehot(type(i)) + sum_{c in S(i)} F̄(c) / |P(c)|
+  /// normalized by the total mass per type.
+  const tensor::Tensor& descendant_profile() const noexcept { return f_; }
+  double descendant_mass(TaskId t, int type) const {
+    return f_.at(t, static_cast<std::size_t>(type));
+  }
+
+  /// Width of the static portion of X̂: 2 + type_width + type_width.
+  int static_width() const noexcept { return 2 + 2 * type_width_; }
+
+  /// Writes the static features of task t into out[0 .. static_width()).
+  void write_static(TaskId t, const TaskGraph& graph, double* out) const;
+
+ private:
+  std::vector<double> out_deg_;
+  std::vector<double> in_deg_;
+  tensor::Tensor f_;  // n x type_width
+  int type_width_;
+};
+
+}  // namespace readys::dag

@@ -1,0 +1,55 @@
+#include "dag/lu.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace readys::dag {
+
+TaskGraph lu_graph(int tiles) {
+  if (tiles < 1) {
+    throw std::invalid_argument("lu_graph: tiles must be >= 1");
+  }
+  const std::size_t t = static_cast<std::size_t>(tiles);
+  TaskGraph g("lu_T" + std::to_string(tiles),
+              {"GETRF", "TRSM_ROW", "TRSM_COL", "GEMM"});
+
+  std::vector<std::vector<TaskId>> last(
+      t, std::vector<TaskId>(t, kInvalidTask));
+  auto depend_on_writer = [&](TaskId task, std::size_t i, std::size_t j) {
+    if (last[i][j] != kInvalidTask) g.add_edge(last[i][j], task);
+  };
+
+  std::vector<TaskId> row_solve(t, kInvalidTask);  // tile (k, j) solve
+  std::vector<TaskId> col_solve(t, kInvalidTask);  // tile (i, k) solve
+  for (std::size_t k = 0; k < t; ++k) {
+    const TaskId getrf = g.add_task(kGetrf);
+    depend_on_writer(getrf, k, k);
+    last[k][k] = getrf;
+    for (std::size_t j = k + 1; j < t; ++j) {
+      const TaskId task = g.add_task(kTrsmRow);
+      g.add_edge(getrf, task);
+      depend_on_writer(task, k, j);
+      last[k][j] = task;
+      row_solve[j] = task;
+    }
+    for (std::size_t i = k + 1; i < t; ++i) {
+      const TaskId task = g.add_task(kTrsmCol);
+      g.add_edge(getrf, task);
+      depend_on_writer(task, i, k);
+      last[i][k] = task;
+      col_solve[i] = task;
+    }
+    for (std::size_t i = k + 1; i < t; ++i) {
+      for (std::size_t j = k + 1; j < t; ++j) {
+        const TaskId gemm = g.add_task(kLuGemm);
+        g.add_edge(col_solve[i], gemm);
+        g.add_edge(row_solve[j], gemm);
+        depend_on_writer(gemm, i, j);
+        last[i][j] = gemm;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace readys::dag

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+
+namespace readys::dag {
+
+/// Kernel-type ids used by lu_graph.
+enum LuKernel : int {
+  kGetrf = 0,     ///< panel factorization of the diagonal tile
+  kTrsmRow = 1,   ///< solve against U: updates tile (k, j), j > k
+  kTrsmCol = 2,   ///< solve against L: updates tile (i, k), i > k
+  kLuGemm = 3,    ///< trailing update of tile (i, j), i, j > k
+};
+
+/// Tiled LU factorization DAG (right-looking, tile pivoting elided as in
+/// the accelerator-oriented formulation of Agullo et al. [3]).
+///
+/// Task counts for T tiles: T getrf, T(T-1)/2 trsm-row, T(T-1)/2 trsm-col,
+/// T(T-1)(2T-1)/6 gemm.
+TaskGraph lu_graph(int tiles);
+
+}  // namespace readys::dag

@@ -1,0 +1,62 @@
+#include "dag/qr.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace readys::dag {
+
+TaskGraph qr_graph(int tiles) {
+  if (tiles < 1) {
+    throw std::invalid_argument("qr_graph: tiles must be >= 1");
+  }
+  const std::size_t t = static_cast<std::size_t>(tiles);
+  TaskGraph g("qr_T" + std::to_string(tiles),
+              {"GEQRT", "UNMQR", "TSQRT", "TSMQR"});
+
+  std::vector<std::vector<TaskId>> last(
+      t, std::vector<TaskId>(t, kInvalidTask));
+  auto depend_on_writer = [&](TaskId task, std::size_t i, std::size_t j) {
+    if (last[i][j] != kInvalidTask) g.add_edge(last[i][j], task);
+  };
+
+  for (std::size_t k = 0; k < t; ++k) {
+    const TaskId geqrt = g.add_task(kGeqrt);
+    depend_on_writer(geqrt, k, k);
+    last[k][k] = geqrt;
+
+    // Row update of the panel factorization: tile (k, j) for j > k.
+    // row_update[j] holds the task that last touched tile-pair (*, j) in
+    // the reflector-application chain of this iteration.
+    std::vector<TaskId> row_update(t, kInvalidTask);
+    for (std::size_t j = k + 1; j < t; ++j) {
+      const TaskId unmqr = g.add_task(kUnmqr);
+      g.add_edge(geqrt, unmqr);
+      depend_on_writer(unmqr, k, j);
+      last[k][j] = unmqr;
+      row_update[j] = unmqr;
+    }
+
+    // The TSQRT chain couples tile (k,k) with each (i,k) sequentially.
+    TaskId chain = geqrt;
+    for (std::size_t i = k + 1; i < t; ++i) {
+      const TaskId tsqrt = g.add_task(kTsqrt);
+      g.add_edge(chain, tsqrt);
+      depend_on_writer(tsqrt, i, k);
+      last[i][k] = tsqrt;
+      chain = tsqrt;
+      for (std::size_t j = k + 1; j < t; ++j) {
+        const TaskId tsmqr = g.add_task(kTsmqr);
+        g.add_edge(tsqrt, tsmqr);
+        // Reflector application updates tiles (k, j) and (i, j); it must
+        // follow the previous update in this column chain.
+        g.add_edge(row_update[j], tsmqr);
+        depend_on_writer(tsmqr, i, j);
+        last[i][j] = tsmqr;
+        row_update[j] = tsmqr;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace readys::dag

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+
+namespace readys::dag {
+
+/// Kernel-type ids used by qr_graph.
+enum QrKernel : int {
+  kGeqrt = 0,  ///< QR of the diagonal tile
+  kUnmqr = 1,  ///< apply Q^T of the diagonal tile to tile (k, j)
+  kTsqrt = 2,  ///< triangular-on-top-of-square QR of tiles (k,k)+(i,k)
+  kTsmqr = 3,  ///< apply a TSQRT reflector to tiles (k,j)+(i,j)
+};
+
+/// Tiled QR factorization DAG (flat-tree/TS kernels, the formulation of
+/// Agullo et al. [4] used by the paper).
+///
+/// Task counts for T tiles: T geqrt, T(T-1)/2 unmqr, T(T-1)/2 tsqrt,
+/// T(T-1)(2T-1)/6 tsmqr. The TSQRT chain of a panel is sequential, which
+/// gives QR the longest critical path of the three factorizations.
+TaskGraph qr_graph(int tiles);
+
+}  // namespace readys::dag

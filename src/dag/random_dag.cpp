@@ -1,0 +1,45 @@
+#include "dag/random_dag.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace readys::dag {
+
+TaskGraph random_layered_dag(const RandomDagConfig& config, util::Rng& rng) {
+  if (config.layers < 1 || config.width < 1 || config.kernel_types < 1) {
+    throw std::invalid_argument("random_layered_dag: bad configuration");
+  }
+  std::vector<std::string> kernel_names;
+  for (int k = 0; k < config.kernel_types; ++k) {
+    kernel_names.push_back("K" + std::to_string(k));
+  }
+  TaskGraph g("random_dag", std::move(kernel_names));
+
+  std::vector<std::vector<TaskId>> layers(
+      static_cast<std::size_t>(config.layers));
+  for (auto& layer : layers) {
+    layer.reserve(static_cast<std::size_t>(config.width));
+    for (int i = 0; i < config.width; ++i) {
+      layer.push_back(
+          g.add_task(static_cast<int>(rng.uniform_index(
+              static_cast<std::size_t>(config.kernel_types)))));
+    }
+  }
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (TaskId v : layers[l + 1]) {
+      bool has_pred = false;
+      for (TaskId u : layers[l]) {
+        if (rng.uniform() < config.edge_density) {
+          g.add_edge(u, v);
+          has_pred = true;
+        }
+      }
+      if (config.connect_layers && !has_pred) {
+        g.add_edge(layers[l][rng.uniform_index(layers[l].size())], v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace readys::dag

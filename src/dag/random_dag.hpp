@@ -1,0 +1,22 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace readys::dag {
+
+/// Parameters for a random layered DAG (used for property tests and for
+/// stressing schedulers on non-factorization topologies).
+struct RandomDagConfig {
+  int layers = 6;
+  int width = 5;             ///< tasks per layer
+  double edge_density = 0.4; ///< probability of an edge between adjacent layers
+  int kernel_types = 4;
+  bool connect_layers = true;  ///< guarantee every task has a predecessor in
+                               ///< the previous layer (keeps depth == layers-1)
+};
+
+/// Generates a random layered DAG: edges only go from layer L to L+1.
+TaskGraph random_layered_dag(const RandomDagConfig& config, util::Rng& rng);
+
+}  // namespace readys::dag

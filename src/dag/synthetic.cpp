@@ -1,0 +1,110 @@
+#include "dag/synthetic.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace readys::dag {
+
+namespace {
+
+std::vector<std::string> kernel_vocab() {
+  return {"PANEL", "SOLVE", "UPDATE", "REDUCE"};
+}
+
+constexpr int kPanel = 0;
+constexpr int kSolve = 1;
+constexpr int kUpdate = 2;
+constexpr int kReduce = 3;
+
+}  // namespace
+
+TaskGraph fork_join_graph(int stages, int width, int depth) {
+  if (stages < 1 || width < 1 || depth < 1) {
+    throw std::invalid_argument("fork_join_graph: bad configuration");
+  }
+  TaskGraph g("forkjoin_s" + std::to_string(stages) + "_w" +
+                  std::to_string(width),
+              kernel_vocab());
+  TaskId join = g.add_task(kPanel);  // initial source doubles as stage join
+  for (int s = 0; s < stages; ++s) {
+    std::vector<TaskId> tails;
+    tails.reserve(static_cast<std::size_t>(width));
+    for (int wdt = 0; wdt < width; ++wdt) {
+      TaskId prev = join;
+      for (int d = 0; d < depth; ++d) {
+        const TaskId task = g.add_task(kUpdate);
+        g.add_edge(prev, task);
+        prev = task;
+      }
+      tails.push_back(prev);
+    }
+    const TaskId next_join = g.add_task(kReduce);
+    for (TaskId t : tails) g.add_edge(t, next_join);
+    join = next_join;
+  }
+  return g;
+}
+
+TaskGraph stencil_1d_graph(int steps, int cells) {
+  if (steps < 1 || cells < 1) {
+    throw std::invalid_argument("stencil_1d_graph: bad configuration");
+  }
+  TaskGraph g("stencil_s" + std::to_string(steps) + "_c" +
+                  std::to_string(cells),
+              kernel_vocab());
+  std::vector<TaskId> prev(static_cast<std::size_t>(cells));
+  std::vector<TaskId> cur(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    const bool boundary = (i == 0 || i == cells - 1);
+    prev[static_cast<std::size_t>(i)] =
+        g.add_task(boundary ? kPanel : kUpdate);
+  }
+  for (int s = 1; s < steps; ++s) {
+    for (int i = 0; i < cells; ++i) {
+      const bool boundary = (i == 0 || i == cells - 1);
+      const TaskId task = g.add_task(boundary ? kPanel : kUpdate);
+      for (int j = i - 1; j <= i + 1; ++j) {
+        if (j >= 0 && j < cells) {
+          g.add_edge(prev[static_cast<std::size_t>(j)], task);
+        }
+      }
+      cur[static_cast<std::size_t>(i)] = task;
+    }
+    prev = cur;
+  }
+  return g;
+}
+
+TaskGraph reduction_tree_graph(int leaves) {
+  if (leaves < 1 || (leaves & (leaves - 1)) != 0) {
+    throw std::invalid_argument(
+        "reduction_tree_graph: leaves must be a power of two >= 1");
+  }
+  TaskGraph g("reduction_l" + std::to_string(leaves), kernel_vocab());
+  std::vector<TaskId> level;
+  level.reserve(static_cast<std::size_t>(leaves));
+  for (int i = 0; i < leaves; ++i) level.push_back(g.add_task(kUpdate));
+  while (level.size() > 1) {
+    std::vector<TaskId> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const TaskId parent = g.add_task(kReduce);
+      g.add_edge(level[i], parent);
+      g.add_edge(level[i + 1], parent);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+TaskGraph independent_tasks_graph(int n) {
+  if (n < 1) {
+    throw std::invalid_argument("independent_tasks_graph: n must be >= 1");
+  }
+  TaskGraph g("independent_n" + std::to_string(n), kernel_vocab());
+  for (int i = 0; i < n; ++i) g.add_task(i % 4);
+  return g;
+}
+
+}  // namespace readys::dag

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+
+namespace readys::dag {
+
+/// Synthetic topologies beyond the paper's three factorizations, used to
+/// probe how schedulers (and trained agents) generalize to unfamiliar
+/// dependency shapes. All use the 4-kernel vocabulary {PANEL, SOLVE,
+/// UPDATE, REDUCE} so the factorization cost models apply unchanged.
+
+/// fork-join ladder: SOURCE -> width parallel chains of `depth` UPDATE
+/// tasks -> JOIN, repeated `stages` times.
+TaskGraph fork_join_graph(int stages, int width, int depth = 1);
+
+/// 1-D stencil sweep: `steps` time steps over `cells` cells; cell (s, i)
+/// depends on (s-1, i-1), (s-1, i), (s-1, i+1). Boundary cells have
+/// fewer predecessors. Task type alternates PANEL (boundaries) / UPDATE.
+TaskGraph stencil_1d_graph(int steps, int cells);
+
+/// Reduction tree over `leaves` inputs (leaves are UPDATE tasks, inner
+/// nodes REDUCE); leaves must be a power of two.
+TaskGraph reduction_tree_graph(int leaves);
+
+/// Embarrassingly parallel bag of `n` tasks cycling through the kernel
+/// types; no edges at all (tests pure load balancing).
+TaskGraph independent_tasks_graph(int n);
+
+}  // namespace readys::dag

@@ -1,0 +1,114 @@
+#include "dag/task_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace readys::dag {
+
+TaskGraph::TaskGraph(std::string name, std::vector<std::string> kernel_names)
+    : name_(std::move(name)), kernel_names_(std::move(kernel_names)) {
+  if (kernel_names_.empty()) {
+    throw std::invalid_argument("TaskGraph: need at least one kernel type");
+  }
+}
+
+TaskId TaskGraph::add_task(int kernel_type) {
+  if (kernel_type < 0 || kernel_type >= num_kernel_types()) {
+    throw std::invalid_argument("TaskGraph::add_task: bad kernel type");
+  }
+  kernel_.push_back(kernel_type);
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<TaskId>(kernel_.size() - 1);
+}
+
+void TaskGraph::check_task(TaskId t, const char* what) const {
+  if (t >= num_tasks()) {
+    throw std::out_of_range(std::string("TaskGraph: invalid task in ") +
+                            what);
+  }
+}
+
+void TaskGraph::add_edge(TaskId u, TaskId v) {
+  check_task(u, "add_edge");
+  check_task(v, "add_edge");
+  if (u == v) {
+    throw std::invalid_argument("TaskGraph::add_edge: self loop");
+  }
+  if (u > v) {
+    // Generators create tasks in a valid topological order; enforcing
+    // u < v makes acyclicity structural.
+    throw std::invalid_argument(
+        "TaskGraph::add_edge: edges must point from older to newer tasks");
+  }
+  if (has_edge(u, v)) return;
+  succ_[u].push_back(v);
+  pred_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool TaskGraph::has_edge(TaskId u, TaskId v) const {
+  check_task(u, "has_edge");
+  check_task(v, "has_edge");
+  return std::find(succ_[u].begin(), succ_[u].end(), v) != succ_[u].end();
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    if (pred_[t].empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    if (succ_[t].empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::size_t> TaskGraph::kernel_counts() const {
+  std::vector<std::size_t> counts(kernel_names_.size(), 0);
+  for (int k : kernel_) counts[static_cast<std::size_t>(k)]++;
+  return counts;
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> remaining(num_tasks());
+  std::vector<TaskId> order;
+  order.reserve(num_tasks());
+  std::vector<TaskId> frontier;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    remaining[t] = pred_[t].size();
+    if (remaining[t] == 0) frontier.push_back(t);
+  }
+  while (!frontier.empty()) {
+    const TaskId t = frontier.back();
+    frontier.pop_back();
+    order.push_back(t);
+    for (TaskId s : succ_[t]) {
+      if (--remaining[s] == 0) frontier.push_back(s);
+    }
+  }
+  if (order.size() != num_tasks()) {
+    throw std::logic_error("TaskGraph::topological_order: cycle detected");
+  }
+  return order;
+}
+
+std::size_t TaskGraph::depth() const {
+  if (num_tasks() == 0) return 0;
+  std::vector<std::size_t> dist(num_tasks(), 0);
+  std::size_t best = 0;
+  for (TaskId t : topological_order()) {
+    for (TaskId s : succ_[t]) {
+      dist[s] = std::max(dist[s], dist[t] + 1);
+      best = std::max(best, dist[s]);
+    }
+  }
+  return best;
+}
+
+}  // namespace readys::dag

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace readys::dag {
+
+/// Index of a task within a TaskGraph.
+using TaskId = std::uint32_t;
+
+constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// Directed acyclic graph of tasks.
+///
+/// Each task has a kernel-type id in [0, num_kernel_types()); the kernel
+/// names give the mapping to application kernels (e.g. POTRF/TRSM/SYRK/
+/// GEMM for tiled Cholesky). Edges u -> v mean "v consumes a result of u"
+/// and therefore v cannot start before u completes.
+class TaskGraph {
+ public:
+  TaskGraph(std::string name, std::vector<std::string> kernel_names);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Appends a task of the given kernel type; returns its id.
+  TaskId add_task(int kernel_type);
+
+  /// Adds dependency u -> v (u must complete before v starts).
+  /// Duplicate edges are ignored; self-loops and forward references throw.
+  void add_edge(TaskId u, TaskId v);
+
+  std::size_t num_tasks() const noexcept { return kernel_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+  int num_kernel_types() const noexcept {
+    return static_cast<int>(kernel_names_.size());
+  }
+
+  int kernel(TaskId t) const { return kernel_[t]; }
+  const std::string& kernel_name(int type) const {
+    return kernel_names_[static_cast<std::size_t>(type)];
+  }
+
+  const std::vector<TaskId>& successors(TaskId t) const { return succ_[t]; }
+  const std::vector<TaskId>& predecessors(TaskId t) const { return pred_[t]; }
+
+  std::size_t out_degree(TaskId t) const { return succ_[t].size(); }
+  std::size_t in_degree(TaskId t) const { return pred_[t].size(); }
+
+  bool has_edge(TaskId u, TaskId v) const;
+
+  /// Tasks with no predecessors / no successors.
+  std::vector<TaskId> sources() const;
+  std::vector<TaskId> sinks() const;
+
+  /// Number of tasks of each kernel type.
+  std::vector<std::size_t> kernel_counts() const;
+
+  /// Kahn topological order. Throws std::logic_error if a cycle is
+  /// present (cannot happen via add_edge's forward-reference rule, but the
+  /// check documents and enforces the invariant for graphs built by hand).
+  std::vector<TaskId> topological_order() const;
+
+  /// Longest path length (in edges) from any source to any sink.
+  std::size_t depth() const;
+
+ private:
+  void check_task(TaskId t, const char* what) const;
+
+  std::string name_;
+  std::vector<std::string> kernel_names_;
+  std::vector<int> kernel_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace readys::dag

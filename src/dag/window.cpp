@@ -1,0 +1,48 @@
+#include "dag/window.hpp"
+
+#include <unordered_map>
+
+namespace readys::dag {
+
+std::size_t Window::position_of(TaskId t) const noexcept {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == t) return i;
+  }
+  return npos;
+}
+
+Window extract_window(const TaskGraph& graph,
+                      const std::vector<TaskId>& seeds, int window) {
+  Window w;
+  std::unordered_map<TaskId, std::size_t> index;
+  index.reserve(seeds.size() * 4);
+
+  auto add_node = [&](TaskId t, int d) -> bool {
+    if (index.contains(t)) return false;
+    index.emplace(t, w.nodes.size());
+    w.nodes.push_back(t);
+    w.depth.push_back(d);
+    return true;
+  };
+
+  for (TaskId s : seeds) add_node(s, 0);
+  // BFS over successors: nodes are appended in depth order, so a simple
+  // scan with an advancing cursor implements the queue.
+  for (std::size_t cursor = 0; cursor < w.nodes.size(); ++cursor) {
+    const int d = w.depth[cursor];
+    if (d >= window) continue;
+    for (TaskId s : graph.successors(w.nodes[cursor])) {
+      add_node(s, d + 1);
+    }
+  }
+  // Induced edges among retained nodes.
+  for (std::size_t i = 0; i < w.nodes.size(); ++i) {
+    for (TaskId s : graph.successors(w.nodes[i])) {
+      auto it = index.find(s);
+      if (it != index.end()) w.edges.emplace_back(i, it->second);
+    }
+  }
+  return w;
+}
+
+}  // namespace readys::dag

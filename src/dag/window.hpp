@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "dag/task_graph.hpp"
+
+namespace readys::dag {
+
+/// The sliding-window sub-DAG the agent observes: running tasks, ready
+/// tasks, and every descendant whose depth (shortest distance from a
+/// running/ready task) is <= `window`.
+struct Window {
+  /// Sub-DAG nodes, as ids into the full graph. Seeds (running/ready)
+  /// come first, then descendants in BFS order.
+  std::vector<TaskId> nodes;
+  /// Induced dependency edges as index pairs into `nodes`.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  /// BFS depth of each node (0 for seeds).
+  std::vector<int> depth;
+
+  std::size_t size() const noexcept { return nodes.size(); }
+
+  /// Position of a task inside `nodes`, or npos if absent. O(n) scan —
+  /// windows are small by design.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t position_of(TaskId t) const noexcept;
+};
+
+/// Extracts the window sub-DAG. `seeds` are the running and ready tasks
+/// (deduplicated by the caller); `window` is the paper's w parameter
+/// (w = 0 keeps only the seeds).
+Window extract_window(const TaskGraph& graph, const std::vector<TaskId>& seeds,
+                      int window);
+
+}  // namespace readys::dag

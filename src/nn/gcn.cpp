@@ -1,0 +1,45 @@
+#include "nn/gcn.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace readys::nn {
+
+GCNLayer::GCNLayer(std::size_t in_features, std::size_t out_features,
+                   util::Rng& rng)
+    : in_(in_features), out_(out_features) {
+  weight_ = register_parameter(
+      "weight", glorot_uniform(in_features, out_features, rng));
+  bias_ = register_parameter("bias", Tensor::zeros(1, out_features));
+}
+
+Var GCNLayer::forward(const Var& ahat, const Var& h) const {
+  return tensor::add(tensor::matmul(ahat, tensor::matmul(h, weight_)),
+                     bias_);
+}
+
+Tensor normalized_adjacency(
+    std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  Tensor a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) = 1.0;  // self loops
+  for (const auto& [u, v] : edges) {
+    a.at(u, v) = 1.0;
+    a.at(v, u) = 1.0;  // symmetrize: messages flow along and against deps
+  }
+  std::vector<double> dinv_sqrt(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (std::size_t j = 0; j < n; ++j) deg += a.at(i, j);
+    dinv_sqrt[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) *= dinv_sqrt[i] * dinv_sqrt[j];
+    }
+  }
+  return a;
+}
+
+}  // namespace readys::nn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace readys::nn {
+
+/// One Kipf–Welling graph-convolution layer:
+///   H' = Ahat * H * W + b
+/// where Ahat = D^-1/2 (A + I) D^-1/2 is the renormalized adjacency.
+/// The activation is applied by the caller (READYS uses ReLU between
+/// layers, none after the last).
+class GCNLayer : public Module {
+ public:
+  GCNLayer(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  /// `ahat` is the (N x N) normalized adjacency as a constant Var; `h` is
+  /// the (N x in) node feature matrix.
+  Var forward(const Var& ahat, const Var& h) const;
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Var weight_;
+  Var bias_;
+};
+
+/// Builds the renormalized adjacency Ahat = D^-1/2 (A + I) D^-1/2 from a
+/// directed edge list over N nodes. Edges are treated as undirected for
+/// message passing (information must flow both up and down the DAG so the
+/// embedding of a ready task can see its descendants).
+Tensor normalized_adjacency(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& edges);
+
+}  // namespace readys::nn

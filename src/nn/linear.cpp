@@ -1,0 +1,24 @@
+#include "nn/linear.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace readys::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               util::Rng& rng, bool bias)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  weight_ =
+      register_parameter("weight", glorot_uniform(in_features, out_features,
+                                                  rng));
+  if (has_bias_) {
+    bias_ = register_parameter("bias", Tensor::zeros(1, out_features));
+  }
+}
+
+Var Linear::forward(const Var& x) const {
+  Var y = tensor::matmul(x, weight_);
+  if (has_bias_) y = tensor::add(y, bias_);
+  return y;
+}
+
+}  // namespace readys::nn

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace readys::nn {
+
+/// Fully-connected layer: y = x W + b, with x of shape (batch x in).
+class Linear : public Module {
+ public:
+  /// Glorot-uniform weight init, zero bias.
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng,
+         bool bias = true);
+
+  Var forward(const Var& x) const;
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Var weight_;
+  Var bias_;
+  bool has_bias_;
+};
+
+}  // namespace readys::nn

@@ -1,0 +1,31 @@
+#include "nn/mlp.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace readys::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, util::Rng& rng) {
+  if (sizes.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output sizes");
+  }
+  in_ = sizes.front();
+  out_ = sizes.back();
+  layers_.reserve(sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(sizes[i], sizes[i + 1], rng));
+    register_module("fc" + std::to_string(i), *layers_.back());
+  }
+}
+
+Var Mlp::forward(const Var& x) const {
+  Var h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = tensor::relu(h);
+  }
+  return h;
+}
+
+}  // namespace readys::nn

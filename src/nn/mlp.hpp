@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hpp"
+
+namespace readys::nn {
+
+/// Multi-layer perceptron: Linear layers with ReLU in between (no
+/// activation after the last layer).
+class Mlp : public Module {
+ public:
+  /// `sizes` lists the layer widths, e.g. {128, 64, 1} builds
+  /// Linear(128,64) -> ReLU -> Linear(64,1). Requires >= 2 entries.
+  Mlp(const std::vector<std::size_t>& sizes, util::Rng& rng);
+
+  Var forward(const Var& x) const;
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace readys::nn

@@ -1,0 +1,76 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace readys::nn {
+
+std::vector<Var> Module::parameters() const {
+  std::vector<Var> out;
+  for (const auto& [name, var] : named_parameters()) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, Var>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Var>> out;
+  collect("", out);
+  return out;
+}
+
+std::size_t Module::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.value().size();
+  return n;
+}
+
+void Module::zero_grad() const {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  std::unordered_map<std::string, Var> theirs;
+  for (const auto& [name, var] : other.named_parameters()) {
+    theirs.emplace(name, var);
+  }
+  for (auto& [name, var] : named_parameters()) {
+    auto it = theirs.find(name);
+    if (it == theirs.end()) {
+      throw std::invalid_argument("copy_parameters_from: missing " + name);
+    }
+    if (!var.value().same_shape(it->second.value())) {
+      throw std::invalid_argument("copy_parameters_from: shape mismatch at " +
+                                  name);
+    }
+    var.mutable_value() = it->second.value();
+  }
+}
+
+Var Module::register_parameter(const std::string& name, Tensor init) {
+  Var v(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(name, v);
+  return v;
+}
+
+void Module::register_module(const std::string& name, Module& child) {
+  children_.emplace_back(name, &child);
+}
+
+void Module::collect(const std::string& prefix,
+                     std::vector<std::pair<std::string, Var>>& out) const {
+  for (const auto& [name, var] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+Tensor glorot_uniform(std::size_t fan_in, std::size_t fan_out,
+                      util::Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return Tensor::rand_uniform(fan_in, fan_out, rng, -limit, limit);
+}
+
+}  // namespace readys::nn

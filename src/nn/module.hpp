@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/autograd.hpp"
+
+namespace readys::nn {
+
+using tensor::Tensor;
+using tensor::Var;
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns trainable parameters (Vars with requires_grad) and may
+/// contain child modules; parameters() / named_parameters() flatten the
+/// tree, which is what the optimizers and the (de)serializer consume.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, depth-first (children after own params).
+  std::vector<Var> parameters() const;
+
+  /// Parameters with dotted path names ("actor.fc1.weight").
+  std::vector<std::pair<std::string, Var>> named_parameters() const;
+
+  /// Total number of scalar weights.
+  std::size_t parameter_count() const;
+
+  /// Zeroes every parameter gradient.
+  void zero_grad() const;
+
+  /// Copies parameter values from another module with an identical
+  /// architecture (matched by name and shape). Throws on mismatch.
+  void copy_parameters_from(const Module& other);
+
+ protected:
+  /// Registers a trainable leaf; returns the handle to use in forward().
+  Var register_parameter(const std::string& name, Tensor init);
+
+  /// Registers a child whose parameters become part of this module's tree.
+  /// The child must outlive this module (typical usage: data member).
+  void register_module(const std::string& name, Module& child);
+
+ private:
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, Var>>& out) const;
+
+  std::vector<std::pair<std::string, Var>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+/// Glorot/Xavier-uniform initialization for a (fan_in x fan_out) matrix.
+Tensor glorot_uniform(std::size_t fan_in, std::size_t fan_out,
+                      util::Rng& rng);
+
+}  // namespace readys::nn

@@ -1,0 +1,85 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace readys::nn {
+
+Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    const Tensor& g = p.grad();
+    for (std::size_t i = 0; i < g.size(); ++i) total += g[i] * g[i];
+  }
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const double factor = max_norm / norm;
+    for (auto& p : params_) {
+      // grad() returns const; go through the node to scale in place.
+      Tensor& g = p.node()->ensure_grad();
+      g.scale_(factor);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Var> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Tensor::zeros(p.rows(), p.cols()));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = params_[k].mutable_value();
+    const Tensor& g = params_[k].grad();
+    Tensor& vel = velocity_[k];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      vel[i] = momentum_ * vel[i] + g[i];
+      w[i] -= lr_ * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.rows(), p.cols()));
+    v_.push_back(Tensor::zeros(p.rows(), p.cols()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = params_[k].mutable_value();
+    const Tensor& g = params_[k].grad();
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g[i] * g[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace readys::nn

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/autograd.hpp"
+
+namespace readys::nn {
+
+using tensor::Tensor;
+using tensor::Var;
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params);
+  virtual ~Optimizer() = default;
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clipping norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// Vanilla SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba). Defaults match PyTorch: beta1=0.9, beta2=0.999,
+/// eps=1e-8 — the paper trains with Adam(lr=0.01) and PyTorch defaults.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void step() override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace readys::nn

@@ -1,0 +1,94 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace readys::nn {
+
+namespace {
+constexpr const char* kMagic = "readys-weights v1";
+}
+
+std::string serialize_parameters(const Module& module) {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  os << std::setprecision(17);
+  for (const auto& [name, var] : module.named_parameters()) {
+    const Tensor& t = var.value();
+    os << name << ' ' << t.rows() << ' ' << t.cols() << '\n';
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      os << t[i] << (i + 1 == t.size() ? '\n' : ' ');
+    }
+    if (t.size() == 0) os << '\n';
+  }
+  return os.str();
+}
+
+void deserialize_parameters(Module& module, const std::string& blob) {
+  std::istringstream is(blob);
+  std::string magic;
+  std::getline(is, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("deserialize_parameters: bad header '" + magic +
+                             "'");
+  }
+  std::unordered_map<std::string, Tensor> entries;
+  std::string name;
+  while (is >> name) {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    if (!(is >> rows >> cols)) {
+      throw std::runtime_error("deserialize_parameters: truncated header");
+    }
+    Tensor t(rows, cols);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!(is >> t[i])) {
+        throw std::runtime_error("deserialize_parameters: truncated data for " +
+                                 name);
+      }
+    }
+    entries.emplace(name, std::move(t));
+  }
+  auto named = module.named_parameters();
+  if (named.size() != entries.size()) {
+    throw std::runtime_error(
+        "deserialize_parameters: parameter count mismatch");
+  }
+  for (auto& [pname, var] : named) {
+    auto it = entries.find(pname);
+    if (it == entries.end()) {
+      throw std::runtime_error("deserialize_parameters: missing " + pname);
+    }
+    if (!var.value().same_shape(it->second)) {
+      throw std::runtime_error("deserialize_parameters: shape mismatch at " +
+                               pname);
+    }
+    var.mutable_value() = it->second;
+  }
+}
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_parameters: cannot open " + path);
+  }
+  out << serialize_parameters(module);
+  if (!out) {
+    throw std::runtime_error("save_parameters: write failed for " + path);
+  }
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_parameters: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  deserialize_parameters(module, buffer.str());
+}
+
+}  // namespace readys::nn

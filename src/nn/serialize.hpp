@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace readys::nn {
+
+/// Saves every named parameter of `module` to a human-readable text file:
+///   readys-weights v1
+///   <name> <rows> <cols>
+///   v v v ...
+/// Used by the transfer-learning experiments (train on T, reuse on T').
+/// Throws std::runtime_error on I/O failure.
+void save_parameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by save_parameters into `module`. Every
+/// parameter of `module` must be present in the file with a matching
+/// shape; extra entries in the file are an error too.
+void load_parameters(Module& module, const std::string& path);
+
+/// In-memory round trip (used by tests and by cloning across threads).
+std::string serialize_parameters(const Module& module);
+void deserialize_parameters(Module& module, const std::string& blob);
+
+}  // namespace readys::nn

@@ -1,0 +1,189 @@
+#include "rl/a2c.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace readys::rl {
+
+A2CTrainer::A2CTrainer(PolicyNet& net, const AgentConfig& cfg)
+    : net_(&net),
+      cfg_(cfg),
+      optimizer_(net.parameters(), cfg.lr),
+      sample_rng_(cfg.seed ^ 0xA3EC647659359ACDULL) {}
+
+double shape_reward(const AgentConfig& cfg, double reward) {
+  if (cfg.squash_reward && reward < 1.0) {
+    reward = reward / (1.0 - reward);  // == mk_HEFT / mk - 1
+  }
+  if (cfg.reward_clip > 0.0) {
+    reward = std::clamp(reward, -cfg.reward_clip, cfg.reward_clip);
+  }
+  return reward;
+}
+
+double A2CTrainer::shape_reward(double reward) const {
+  return rl::shape_reward(cfg_, reward);
+}
+
+std::size_t A2CTrainer::select_action(const PolicyNet::Output& out,
+                                      bool greedy, util::Rng& rng) const {
+  const tensor::Tensor& p = out.probs.value();
+  if (greedy) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      if (p[i] > p[best]) best = i;
+    }
+    return best;
+  }
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    if (u < acc) return i;
+  }
+  return p.size() - 1;  // numerical slack
+}
+
+void A2CTrainer::update(const std::vector<StepRecord>& batch,
+                        double bootstrap) {
+  if (batch.empty()) return;
+  // n-step discounted returns, resetting at episode boundaries.
+  std::vector<double> returns(batch.size());
+  double running = bootstrap;
+  for (std::size_t i = batch.size(); i-- > 0;) {
+    if (batch[i].done) {
+      running = batch[i].reward;
+    } else {
+      running = batch[i].reward + cfg_.gamma * running;
+    }
+    returns[i] = running;
+  }
+
+  // Raw advantages; optionally standardized across the batch, which keeps
+  // the policy-gradient magnitude stable when terminal rewards swing
+  // (early random policies can be several HEFT makespans away).
+  std::vector<double> advantages(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    advantages[i] = returns[i] - batch[i].value.value().item();
+  }
+  if (cfg_.normalize_advantage && batch.size() > 1) {
+    const auto s = util::summarize(advantages);
+    const double scale = s.stddev > 1e-8 ? s.stddev : 1.0;
+    for (double& a : advantages) a = (a - s.mean) / scale;
+  }
+
+  tensor::Var loss;
+  bool first = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double advantage = advantages[i];
+    tensor::Var target{tensor::Tensor(1, 1, returns[i])};
+    tensor::Var step_loss = tensor::add(
+        tensor::scale(batch[i].log_prob, -advantage),
+        tensor::sub(
+            tensor::scale(tensor::square(tensor::sub(batch[i].value, target)),
+                          cfg_.value_coef),
+            tensor::scale(batch[i].entropy,
+                          cfg_.entropy_beta * entropy_scale_)));
+    loss = first ? step_loss : tensor::add(loss, step_loss);
+    first = false;
+  }
+  loss = tensor::scale(loss, 1.0 / static_cast<double>(batch.size()));
+
+  optimizer_.zero_grad();
+  loss.backward();
+  optimizer_.clip_grad_norm(cfg_.grad_clip);
+  optimizer_.step();
+  ++updates_;
+}
+
+TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
+  TrainReport report;
+  report.best_makespan = std::numeric_limits<double>::infinity();
+  std::vector<StepRecord> batch;
+  batch.reserve(static_cast<std::size_t>(cfg_.unroll));
+
+  for (int ep = 0; ep < opts.episodes; ++ep) {
+    entropy_scale_ =
+        cfg_.entropy_decay
+            ? 1.0 - static_cast<double>(ep) /
+                        static_cast<double>(std::max(1, opts.episodes))
+            : 1.0;
+    env.reset(opts.seed + static_cast<std::uint64_t>(ep));
+    batch.clear();
+    double episode_reward = 0.0;
+    bool done = false;
+    while (!done) {
+      const Observation& obs = env.observation();
+      PolicyNet::Output out = net_->forward(obs);
+      const std::size_t a =
+          select_action(out, /*greedy=*/false, sample_rng_);
+      StepRecord rec;
+      rec.log_prob = tensor::pick(out.log_probs, 0, a);
+      rec.value = out.value;
+      rec.entropy = tensor::entropy_row(out.probs);
+      const auto result = env.step(a);
+      rec.reward = shape_reward(result.reward);
+      rec.done = result.done;
+      episode_reward += result.reward;
+      done = result.done;
+      batch.push_back(std::move(rec));
+
+      if (done) {
+        update(batch, 0.0);
+        batch.clear();
+      } else if (cfg_.unroll > 0 &&
+                 batch.size() >= static_cast<std::size_t>(cfg_.unroll)) {
+        const double bootstrap =
+            net_->forward(env.observation()).value.value().item();
+        update(batch, bootstrap);
+        batch.clear();
+      }
+    }
+    report.episode_rewards.push_back(episode_reward);
+    report.episode_makespans.push_back(env.makespan());
+    report.best_makespan = std::min(report.best_makespan, env.makespan());
+    if (opts.verbose && (ep + 1) % opts.log_every == 0) {
+      const std::size_t tail =
+          std::min<std::size_t>(report.episode_rewards.size(),
+                                static_cast<std::size_t>(opts.log_every));
+      const double recent = util::mean(
+          {report.episode_rewards.data() + report.episode_rewards.size() -
+               tail,
+           tail});
+      util::log_info() << "episode " << (ep + 1) << "/" << opts.episodes
+                       << " reward(avg " << tail << ")=" << recent
+                       << " makespan=" << env.makespan();
+    }
+  }
+  report.updates = updates_;
+  const std::size_t tail = std::max<std::size_t>(
+      1, report.episode_rewards.size() / 5);
+  report.final_mean_reward = util::mean(
+      {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+       tail});
+  return report;
+}
+
+std::vector<double> A2CTrainer::evaluate(SchedulingEnv& env, int episodes,
+                                         std::uint64_t seed_base,
+                                         bool greedy) {
+  std::vector<double> makespans;
+  makespans.reserve(static_cast<std::size_t>(episodes));
+  for (int ep = 0; ep < episodes; ++ep) {
+    env.reset(seed_base + static_cast<std::uint64_t>(ep));
+    bool done = env.done();
+    while (!done) {
+      const PolicyNet::Output out = net_->forward(env.observation());
+      const std::size_t a = select_action(out, greedy, sample_rng_);
+      done = env.step(a).done;
+    }
+    makespans.push_back(env.makespan());
+  }
+  return makespans;
+}
+
+}  // namespace readys::rl

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/optim.hpp"
+#include "rl/config.hpp"
+#include "rl/env.hpp"
+#include "rl/policy_net.hpp"
+
+namespace readys::rl {
+
+/// Applies the configured squash/clip (see AgentConfig) to a terminal
+/// reward. Shared by the A2C and PPO trainers.
+double shape_reward(const AgentConfig& cfg, double reward);
+
+/// Summary of one training run.
+struct TrainReport {
+  std::vector<double> episode_rewards;
+  std::vector<double> episode_makespans;
+  double best_makespan = 0.0;
+  double final_mean_reward = 0.0;  ///< mean reward over the last 20%
+  std::size_t updates = 0;
+};
+
+/// Synchronous advantage actor-critic (A2C) on the scheduling MDP.
+///
+/// Follows §IV-A of the paper: n-step unrolls, advantage = (return −
+/// V(s)), entropy regularization, critic loss scaled by value_coef, a
+/// single Adam optimizer over actor and critic (they share the GCN
+/// trunk).
+class A2CTrainer {
+ public:
+  A2CTrainer(PolicyNet& net, const AgentConfig& cfg);
+
+  /// Trains in-place on `env` for opts.episodes episodes.
+  TrainReport train(SchedulingEnv& env, const TrainOptions& opts);
+
+  /// Rolls out the current policy without learning; returns makespans.
+  /// `greedy` picks argmax actions, otherwise samples from π.
+  std::vector<double> evaluate(SchedulingEnv& env, int episodes,
+                               std::uint64_t seed_base, bool greedy);
+
+  /// Samples (or argmaxes) an action from a policy output.
+  std::size_t select_action(const PolicyNet::Output& out, bool greedy,
+                            util::Rng& rng) const;
+
+  /// Applies the configured squash/clip to a terminal reward.
+  double shape_reward(double reward) const;
+
+ private:
+  struct StepRecord {
+    tensor::Var log_prob;  // 1x1, grad flows to the net
+    tensor::Var value;     // 1x1
+    tensor::Var entropy;   // 1x1
+    double reward = 0.0;
+    bool done = false;
+  };
+
+  /// One gradient step from a batch of transitions; `bootstrap` is
+  /// V(s_next) of the last (non-terminal) state.
+  void update(const std::vector<StepRecord>& batch, double bootstrap);
+
+  PolicyNet* net_;
+  AgentConfig cfg_;
+  nn::Adam optimizer_;
+  util::Rng sample_rng_;
+  std::size_t updates_ = 0;
+  double entropy_scale_ = 1.0;  ///< annealing factor (see entropy_decay)
+};
+
+}  // namespace readys::rl

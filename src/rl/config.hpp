@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+
+namespace readys::rl {
+
+/// Hyper-parameters of the READYS agent and its A2C trainer. Defaults
+/// follow §V-D of the paper (Adam, gamma = 0.99, baseline-loss scaling
+/// 0.5, unroll length and entropy ratio from the grid the paper searched,
+/// window w and GCN depth g from its random-search ranges).
+struct AgentConfig {
+  // --- observation ---
+  int window = 1;  ///< the paper's w: descendants kept up to this depth
+
+  // --- network (Fig. 2) ---
+  int gcn_layers = 2;  ///< the paper's g; >= 1. Uses >= w to let ready
+                       ///< tasks see the whole window.
+  int hidden = 64;     ///< GCN/actor/critic embedding width
+
+  // --- A2C ---
+  double lr = 1e-2;           ///< Adam learning rate (paper's value)
+  double gamma = 0.99;        ///< discount
+  double entropy_beta = 5e-3; ///< entropy regularization ratio
+  /// Linearly anneal the entropy ratio to 0 over the training run:
+  /// exploration early, sharp exploitation late. Set false for the
+  /// paper's constant ratio.
+  bool entropy_decay = true;
+  double value_coef = 0.5;    ///< baseline (critic) loss scaling
+  /// Decisions per gradient update. 0 (default) updates once per episode
+  /// with true Monte-Carlo returns. With the paper's terminal-only reward
+  /// a mid-episode batch carries no environment signal — its targets are
+  /// pure critic bootstrap — so n-step unrolls (the paper's 20..80 grid)
+  /// destabilize training here; they remain available for experimenting
+  /// with denser rewards.
+  int unroll = 0;
+  double grad_clip = 1.0;     ///< global-norm gradient clipping
+  /// Standardize advantages per batch. Off by default: with the paper's
+  /// terminal-only reward every return in a batch is a power of gamma
+  /// times the same episode reward, so standardization erases the reward
+  /// sign and substitutes a spurious time gradient. Useful only with
+  /// denser reward shapes.
+  bool normalize_advantage = false;
+  /// Squash the paper's terminal reward r = (mk_HEFT - mk)/mk_HEFT
+  /// through r' = r / (1 - r) = mk_HEFT/mk - 1. The transform is strictly
+  /// monotone (same optimal policy) but bounded below by -1, so the
+  /// makespans several HEFT multiples long that early random policies
+  /// produce cannot blow up the critic loss and drown the actor gradient
+  /// through the shared GCN trunk, while — unlike hard clipping — bad
+  /// episodes remain mutually distinguishable.
+  bool squash_reward = true;
+  /// Clip the (possibly squashed) terminal reward to [-clip, +clip];
+  /// 0 turns clipping off.
+  double reward_clip = 1.0;
+
+  /// Feed the resource-state embedding into the critic alongside the
+  /// mean-pooled DAG embedding (an experiment beyond Fig. 2, which
+  /// projects the mean-pool alone). Off by default: in our runs the
+  /// enriched critic destabilized larger instances (T=8 collapsed into
+  /// the one-GPU local optimum) while the literal Fig.-2 critic reached
+  /// near-HEFT quality.
+  bool critic_sees_resources = false;
+
+  std::uint64_t seed = 1;  ///< weight init + action sampling stream
+};
+
+/// Parameters of one training run.
+struct TrainOptions {
+  int episodes = 200;
+  double sigma = 0.0;        ///< task-duration noise during training
+  std::uint64_t seed = 1;    ///< environment (noise + processor draw) seed
+  bool verbose = false;      ///< log a line every `log_every` episodes
+  int log_every = 50;
+};
+
+}  // namespace readys::rl

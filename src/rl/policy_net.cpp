@@ -1,0 +1,77 @@
+#include "rl/policy_net.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace readys::rl {
+
+PolicyNet::PolicyNet(int node_features, int resource_features,
+                     const AgentConfig& cfg)
+    : node_features_(node_features), hidden_(cfg.hidden) {
+  if (cfg.gcn_layers < 1) {
+    throw std::invalid_argument("PolicyNet: need >= 1 GCN layer");
+  }
+  util::Rng rng(cfg.seed);
+  const std::size_t h = static_cast<std::size_t>(hidden_);
+  for (int l = 0; l < cfg.gcn_layers; ++l) {
+    const std::size_t in =
+        l == 0 ? static_cast<std::size_t>(node_features) : h;
+    gcn_.push_back(std::make_unique<nn::GCNLayer>(in, h, rng));
+    register_module("gcn" + std::to_string(l), *gcn_.back());
+  }
+  actor_head_ = std::make_unique<nn::Linear>(h, 1, rng);
+  register_module("actor", *actor_head_);
+  res_proj_ = std::make_unique<nn::Linear>(
+      static_cast<std::size_t>(resource_features), h, rng);
+  register_module("res_proj", *res_proj_);
+  idle_head_ = std::make_unique<nn::Linear>(2 * h, 1, rng);
+  register_module("idle", *idle_head_);
+  critic_sees_resources_ = cfg.critic_sees_resources;
+  value_head_ = std::make_unique<nn::Linear>(
+      critic_sees_resources_ ? 2 * h : h, 1, rng);
+  register_module("value", *value_head_);
+}
+
+Var PolicyNet::embed(const Observation& obs) const {
+  Var h{obs.features};
+  const Var ahat{obs.ahat};
+  for (std::size_t l = 0; l < gcn_.size(); ++l) {
+    h = gcn_[l]->forward(ahat, h);
+    if (l + 1 < gcn_.size()) h = tensor::relu(h);
+  }
+  return h;
+}
+
+PolicyNet::Output PolicyNet::forward(const Observation& obs) const {
+  if (obs.ready_tasks.empty()) {
+    throw std::invalid_argument("PolicyNet::forward: no ready task");
+  }
+  const Var h = embed(obs);
+  const Var rstate =
+      tensor::relu(res_proj_->forward(Var{obs.resource_state}));
+
+  // Critic: mean-pool over nodes (+ the resource embedding unless the
+  // literal Fig. 2 head was requested), one-dimensional projection.
+  Output out;
+  const Var pooled = tensor::mean_rows(h);
+  out.value = value_head_->forward(
+      critic_sees_resources_ ? tensor::concat_cols(pooled, rstate) : pooled);
+
+  // Actor: a score per ready task...
+  const Var ready_emb = tensor::gather_rows(h, obs.ready_positions);
+  Var logits = tensor::reshape(actor_head_->forward(ready_emb), 1,
+                               obs.ready_tasks.size());
+  // ...plus the ∅ score from the processor state and the max-pooled DAG
+  // embedding, when idling is legal.
+  if (obs.allow_idle) {
+    const Var idle_score = idle_head_->forward(
+        tensor::concat_cols(rstate, tensor::max_rows(h)));
+    logits = tensor::concat_cols(logits, idle_score);
+  }
+  out.probs = tensor::softmax_row(logits);
+  out.log_probs = tensor::log_softmax_row(logits);
+  return out;
+}
+
+}  // namespace readys::rl

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/gcn.hpp"
+#include "nn/linear.hpp"
+#include "rl/config.hpp"
+#include "rl/state_encoder.hpp"
+
+namespace readys::rl {
+
+using tensor::Var;
+
+/// The READYS network (Fig. 2 of the paper).
+///
+/// A stack of GCN layers embeds the window sub-DAG. The critic projects
+/// the mean-pooled embedding to a scalar V(s). The actor scores each
+/// ready task via a shared one-dimensional projection of its embedding;
+/// the ∅ action's score is projected from [resource-state embedding ‖
+/// max-pooled DAG embedding]. A softmax over the scores yields π(a|s).
+class PolicyNet : public nn::Module {
+ public:
+  struct Output {
+    Var probs;      ///< 1 x num_actions
+    Var log_probs;  ///< 1 x num_actions
+    Var value;      ///< 1 x 1
+  };
+
+  PolicyNet(int node_features, int resource_features, const AgentConfig& cfg);
+
+  /// Full forward pass for one observation. Requires at least one ready
+  /// task (decision instants always have one by construction).
+  Output forward(const Observation& obs) const;
+
+  int node_features() const noexcept { return node_features_; }
+  int hidden() const noexcept { return hidden_; }
+  int num_gcn_layers() const noexcept {
+    return static_cast<int>(gcn_.size());
+  }
+
+ private:
+  /// GCN stack -> (|window| x hidden) node embeddings.
+  Var embed(const Observation& obs) const;
+
+  int node_features_;
+  int hidden_;
+  bool critic_sees_resources_ = true;
+  std::vector<std::unique_ptr<nn::GCNLayer>> gcn_;
+  std::unique_ptr<nn::Linear> actor_head_;   // hidden -> 1
+  std::unique_ptr<nn::Linear> res_proj_;     // resource feats -> hidden
+  std::unique_ptr<nn::Linear> idle_head_;    // 2*hidden -> 1
+  std::unique_ptr<nn::Linear> value_head_;   // hidden -> 1
+};
+
+}  // namespace readys::rl

@@ -1,0 +1,165 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hpp"
+#include "util/stats.hpp"
+
+namespace readys::rl {
+
+PpoTrainer::PpoTrainer(PolicyNet& net, const AgentConfig& cfg, PpoConfig ppo)
+    : net_(&net),
+      cfg_(cfg),
+      ppo_(ppo),
+      optimizer_(net.parameters(), cfg.lr),
+      rng_(cfg.seed ^ 0xC2B2AE3D27D4EB4FULL) {}
+
+std::size_t PpoTrainer::sample(const tensor::Tensor& probs) {
+  const double u = rng_.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return i;
+  }
+  return probs.size() - 1;
+}
+
+void PpoTrainer::optimize(std::vector<Step>& steps) {
+  for (int epoch = 0; epoch < ppo_.epochs; ++epoch) {
+    rng_.shuffle(steps);
+    for (std::size_t begin = 0; begin < steps.size();
+         begin += static_cast<std::size_t>(ppo_.minibatch)) {
+      const std::size_t end = std::min(
+          steps.size(), begin + static_cast<std::size_t>(ppo_.minibatch));
+      tensor::Var loss;
+      bool first = true;
+      for (std::size_t i = begin; i < end; ++i) {
+        const Step& s = steps[i];
+        const PolicyNet::Output out = net_->forward(s.obs);
+        // The action set is state-determined, so the index stays valid.
+        const tensor::Var logp =
+            tensor::pick(out.log_probs, 0, s.action);
+        const double advantage = s.ret - s.old_value;
+        // Clipped surrogate: ratio * A vs clip(ratio) * A, elementwise
+        // min expressed via the standard max-of-negatives trick on
+        // scalars. Both branches share the forward graph.
+        const tensor::Var ratio =
+            tensor::exp_op(tensor::add_scalar(logp, -s.old_log_prob));
+        const double r = ratio.value().item();
+        // Pick the active branch analytically (scalar case): the clipped
+        // objective's gradient is zero when the ratio is outside the
+        // trust region on the favorable side.
+        tensor::Var surrogate;
+        const bool clipped =
+            (advantage >= 0.0 && r > 1.0 + ppo_.clip) ||
+            (advantage < 0.0 && r < 1.0 - ppo_.clip);
+        if (clipped) {
+          surrogate = tensor::Var(tensor::Tensor(
+              1, 1,
+              std::clamp(r, 1.0 - ppo_.clip, 1.0 + ppo_.clip) * advantage));
+        } else {
+          surrogate = tensor::scale(ratio, advantage);
+        }
+        tensor::Var target{tensor::Tensor(1, 1, s.ret)};
+        tensor::Var step_loss = tensor::add(
+            tensor::neg(surrogate),
+            tensor::sub(
+                tensor::scale(
+                    tensor::square(tensor::sub(out.value, target)),
+                    cfg_.value_coef),
+                tensor::scale(tensor::entropy_row(out.probs),
+                              cfg_.entropy_beta)));
+        loss = first ? step_loss : tensor::add(loss, step_loss);
+        first = false;
+      }
+      loss = tensor::scale(loss, 1.0 / static_cast<double>(end - begin));
+      optimizer_.zero_grad();
+      loss.backward();
+      optimizer_.clip_grad_norm(cfg_.grad_clip);
+      optimizer_.step();
+    }
+  }
+}
+
+TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
+  TrainReport report;
+  report.best_makespan = std::numeric_limits<double>::infinity();
+
+  int episode = 0;
+  while (episode < opts.episodes) {
+    std::vector<Step> steps;
+    const int round = std::min(ppo_.rollout_episodes,
+                               opts.episodes - episode);
+    for (int e = 0; e < round; ++e, ++episode) {
+      env.reset(opts.seed + static_cast<std::uint64_t>(episode));
+      std::vector<Step> episode_steps;
+      bool done = env.done();
+      double reward = 0.0;
+      while (!done) {
+        Step s;
+        s.obs = env.observation();
+        const PolicyNet::Output out = net_->forward(s.obs);
+        s.action = sample(out.probs.value());
+        s.old_log_prob = out.log_probs.value()[s.action];
+        s.old_value = out.value.value().item();
+        const auto result = env.step(s.action);
+        reward = shape_reward(cfg_, result.reward);
+        done = result.done;
+        episode_steps.push_back(std::move(s));
+      }
+      // Monte-Carlo returns: terminal-only reward discounted backwards.
+      double running = 0.0;
+      for (std::size_t i = episode_steps.size(); i-- > 0;) {
+        running = (i + 1 == episode_steps.size())
+                      ? reward
+                      : cfg_.gamma * running;
+        episode_steps[i].ret = running;
+      }
+      report.episode_rewards.push_back(reward);
+      report.episode_makespans.push_back(env.makespan());
+      report.best_makespan =
+          std::min(report.best_makespan, env.makespan());
+      steps.insert(steps.end(),
+                   std::make_move_iterator(episode_steps.begin()),
+                   std::make_move_iterator(episode_steps.end()));
+    }
+    optimize(steps);
+    ++report.updates;
+  }
+  const std::size_t tail =
+      std::max<std::size_t>(1, report.episode_rewards.size() / 5);
+  report.final_mean_reward = util::mean(
+      {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+       tail});
+  return report;
+}
+
+std::vector<double> PpoTrainer::evaluate(SchedulingEnv& env, int episodes,
+                                         std::uint64_t seed_base,
+                                         bool greedy) {
+  std::vector<double> makespans;
+  makespans.reserve(static_cast<std::size_t>(episodes));
+  for (int ep = 0; ep < episodes; ++ep) {
+    env.reset(seed_base + static_cast<std::uint64_t>(ep));
+    bool done = env.done();
+    while (!done) {
+      const PolicyNet::Output out = net_->forward(env.observation());
+      const tensor::Tensor& p = out.probs.value();
+      std::size_t a = 0;
+      if (greedy) {
+        for (std::size_t i = 1; i < p.size(); ++i) {
+          if (p[i] > p[a]) a = i;
+        }
+      } else {
+        a = sample(p);
+      }
+      done = env.step(a).done;
+    }
+    makespans.push_back(env.makespan());
+  }
+  return makespans;
+}
+
+}  // namespace readys::rl

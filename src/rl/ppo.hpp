@@ -1,0 +1,54 @@
+#pragma once
+
+#include "rl/a2c.hpp"
+
+namespace readys::rl {
+
+/// PPO-specific hyper-parameters (the shared ones — lr, gamma, entropy,
+/// reward shaping — come from AgentConfig).
+struct PpoConfig {
+  int rollout_episodes = 8;  ///< episodes per data-collection round
+  int epochs = 4;            ///< optimization passes over each round
+  int minibatch = 64;        ///< steps per gradient update
+  double clip = 0.2;         ///< PPO clip range epsilon
+};
+
+/// Proximal Policy Optimization (clipped surrogate) on the scheduling
+/// MDP. The paper suggests more recent policy-gradient methods as future
+/// work (§VI); PPO reuses the same PolicyNet, environment and reward
+/// shaping as the A2C trainer, so the two are directly comparable (see
+/// bench/ablation_hyperparams).
+class PpoTrainer {
+ public:
+  PpoTrainer(PolicyNet& net, const AgentConfig& cfg, PpoConfig ppo = {});
+
+  /// Trains in-place; the TrainOptions/TrainReport contract matches
+  /// A2CTrainer::train.
+  TrainReport train(SchedulingEnv& env, const TrainOptions& opts);
+
+  /// Greedy / sampled evaluation (same semantics as A2CTrainer).
+  std::vector<double> evaluate(SchedulingEnv& env, int episodes,
+                               std::uint64_t seed_base, bool greedy);
+
+ private:
+  struct Step {
+    Observation obs;
+    std::size_t action = 0;
+    double old_log_prob = 0.0;
+    double ret = 0.0;        ///< Monte-Carlo return
+    double old_value = 0.0;  ///< V(s) at collection time
+  };
+
+  /// One optimization round over the collected steps.
+  void optimize(std::vector<Step>& steps);
+
+  std::size_t sample(const tensor::Tensor& probs);
+
+  PolicyNet* net_;
+  AgentConfig cfg_;
+  PpoConfig ppo_;
+  nn::Adam optimizer_;
+  util::Rng rng_;
+};
+
+}  // namespace readys::rl

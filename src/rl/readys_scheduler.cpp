@@ -1,0 +1,72 @@
+#include "rl/readys_scheduler.hpp"
+
+namespace readys::rl {
+
+ReadysScheduler::ReadysScheduler(const PolicyNet& net, int window,
+                                 bool greedy, std::uint64_t seed,
+                                 bool random_offer)
+    : net_(&net),
+      window_(window),
+      greedy_(greedy),
+      random_offer_(random_offer),
+      seed_(seed),
+      rng_(seed) {}
+
+void ReadysScheduler::reset(const sim::SimEngine& engine) {
+  encoder_ = std::make_unique<StateEncoder>(engine.graph(), engine.costs(),
+                                            window_);
+  rng_ = util::Rng(seed_);
+  declined_.clear();
+  last_instant_ = -1.0;
+}
+
+std::vector<sim::Assignment> ReadysScheduler::decide(
+    const sim::SimEngine& engine) {
+  if (engine.now() != last_instant_) {
+    declined_.clear();  // a new instant re-opens parked resources
+    last_instant_ = engine.now();
+  }
+  if (engine.ready().empty()) return {};
+
+  std::vector<sim::ResourceId> cands;
+  for (sim::ResourceId r : engine.idle_resources()) {
+    if (!declined_.contains(r)) cands.push_back(r);
+  }
+  while (!cands.empty()) {
+    const std::size_t pick =
+        random_offer_ ? rng_.uniform_index(cands.size()) : 0;
+    const sim::ResourceId current = cands[pick];
+    const bool allow_idle = engine.any_running() || cands.size() > 1;
+    const Observation obs = encoder_->encode(engine, current, allow_idle);
+    const PolicyNet::Output out = net_->forward(obs);
+
+    // Greedy argmax or categorical sample over π.
+    const tensor::Tensor& p = out.probs.value();
+    std::size_t a = 0;
+    if (greedy_) {
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        if (p[i] > p[a]) a = i;
+      }
+    } else {
+      const double u = rng_.uniform();
+      double acc = 0.0;
+      a = p.size() - 1;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        acc += p[i];
+        if (u < acc) {
+          a = i;
+          break;
+        }
+      }
+    }
+    if (obs.allow_idle && a == obs.idle_action()) {
+      declined_.insert(current);
+      cands.erase(cands.begin() + static_cast<std::ptrdiff_t>(pick));
+      continue;  // offer the instant to another idle resource
+    }
+    return {{obs.ready_tasks[a], current}};
+  }
+  return {};
+}
+
+}  // namespace readys::rl

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "rl/policy_net.hpp"
+#include "sim/simulator.hpp"
+
+namespace readys::rl {
+
+/// Adapter running a (trained) READYS policy under the generic Simulator,
+/// so the agent can be compared, traced, and validity-checked exactly
+/// like HEFT and MCT. Implements the same decision protocol as
+/// SchedulingEnv: random current processor among non-declined idle
+/// resources, ∅ parks the processor until the next completion.
+class ReadysScheduler : public sim::Scheduler {
+ public:
+  /// The policy must outlive the scheduler. `greedy` takes argmax actions
+  /// (evaluation mode); otherwise actions are sampled from π.
+  /// `random_offer` mirrors SchedulingEnv::Config::random_offer and must
+  /// match how the policy was trained.
+  ReadysScheduler(const PolicyNet& net, int window, bool greedy = true,
+                  std::uint64_t seed = 1, bool random_offer = false);
+
+  void reset(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override { return "READYS"; }
+
+ private:
+  const PolicyNet* net_;
+  int window_;
+  bool greedy_;
+  bool random_offer_;
+  std::uint64_t seed_;
+  util::Rng rng_;
+  std::unique_ptr<StateEncoder> encoder_;
+  std::unordered_set<int> declined_;
+  double last_instant_ = -1.0;
+};
+
+}  // namespace readys::rl

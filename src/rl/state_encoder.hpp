@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "dag/features.hpp"
+#include "dag/window.hpp"
+#include "sim/engine.hpp"
+#include "tensor/tensor.hpp"
+
+namespace readys::rl {
+
+/// One observation of the MDP: the window sub-DAG with per-node features,
+/// its normalized adjacency, the candidate actions (ready tasks + the
+/// optional ∅), and a platform-agnostic resource-state vector.
+struct Observation {
+  dag::Window window;
+  tensor::Tensor features;  ///< |window| x node_feature_width
+  tensor::Tensor ahat;      ///< |window| x |window| renormalized adjacency
+  std::vector<std::size_t> ready_positions;  ///< rows that are ready tasks
+  std::vector<dag::TaskId> ready_tasks;      ///< aligned with positions
+  tensor::Tensor resource_state;             ///< 1 x resource_feature_width
+  sim::ResourceId current_resource = -1;
+  bool allow_idle = false;  ///< the ∅ action is legal (something running)
+
+  /// Number of legal actions: ready tasks (+1 when ∅ is allowed).
+  std::size_t num_actions() const noexcept {
+    return ready_tasks.size() + (allow_idle ? 1 : 0);
+  }
+  /// Index of the ∅ action within the action distribution (== number of
+  /// ready tasks). Only meaningful when allow_idle.
+  std::size_t idle_action() const noexcept { return ready_tasks.size(); }
+};
+
+/// Builds Observations from a SimEngine. Holds the per-graph static
+/// features (computed once) so per-decision encoding touches only the
+/// window.
+class StateEncoder {
+ public:
+  /// Per-node feature width: 2 degrees + one-hot type + descendant
+  /// profile F + [ready, running, remaining, on-gpu] + normalized
+  /// expected durations [on CPU, on GPU, on the current processor]. The
+  /// duration triple is the "computing resource state" enrichment of the
+  /// sub-DAG (Fig. 2): it lets task scores depend on the processor being
+  /// offered, exactly the information MCT and HEFT read from the cost
+  /// model.
+  static int node_feature_width(int kernel_types) {
+    return 2 + 2 * kernel_types + 4 + 3;
+  }
+  /// Width of the resource-state summary vector.
+  static constexpr int kResourceFeatureWidth = 8;
+
+  StateEncoder(const dag::TaskGraph& graph, const sim::CostModel& costs,
+               int window);
+
+  /// Encodes the state at a decision instant for `current` (an idle
+  /// resource). Seeds of the window are the running tasks followed by the
+  /// ready tasks, as in Fig. 1 of the paper.
+  ///
+  /// `allow_idle` marks the ∅ action legal. It must be false exactly when
+  /// declining would deadlock: nothing is running AND no other idle
+  /// resource is left to be offered at this instant. The overload without
+  /// the flag derives the weaker any_running() condition, sufficient for
+  /// standalone encoding.
+  Observation encode(const sim::SimEngine& engine, sim::ResourceId current,
+                     bool allow_idle) const;
+  Observation encode(const sim::SimEngine& engine,
+                     sim::ResourceId current) const;
+
+  int window() const noexcept { return window_; }
+  const dag::StaticFeatures& static_features() const noexcept {
+    return static_;
+  }
+
+ private:
+  const dag::TaskGraph* graph_;
+  dag::StaticFeatures static_;
+  sim::CostModel costs_;  ///< copied: tiny, and temporaries stay safe
+  int window_;
+  double time_scale_;  ///< max expected kernel duration on a CPU
+};
+
+}  // namespace readys::rl

@@ -1,0 +1,89 @@
+#include "sched/batch_mode.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace readys::sched {
+
+BatchModeScheduler::BatchModeScheduler(Rule rule) : rule_(rule) {}
+
+std::string BatchModeScheduler::name() const {
+  switch (rule_) {
+    case Rule::kOlb:
+      return "OLB";
+    case Rule::kMinMin:
+      return "MIN-MIN";
+    case Rule::kMaxMin:
+      return "MAX-MIN";
+    case Rule::kSufferage:
+      return "SUFFERAGE";
+  }
+  throw std::logic_error("BatchModeScheduler: bad rule");
+}
+
+std::vector<sim::Assignment> BatchModeScheduler::decide(
+    const sim::SimEngine& engine) {
+  const auto& ready = engine.ready();
+  const auto idle = engine.idle_resources();
+  if (ready.empty() || idle.empty()) return {};
+
+  if (rule_ == Rule::kOlb) {
+    // Earliest-available resource: all idle resources are available now,
+    // so any is "earliest"; take the lowest index for determinism.
+    return {{ready.front(), idle.front()}};
+  }
+
+  // Per ready task: best and second-best completion across idle
+  // resources (everything idle completes at now + E).
+  double best_key = rule_ == Rule::kMinMin
+                        ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+  sim::Assignment pick{ready.front(), idle.front()};
+  for (dag::TaskId t : ready) {
+    double best = std::numeric_limits<double>::infinity();
+    double second = std::numeric_limits<double>::infinity();
+    sim::ResourceId best_r = idle.front();
+    for (sim::ResourceId r : idle) {
+      const double completion = engine.expected_duration(t, r);
+      if (completion < best) {
+        second = best;
+        best = completion;
+        best_r = r;
+      } else if (completion < second) {
+        second = completion;
+      }
+    }
+    double key = 0.0;
+    switch (rule_) {
+      case Rule::kMinMin:
+        key = best;
+        if (key < best_key) {
+          best_key = key;
+          pick = {t, best_r};
+        }
+        break;
+      case Rule::kMaxMin:
+        key = best;
+        if (key > best_key) {
+          best_key = key;
+          pick = {t, best_r};
+        }
+        break;
+      case Rule::kSufferage:
+        // With a single idle resource every task suffers equally; fall
+        // back to the best completion as the tie-breaking key.
+        key = std::isinf(second) ? best : second - best;
+        if (key > best_key) {
+          best_key = key;
+          pick = {t, best_r};
+        }
+        break;
+      case Rule::kOlb:
+        break;  // handled above
+    }
+  }
+  return {pick};
+}
+
+}  // namespace readys::sched

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+/// Classic batch-mode mapping heuristics (Braun et al. taxonomy): at each
+/// decision instant they consider the whole ready set against the idle
+/// resources and commit one (task, resource) pair per call; the
+/// simulator re-invokes decide() until the instant is saturated.
+///
+/// They differ only in which task is mapped first:
+///  - OLB       : arbitrary ready task -> earliest-available resource,
+///                ignoring execution times entirely (load balancing only);
+///  - Min-Min   : the task with the smallest best completion time first
+///                (short tasks pack tightly, long tasks risk starving);
+///  - Max-Min   : the task with the largest best completion time first
+///                (long tasks early, short ones fill the gaps);
+///  - Sufferage : the task that would "suffer" most if denied its best
+///                resource (largest best-vs-second-best gap) first.
+class BatchModeScheduler : public sim::Scheduler {
+ public:
+  enum class Rule { kOlb, kMinMin, kMaxMin, kSufferage };
+
+  explicit BatchModeScheduler(Rule rule);
+
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override;
+
+ private:
+  Rule rule_;
+};
+
+/// Convenience factories.
+inline BatchModeScheduler make_olb() {
+  return BatchModeScheduler(BatchModeScheduler::Rule::kOlb);
+}
+inline BatchModeScheduler make_min_min() {
+  return BatchModeScheduler(BatchModeScheduler::Rule::kMinMin);
+}
+inline BatchModeScheduler make_max_min() {
+  return BatchModeScheduler(BatchModeScheduler::Rule::kMaxMin);
+}
+inline BatchModeScheduler make_sufferage() {
+  return BatchModeScheduler(BatchModeScheduler::Rule::kSufferage);
+}
+
+}  // namespace readys::sched

@@ -1,0 +1,47 @@
+#include "sched/critical_path.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace readys::sched {
+
+void CriticalPathScheduler::reset(const sim::SimEngine& engine) {
+  const auto& graph = engine.graph();
+  rank_.assign(graph.num_tasks(), 0.0);
+  const auto topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const dag::TaskId t = *it;
+    double best_succ = 0.0;
+    for (dag::TaskId c : graph.successors(t)) {
+      best_succ = std::max(best_succ, rank_[c]);
+    }
+    rank_[t] = engine.costs().mean_over_platform(graph.kernel(t),
+                                                 engine.platform()) +
+               best_succ;
+  }
+}
+
+std::vector<sim::Assignment> CriticalPathScheduler::decide(
+    const sim::SimEngine& engine) {
+  const auto& ready = engine.ready();
+  const auto idle = engine.idle_resources();
+  if (ready.empty() || idle.empty()) return {};
+  // Highest-priority ready task...
+  dag::TaskId best_task = ready.front();
+  for (dag::TaskId t : ready) {
+    if (rank_[t] > rank_[best_task]) best_task = t;
+  }
+  // ...on the idle resource finishing it soonest.
+  double best = std::numeric_limits<double>::infinity();
+  sim::ResourceId best_r = idle.front();
+  for (sim::ResourceId r : idle) {
+    const double d = engine.expected_duration(best_task, r);
+    if (d < best) {
+      best = d;
+      best_r = r;
+    }
+  }
+  return {{best_task, best_r}};
+}
+
+}  // namespace readys::sched

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+/// Dynamic critical-path scheduler: the runtime-system strategy the paper
+/// describes in §II — rank ready tasks by HEFT's upward rank (computed
+/// once on expected costs) and place the highest-priority ready task on
+/// the idle resource that finishes it soonest. Unlike HEFT the mapping is
+/// chosen at runtime, so it adapts to duration noise; unlike READYS it
+/// needs the full DAG upfront to compute ranks.
+class CriticalPathScheduler : public sim::Scheduler {
+ public:
+  void reset(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override { return "CP-DYN"; }
+
+ private:
+  std::vector<double> rank_;
+};
+
+}  // namespace readys::sched

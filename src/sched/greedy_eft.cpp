@@ -1,0 +1,26 @@
+#include "sched/greedy_eft.hpp"
+
+#include <limits>
+
+namespace readys::sched {
+
+std::vector<sim::Assignment> GreedyEftScheduler::decide(
+    const sim::SimEngine& engine) {
+  const auto& ready = engine.ready();
+  const auto idle = engine.idle_resources();
+  if (ready.empty() || idle.empty()) return {};
+  double best = std::numeric_limits<double>::infinity();
+  sim::Assignment pick{};
+  for (dag::TaskId t : ready) {
+    for (sim::ResourceId r : idle) {
+      const double finish = engine.expected_duration(t, r);
+      if (finish < best) {
+        best = finish;
+        pick = {t, r};
+      }
+    }
+  }
+  return {pick};
+}
+
+}  // namespace readys::sched

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+/// Greedy earliest-finish-time list scheduler restricted to *idle*
+/// resources: at each instant, start the (ready task, idle resource) pair
+/// with the smallest expected finish time, repeatedly. Unlike MCT it
+/// never queues work on busy resources, so it cannot commit a GEMM to a
+/// busy GPU — a useful ablation between MCT and READYS.
+class GreedyEftScheduler : public sim::Scheduler {
+ public:
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override { return "GREEDY-EFT"; }
+};
+
+}  // namespace readys::sched

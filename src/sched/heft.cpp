@@ -1,0 +1,132 @@
+#include "sched/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace readys::sched {
+
+namespace {
+
+/// Busy interval on a resource timeline, kept sorted by start time.
+struct Slot {
+  double start;
+  double finish;
+  TaskId task;
+};
+
+/// Finds the earliest start >= ready_time where a task of length
+/// `duration` fits on the timeline (insertion policy).
+double earliest_slot(const std::vector<Slot>& timeline, double ready_time,
+                     double duration) {
+  double candidate = ready_time;
+  for (const auto& slot : timeline) {
+    if (candidate + duration <= slot.start) {
+      return candidate;  // fits in the gap before this busy interval
+    }
+    candidate = std::max(candidate, slot.finish);
+  }
+  return candidate;
+}
+
+}  // namespace
+
+HeftSchedule compute_heft(const TaskGraph& graph, const Platform& platform,
+                          const CostModel& costs) {
+  const std::size_t n = graph.num_tasks();
+  HeftSchedule s;
+  s.assignment.assign(n, -1);
+  s.expected_start.assign(n, 0.0);
+  s.expected_finish.assign(n, 0.0);
+  s.upward_rank.assign(n, 0.0);
+  s.order.assign(static_cast<std::size_t>(platform.size()), {});
+
+  // Upward ranks on platform-averaged execution costs.
+  const auto topo = graph.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId t = *it;
+    double best_succ = 0.0;
+    for (TaskId c : graph.successors(t)) {
+      best_succ = std::max(best_succ, s.upward_rank[c]);
+    }
+    s.upward_rank[t] =
+        costs.mean_over_platform(graph.kernel(t), platform) + best_succ;
+  }
+
+  // Decreasing rank order; ties broken by id for determinism.
+  std::vector<TaskId> by_rank(topo);
+  std::sort(by_rank.begin(), by_rank.end(), [&](TaskId a, TaskId b) {
+    if (s.upward_rank[a] != s.upward_rank[b]) {
+      return s.upward_rank[a] > s.upward_rank[b];
+    }
+    return a < b;
+  });
+
+  std::vector<std::vector<Slot>> timeline(
+      static_cast<std::size_t>(platform.size()));
+  for (TaskId t : by_rank) {
+    double ready_time = 0.0;
+    for (TaskId p : graph.predecessors(t)) {
+      ready_time = std::max(ready_time, s.expected_finish[p]);
+    }
+    double best_finish = std::numeric_limits<double>::infinity();
+    double best_start = 0.0;
+    ResourceId best_resource = 0;
+    for (ResourceId r = 0; r < platform.size(); ++r) {
+      const double duration = costs.expected(graph, t, platform, r);
+      const double start = earliest_slot(
+          timeline[static_cast<std::size_t>(r)], ready_time, duration);
+      const double finish = start + duration;
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_start = start;
+        best_resource = r;
+      }
+    }
+    s.assignment[t] = best_resource;
+    s.expected_start[t] = best_start;
+    s.expected_finish[t] = best_finish;
+    s.expected_makespan = std::max(s.expected_makespan, best_finish);
+    auto& tl = timeline[static_cast<std::size_t>(best_resource)];
+    const Slot slot{best_start, best_finish, t};
+    tl.insert(std::upper_bound(tl.begin(), tl.end(), slot,
+                               [](const Slot& a, const Slot& b) {
+                                 return a.start < b.start;
+                               }),
+              slot);
+  }
+  for (ResourceId r = 0; r < platform.size(); ++r) {
+    for (const auto& slot : timeline[static_cast<std::size_t>(r)]) {
+      s.order[static_cast<std::size_t>(r)].push_back(slot.task);
+    }
+  }
+  return s;
+}
+
+double heft_expected_makespan(const TaskGraph& graph, const Platform& platform,
+                              const CostModel& costs) {
+  return compute_heft(graph, platform, costs).expected_makespan;
+}
+
+void HeftScheduler::reset(const sim::SimEngine& engine) {
+  schedule_ = compute_heft(engine.graph(), engine.platform(), engine.costs());
+  next_index_.assign(static_cast<std::size_t>(engine.platform().size()), 0);
+}
+
+std::vector<sim::Assignment> HeftScheduler::decide(
+    const sim::SimEngine& engine) {
+  std::vector<sim::Assignment> out;
+  for (ResourceId r = 0; r < engine.platform().size(); ++r) {
+    if (!engine.is_idle(r)) continue;
+    auto& cursor = next_index_[static_cast<std::size_t>(r)];
+    const auto& queue = schedule_.order[static_cast<std::size_t>(r)];
+    if (cursor >= queue.size()) continue;
+    const TaskId head = queue[cursor];
+    if (engine.is_ready(head)) {
+      out.push_back({head, r});
+      ++cursor;
+    }
+  }
+  return out;
+}
+
+}  // namespace readys::sched

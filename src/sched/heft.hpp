@@ -1,0 +1,55 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+using dag::TaskGraph;
+using dag::TaskId;
+using sim::CostModel;
+using sim::Platform;
+using sim::ResourceId;
+
+/// A static schedule computed by HEFT on *expected* durations.
+struct HeftSchedule {
+  std::vector<ResourceId> assignment;           ///< per task
+  std::vector<std::vector<TaskId>> order;       ///< per resource, by start
+  std::vector<double> expected_start;           ///< per task
+  std::vector<double> expected_finish;          ///< per task
+  std::vector<double> upward_rank;              ///< per task
+  double expected_makespan = 0.0;
+};
+
+/// Computes the HEFT schedule (Topcuoglu et al. [48]): upward ranks on
+/// platform-averaged costs, then insertion-based earliest-finish-time
+/// placement in decreasing rank order. Communication costs are zero (the
+/// paper's model), so the data-ready time of a task is the max expected
+/// finish of its predecessors.
+HeftSchedule compute_heft(const TaskGraph& graph, const Platform& platform,
+                          const CostModel& costs);
+
+/// Expected (sigma = 0) HEFT makespan; this is the denominator of the
+/// paper's terminal reward. Deterministic in its inputs.
+double heft_expected_makespan(const TaskGraph& graph, const Platform& platform,
+                              const CostModel& costs);
+
+/// Replays a HEFT schedule dynamically: each resource starts its next
+/// scheduled task as soon as (a) the resource is free and (b) the task's
+/// predecessors completed. Under sigma = 0 this reproduces the expected
+/// schedule exactly; under noise the assignment and per-resource order
+/// stay fixed while start times drift — the static-schedule behaviour the
+/// paper compares against.
+class HeftScheduler : public sim::Scheduler {
+ public:
+  void reset(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override { return "HEFT"; }
+
+  const HeftSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  HeftSchedule schedule_;
+  std::vector<std::size_t> next_index_;  // per resource, cursor into order
+};
+
+}  // namespace readys::sched

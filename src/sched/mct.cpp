@@ -1,0 +1,54 @@
+#include "sched/mct.hpp"
+
+#include <limits>
+
+namespace readys::sched {
+
+MctScheduler::MctScheduler(bool comm_aware) : comm_aware_(comm_aware) {}
+
+void MctScheduler::reset(const sim::SimEngine& engine) {
+  queue_.assign(static_cast<std::size_t>(engine.platform().size()), {});
+  bound_.assign(engine.graph().num_tasks(), false);
+}
+
+double MctScheduler::expected_available(const sim::SimEngine& engine,
+                                        sim::ResourceId r) const {
+  double t = engine.expected_available_at(r);
+  for (dag::TaskId q : queue_[static_cast<std::size_t>(r)]) {
+    t += engine.expected_duration(q, r);
+  }
+  return t;
+}
+
+std::vector<sim::Assignment> MctScheduler::decide(
+    const sim::SimEngine& engine) {
+  // Bind newly-ready tasks to their minimum-expected-completion resource.
+  for (dag::TaskId t : engine.ready()) {
+    if (bound_[t]) continue;
+    double best = std::numeric_limits<double>::infinity();
+    sim::ResourceId best_r = 0;
+    for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
+      double completion =
+          expected_available(engine, r) + engine.expected_duration(t, r);
+      if (comm_aware_) completion += engine.expected_input_delay(t, r);
+      if (completion < best) {
+        best = completion;
+        best_r = r;
+      }
+    }
+    queue_[static_cast<std::size_t>(best_r)].push_back(t);
+    bound_[t] = true;
+  }
+  // Idle resources pull the head of their own queue.
+  std::vector<sim::Assignment> out;
+  for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
+    auto& q = queue_[static_cast<std::size_t>(r)];
+    if (engine.is_idle(r) && !q.empty()) {
+      out.push_back({q.front(), r});
+      q.pop_front();
+    }
+  }
+  return out;
+}
+
+}  // namespace readys::sched

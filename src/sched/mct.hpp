@@ -1,0 +1,41 @@
+#pragma once
+
+#include <deque>
+
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+/// Minimum Completion Time (Sakellariou & Zhao [46]) — the paper's dynamic
+/// baseline.
+///
+/// Each time a task becomes ready it is immediately bound to the resource
+/// on which it is *expected* to complete the soonest, given the expected
+/// availability of that resource (running task remainder + already-queued
+/// work). Resources then execute their queues in FIFO order. Like READYS,
+/// MCT never inspects the DAG beyond the ready set.
+class MctScheduler : public sim::Scheduler {
+ public:
+  /// `comm_aware` adds the expected input-shipping delay (engine's
+  /// communication model, if any) to each completion estimate — the
+  /// "minimize data exchange" refinement of runtime systems (§III-A).
+  explicit MctScheduler(bool comm_aware = false);
+
+  void reset(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override {
+    return comm_aware_ ? "MCT-COMM" : "MCT";
+  }
+
+ private:
+  /// Expected time at which resource r can start new work, accounting for
+  /// the running task (expected remainder) and its queued backlog.
+  double expected_available(const sim::SimEngine& engine,
+                            sim::ResourceId r) const;
+
+  bool comm_aware_;
+  std::vector<std::deque<dag::TaskId>> queue_;  // per resource
+  std::vector<bool> bound_;                     // per task: already queued
+};
+
+}  // namespace readys::sched

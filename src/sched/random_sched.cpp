@@ -1,0 +1,22 @@
+#include "sched/random_sched.hpp"
+
+namespace readys::sched {
+
+RandomScheduler::RandomScheduler(std::uint64_t seed)
+    : seed_(seed), rng_(seed) {}
+
+void RandomScheduler::reset(const sim::SimEngine& engine) {
+  (void)engine;
+  rng_ = util::Rng(seed_);
+}
+
+std::vector<sim::Assignment> RandomScheduler::decide(
+    const sim::SimEngine& engine) {
+  const auto& ready = engine.ready();
+  const auto idle = engine.idle_resources();
+  if (ready.empty() || idle.empty()) return {};
+  return {{ready[rng_.uniform_index(ready.size())],
+           idle[rng_.uniform_index(idle.size())]}};
+}
+
+}  // namespace readys::sched

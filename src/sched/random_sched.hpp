@@ -1,0 +1,25 @@
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace readys::sched {
+
+/// Uniformly random list scheduler: assigns a random ready task to a
+/// random idle resource until one of the two sets is empty. A sanity
+/// lower bound for experiments and a workhorse for property tests (any
+/// trace it produces must still be valid).
+class RandomScheduler : public sim::Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 7);
+
+  void reset(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override { return "RANDOM"; }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace readys::sched

@@ -1,0 +1,52 @@
+#include "sim/comm_model.hpp"
+
+#include <stdexcept>
+
+namespace readys::sim {
+
+CommModel::CommModel(double tile_bytes, double bandwidth, double latency_ms)
+    : tile_bytes_(tile_bytes), bandwidth_(bandwidth), latency_ms_(latency_ms) {
+  if (tile_bytes < 0.0 || latency_ms < 0.0) {
+    throw std::invalid_argument("CommModel: negative cost");
+  }
+  if (tile_bytes > 0.0 && bandwidth <= 0.0) {
+    throw std::invalid_argument(
+        "CommModel: positive payload needs positive bandwidth");
+  }
+}
+
+CommModel CommModel::free() { return CommModel(0.0, 1.0, 0.0); }
+
+CommModel CommModel::pcie_like() {
+  // 960 x 960 doubles = 7.37e6 bytes; 12 GB/s = 1.2e7 bytes/ms; 0.01 ms.
+  return CommModel(7.37e6, 1.2e7, 0.01);
+}
+
+bool CommModel::is_free() const noexcept {
+  return tile_bytes_ == 0.0 && latency_ms_ == 0.0;
+}
+
+double CommModel::transfer_time(const Platform& platform, ResourceId from,
+                                ResourceId to) const {
+  if (from == to || is_free()) return 0.0;
+  const bool from_cpu = platform.type(from) == ResourceType::kCpu;
+  const bool to_cpu = platform.type(to) == ResourceType::kCpu;
+  // All CPU cores share one coherent domain.
+  if (from_cpu && to_cpu) return 0.0;
+  return latency_ms_ + tile_bytes_ / bandwidth_;
+}
+
+double CommModel::input_delay(const dag::TaskGraph& graph, dag::TaskId task,
+                              const Platform& platform,
+                              const std::vector<ResourceId>& producer_of,
+                              ResourceId to) const {
+  if (is_free()) return 0.0;
+  double total = 0.0;
+  for (dag::TaskId p : graph.predecessors(task)) {
+    const ResourceId from = producer_of[p];
+    if (from >= 0) total += transfer_time(platform, from, to);
+  }
+  return total;
+}
+
+}  // namespace readys::sim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "dag/task_graph.hpp"
+#include "sim/platform.hpp"
+
+namespace readys::sim {
+
+/// Communication cost model — the dimension the paper deliberately
+/// neglects (§III-A assumes transfers fully overlap with computation).
+///
+/// This extension lets the same simulator quantify when that assumption
+/// breaks: each dependency edge carries a data volume (one tile), and
+/// starting a task on a resource requires its inputs to be shipped from
+/// wherever the producers ran. Transfers between resources of the same
+/// locality domain are free (shared memory); cross-domain transfers cost
+/// latency + volume / bandwidth and are serialized before the task's
+/// compute (a pessimistic, contention-free model).
+class CommModel {
+ public:
+  /// `tile_bytes`: payload of one dependency edge (a tile). `bandwidth`:
+  /// bytes per millisecond across domains. `latency_ms`: per-transfer
+  /// setup cost.
+  CommModel(double tile_bytes, double bandwidth, double latency_ms = 0.0);
+
+  /// A zero-cost model (the paper's assumption) — useful as the neutral
+  /// element in sweeps.
+  static CommModel free();
+
+  /// Typical PCIe-like numbers for ~960x960 double tiles: 7.4 MB tiles,
+  /// 12 GB/s, 10 us latency.
+  static CommModel pcie_like();
+
+  /// Transfer duration (ms) of one tile between two resources. CPU cores
+  /// share one domain; every GPU is its own domain (so GPU0 -> GPU1 pays
+  /// like GPU -> CPU).
+  double transfer_time(const Platform& platform, ResourceId from,
+                       ResourceId to) const;
+
+  /// Total input-shipping delay for starting `task` on `to`, given the
+  /// resource each predecessor ran on: transfers are pessimistically
+  /// serialized.
+  double input_delay(const dag::TaskGraph& graph, dag::TaskId task,
+                     const Platform& platform,
+                     const std::vector<ResourceId>& producer_of,
+                     ResourceId to) const;
+
+  /// True when every transfer costs exactly zero.
+  bool is_free() const noexcept;
+  double tile_bytes() const noexcept { return tile_bytes_; }
+  double bandwidth() const noexcept { return bandwidth_; }
+  double latency_ms() const noexcept { return latency_ms_; }
+
+ private:
+  double tile_bytes_;
+  double bandwidth_;
+  double latency_ms_;
+};
+
+}  // namespace readys::sim

@@ -1,0 +1,92 @@
+#include "sim/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace readys::sim {
+
+CostModel::CostModel(std::string name,
+                     std::vector<std::vector<double>> durations)
+    : name_(std::move(name)), durations_(std::move(durations)) {
+  if (durations_.empty()) {
+    throw std::invalid_argument("CostModel: empty table");
+  }
+  for (const auto& row : durations_) {
+    if (row.size() != kNumResourceTypes) {
+      throw std::invalid_argument(
+          "CostModel: each kernel needs one duration per resource type");
+    }
+    for (double d : row) {
+      if (d <= 0.0) {
+        throw std::invalid_argument("CostModel: durations must be positive");
+      }
+    }
+  }
+}
+
+double CostModel::expected(int kernel, ResourceType type) const {
+  if (kernel < 0 || kernel >= num_kernels()) {
+    throw std::out_of_range("CostModel::expected: bad kernel");
+  }
+  return durations_[static_cast<std::size_t>(kernel)]
+                   [static_cast<std::size_t>(type)];
+}
+
+double CostModel::expected(const dag::TaskGraph& graph, dag::TaskId t,
+                           const Platform& platform, ResourceId r) const {
+  return expected(graph.kernel(t), platform.type(r));
+}
+
+double CostModel::mean_over_platform(int kernel,
+                                     const Platform& platform) const {
+  double acc = 0.0;
+  for (ResourceId r = 0; r < platform.size(); ++r) {
+    acc += expected(kernel, platform.type(r));
+  }
+  return acc / static_cast<double>(platform.size());
+}
+
+// Milliseconds for ~960x960 double-precision tiles; shaped on the StarPU
+// measurements in the paper's refs [3], [4], [6]. See DESIGN.md.
+CostModel CostModel::cholesky() {
+  return CostModel("cholesky", {
+                                   {30.0, 15.0},   // POTRF: ~2x
+                                   {80.0, 6.0},    // TRSM: ~13x
+                                   {90.0, 4.0},    // SYRK: ~22x
+                                   {170.0, 6.0},   // GEMM: ~28x
+                               });
+}
+
+CostModel CostModel::lu() {
+  return CostModel("lu", {
+                             {60.0, 30.0},   // GETRF: ~2x
+                             {80.0, 6.0},    // TRSM_ROW
+                             {80.0, 6.0},    // TRSM_COL
+                             {170.0, 6.0},   // GEMM
+                         });
+}
+
+CostModel CostModel::qr() {
+  return CostModel("qr", {
+                             {40.0, 25.0},   // GEQRT: ~1.6x
+                             {85.0, 7.0},    // UNMQR: ~12x
+                             {60.0, 30.0},   // TSQRT: ~2x
+                             {170.0, 8.0},   // TSMQR: ~21x
+                         });
+}
+
+CostModel CostModel::uniform(int kernels, double cpu, double gpu) {
+  std::vector<std::vector<double>> rows(
+      static_cast<std::size_t>(kernels), {cpu, gpu});
+  return CostModel("uniform", std::move(rows));
+}
+
+CostModel CostModel::for_graph(const dag::TaskGraph& graph) {
+  const std::string& n = graph.name();
+  if (n.rfind("cholesky", 0) == 0) return cholesky();
+  if (n.rfind("lu", 0) == 0) return lu();
+  if (n.rfind("qr", 0) == 0) return qr();
+  throw std::invalid_argument("CostModel::for_graph: unknown application '" +
+                              n + "'");
+}
+
+}  // namespace readys::sim

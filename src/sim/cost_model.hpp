@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "sim/platform.hpp"
+
+namespace readys::sim {
+
+/// Expected kernel durations per resource type (milliseconds).
+///
+/// The tables are shaped on the StarPU measurements published for
+/// tile-size ~960 dense kernels (Agullo et al., refs [3], [4], [6] of the
+/// paper): trailing-update kernels (GEMM/SYRK/TSMQR) accelerate 20-30x on
+/// a GPU while panel kernels (POTRF/GETRF/GEQRT/TSQRT) gain 2x or less —
+/// the "unrelated machines" regime the paper targets.
+class CostModel {
+ public:
+  /// durations[kernel][resource_type], both indices dense.
+  CostModel(std::string name, std::vector<std::vector<double>> durations);
+
+  /// Expected duration of kernel type `kernel` on resource type `type`.
+  double expected(int kernel, ResourceType type) const;
+
+  /// Expected duration of task `t` of `graph` on resource `r`.
+  double expected(const dag::TaskGraph& graph, dag::TaskId t,
+                  const Platform& platform, ResourceId r) const;
+
+  /// Mean duration of `kernel` across the resource *instances* of a
+  /// platform (HEFT's averaged cost).
+  double mean_over_platform(int kernel, const Platform& platform) const;
+
+  int num_kernels() const noexcept {
+    return static_cast<int>(durations_.size());
+  }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Tables matching the factorization generators (kernel order matches
+  /// the generator enums).
+  static CostModel cholesky();
+  static CostModel lu();
+  static CostModel qr();
+
+  /// Every kernel costs `cpu` on a CPU and `gpu` on a GPU (homogeneous
+  /// relative speed) — useful in unit tests.
+  static CostModel uniform(int kernels, double cpu, double gpu);
+
+  /// Looks up the factorization table from a graph name prefix
+  /// ("cholesky_T8" -> cholesky()). Throws for unknown applications.
+  static CostModel for_graph(const dag::TaskGraph& graph);
+
+ private:
+  std::string name_;
+  std::vector<std::vector<double>> durations_;
+};
+
+}  // namespace readys::sim

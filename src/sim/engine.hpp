@@ -1,0 +1,140 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/noise.hpp"
+#include "sim/platform.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace readys::sim {
+
+/// A task currently being executed.
+struct RunningInfo {
+  dag::TaskId task = dag::kInvalidTask;
+  ResourceId resource = -1;
+  double start = 0.0;
+  double actual_finish = 0.0;    ///< hidden from schedulers
+  double expected_finish = 0.0;  ///< start + E(task, resource): observable
+};
+
+/// Discrete-event core shared by the callback Simulator and the RL
+/// environment.
+///
+/// The engine owns the dynamic state of one execution: the simulation
+/// clock, the ready set, the running tasks (with their noisy actual
+/// durations, hidden from schedulers), and the trace. Schedulers observe
+/// *expected* completion times only — the stochastic setting of the paper.
+class SimEngine {
+ public:
+  SimEngine(const dag::TaskGraph& graph, const Platform& platform,
+            const CostModel& costs, double sigma, std::uint64_t seed);
+
+  /// Engine with a communication model: starting a task first ships its
+  /// inputs from the resources that produced them (serialized, then
+  /// compute). With CommModel::free() this is identical to the 5-arg
+  /// constructor — the paper's zero-communication assumption.
+  SimEngine(const dag::TaskGraph& graph, const Platform& platform,
+            const CostModel& costs, const CommModel& comm, double sigma,
+            std::uint64_t seed);
+
+  /// Restores the initial state (sources ready, clock at 0) with a fresh
+  /// noise stream derived from `seed`.
+  void reset(std::uint64_t seed);
+
+  double now() const noexcept { return now_; }
+  bool finished() const noexcept {
+    return completed_ == graph_->num_tasks();
+  }
+  std::size_t num_completed() const noexcept { return completed_; }
+
+  /// Tasks whose predecessors all completed and that are not yet started,
+  /// in ascending id order.
+  const std::vector<dag::TaskId>& ready() const noexcept { return ready_; }
+
+  /// Resources with nothing running, in ascending id order.
+  std::vector<ResourceId> idle_resources() const;
+
+  bool is_ready(dag::TaskId t) const;
+  bool is_idle(ResourceId r) const {
+    return resource_task_[static_cast<std::size_t>(r)] == dag::kInvalidTask;
+  }
+  bool is_done(dag::TaskId t) const {
+    return done_[t];
+  }
+  /// Task running on r, or kInvalidTask.
+  dag::TaskId running_on(ResourceId r) const {
+    return resource_task_[static_cast<std::size_t>(r)];
+  }
+
+  /// Currently-running tasks.
+  const std::vector<RunningInfo>& running() const noexcept { return running_; }
+  bool any_running() const noexcept { return !running_.empty(); }
+
+  /// Expected duration of `t` on resource `r` per the cost model
+  /// (compute only, no communication).
+  double expected_duration(dag::TaskId t, ResourceId r) const;
+
+  /// Input-shipping delay `t` would pay before computing on `r` given
+  /// where its predecessors ran; 0 without a communication model.
+  /// Only meaningful when `t` is ready (its predecessors completed).
+  double expected_input_delay(dag::TaskId t, ResourceId r) const;
+
+  bool has_comm_model() const noexcept { return comm_.has_value(); }
+
+  /// Observable availability estimate of resource r: now if idle, else
+  /// the expected finish of its running task clamped to now.
+  double expected_available_at(ResourceId r) const;
+
+  /// Starts `t` on idle resource `r` at the current time; draws the
+  /// actual (noisy) duration. Throws std::logic_error on protocol
+  /// violations (task not ready / resource busy).
+  void start(dag::TaskId t, ResourceId r);
+
+  /// Advances the clock to the next task completion and retires every
+  /// task finishing at that instant. Returns false when nothing was
+  /// running (the clock cannot advance).
+  bool advance();
+
+  const dag::TaskGraph& graph() const noexcept { return *graph_; }
+  const Platform& platform() const noexcept { return platform_; }
+  const CostModel& costs() const noexcept { return costs_; }
+  const NoiseModel& noise() const noexcept { return noise_; }
+  const Trace& trace() const noexcept { return trace_; }
+
+  /// Makespan so far (= final makespan once finished()).
+  double makespan() const noexcept { return trace_.makespan(); }
+
+  /// Number of start() calls since the last reset.
+  std::size_t num_started() const noexcept { return started_; }
+
+ private:
+  void complete(std::size_t running_index);
+
+  // The graph is held by reference (it can be large and is shared across
+  // many engines); platform and cost model are tiny and copied so that
+  // inline temporaries like Platform::hybrid(2, 2) are safe.
+  const dag::TaskGraph* graph_;
+  Platform platform_;
+  CostModel costs_;
+  std::optional<CommModel> comm_;
+  NoiseModel noise_;
+  util::Rng rng_;
+
+  double now_ = 0.0;
+  std::vector<std::size_t> missing_preds_;  // per task
+  std::vector<bool> done_;
+  std::vector<dag::TaskId> ready_;
+  std::vector<RunningInfo> running_;
+  std::vector<dag::TaskId> resource_task_;  // per resource
+  std::vector<ResourceId> producer_of_;     // resource that ran each task
+  Trace trace_;
+  std::size_t completed_ = 0;
+  std::size_t started_ = 0;
+};
+
+}  // namespace readys::sim

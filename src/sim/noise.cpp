@@ -1,0 +1,19 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace readys::sim {
+
+NoiseModel::NoiseModel(double sigma) : sigma_(sigma) {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("NoiseModel: sigma must be >= 0");
+  }
+}
+
+double NoiseModel::sample(double expected, util::Rng& rng) const noexcept {
+  if (sigma_ == 0.0) return expected;
+  return std::max(0.0, rng.normal(expected, sigma_ * expected));
+}
+
+}  // namespace readys::sim

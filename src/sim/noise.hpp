@@ -1,0 +1,24 @@
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace readys::sim {
+
+/// The paper's duration model: the actual duration of a task with
+/// expected duration E is d = max(0, N(E, sigma * E)). sigma = 0 is the
+/// deterministic regime.
+class NoiseModel {
+ public:
+  explicit NoiseModel(double sigma);
+
+  double sigma() const noexcept { return sigma_; }
+  bool deterministic() const noexcept { return sigma_ == 0.0; }
+
+  /// Samples an actual duration for a task with expectation `expected`.
+  double sample(double expected, util::Rng& rng) const noexcept;
+
+ private:
+  double sigma_;
+};
+
+}  // namespace readys::sim

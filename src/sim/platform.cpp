@@ -1,0 +1,48 @@
+#include "sim/platform.hpp"
+
+#include <stdexcept>
+
+namespace readys::sim {
+
+Platform::Platform(std::vector<ResourceType> resources)
+    : resources_(std::move(resources)) {
+  if (resources_.empty()) {
+    throw std::invalid_argument("Platform: need at least one resource");
+  }
+  for (ResourceType t : resources_) {
+    if (t == ResourceType::kCpu) {
+      ++n_cpus_;
+    } else {
+      ++n_gpus_;
+    }
+  }
+}
+
+Platform Platform::cpus(int n) {
+  return Platform(std::vector<ResourceType>(static_cast<std::size_t>(n),
+                                            ResourceType::kCpu));
+}
+
+Platform Platform::gpus(int n) {
+  return Platform(std::vector<ResourceType>(static_cast<std::size_t>(n),
+                                            ResourceType::kGpu));
+}
+
+Platform Platform::hybrid(int n_cpus, int n_gpus) {
+  std::vector<ResourceType> r;
+  r.insert(r.end(), static_cast<std::size_t>(n_cpus), ResourceType::kCpu);
+  r.insert(r.end(), static_cast<std::size_t>(n_gpus), ResourceType::kGpu);
+  return Platform(std::move(r));
+}
+
+std::string Platform::name() const {
+  std::string out;
+  if (n_cpus_ > 0) out += std::to_string(n_cpus_) + "CPU";
+  if (n_gpus_ > 0) {
+    if (!out.empty()) out += "+";
+    out += std::to_string(n_gpus_) + "GPU";
+  }
+  return out;
+}
+
+}  // namespace readys::sim

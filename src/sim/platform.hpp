@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace readys::sim {
+
+/// Kind of a computing resource. The paper's platforms mix CPU cores and
+/// GPUs within one node; communication is overlapped and therefore free.
+enum class ResourceType : int { kCpu = 0, kGpu = 1 };
+
+constexpr int kNumResourceTypes = 2;
+
+/// Index of a resource within a Platform.
+using ResourceId = int;
+
+/// A heterogeneous computing node: an ordered list of resources.
+class Platform {
+ public:
+  explicit Platform(std::vector<ResourceType> resources);
+
+  /// n CPU cores.
+  static Platform cpus(int n);
+  /// n GPUs.
+  static Platform gpus(int n);
+  /// n CPU cores + m GPUs (CPUs first).
+  static Platform hybrid(int n_cpus, int n_gpus);
+
+  int size() const noexcept { return static_cast<int>(resources_.size()); }
+  ResourceType type(ResourceId r) const { return resources_[static_cast<std::size_t>(r)]; }
+  const std::vector<ResourceType>& resources() const noexcept {
+    return resources_;
+  }
+
+  int num_cpus() const noexcept { return n_cpus_; }
+  int num_gpus() const noexcept { return n_gpus_; }
+
+  /// Human-readable name like "2CPU+2GPU".
+  std::string name() const;
+
+ private:
+  std::vector<ResourceType> resources_;
+  int n_cpus_ = 0;
+  int n_gpus_ = 0;
+};
+
+}  // namespace readys::sim

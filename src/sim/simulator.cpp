@@ -1,0 +1,53 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace readys::sim {
+
+Simulator::Simulator(const dag::TaskGraph& graph, const Platform& platform,
+                     const CostModel& costs, Options options)
+    : graph_(&graph),
+      platform_(platform),
+      costs_(costs),
+      options_(options) {}
+
+SimResult Simulator::run(Scheduler& scheduler) {
+  SimEngine engine =
+      options_.comm.has_value()
+          ? SimEngine(*graph_, platform_, costs_, *options_.comm,
+                      options_.sigma, options_.seed)
+          : SimEngine(*graph_, platform_, costs_, options_.sigma,
+                      options_.seed);
+  scheduler.reset(engine);
+
+  SimResult result;
+  while (!engine.finished()) {
+    ++result.decision_instants;
+    // Let the scheduler fill idle resources; it is re-invoked until it
+    // declines so single-assignment schedulers compose naturally.
+    for (;;) {
+      const auto assignments = scheduler.decide(engine);
+      if (assignments.empty()) break;
+      for (const auto& a : assignments) {
+        engine.start(a.task, a.resource);
+      }
+    }
+    if (engine.finished()) break;
+    if (!engine.advance()) {
+      throw std::logic_error("Simulator: scheduler stalled (no task running, "
+                             "none assigned, tasks remain)");
+    }
+  }
+  result.makespan = engine.makespan();
+  result.trace = engine.trace();
+  return result;
+}
+
+double simulate_makespan(const dag::TaskGraph& graph, const Platform& platform,
+                         const CostModel& costs, Scheduler& scheduler,
+                         double sigma, std::uint64_t seed) {
+  Simulator sim(graph, platform, costs, {sigma, seed});
+  return sim.run(scheduler).makespan;
+}
+
+}  // namespace readys::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.hpp"
+#include "sim/platform.hpp"
+
+namespace readys::sim {
+
+/// One executed task in a schedule trace.
+struct TraceEntry {
+  dag::TaskId task = dag::kInvalidTask;
+  ResourceId resource = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Full record of an execution, sufficient to validate the schedule and
+/// to compute utilization statistics.
+class Trace {
+ public:
+  void add(const TraceEntry& entry) { entries_.push_back(entry); }
+  void clear() noexcept { entries_.clear(); }
+
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Completion time of the last task (0 for an empty trace).
+  double makespan() const noexcept;
+
+  /// Fraction of [0, makespan] each resource spent busy.
+  std::vector<double> utilization(const Platform& platform) const;
+
+  /// Checks that the trace is a valid schedule of `graph`: every task
+  /// appears exactly once, dependencies are respected, and no resource
+  /// runs two tasks at once. Returns an empty string when valid, else a
+  /// description of the first violation found.
+  std::string validate(const dag::TaskGraph& graph,
+                       const Platform& platform) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace readys::sim

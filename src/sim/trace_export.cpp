@@ -1,0 +1,80 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace readys::sim {
+
+namespace {
+
+std::string resource_label(const Platform& platform, ResourceId r) {
+  const bool gpu = platform.type(r) == ResourceType::kGpu;
+  return std::string(gpu ? "GPU" : "CPU") + " " + std::to_string(r);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
+                            const Platform& platform) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (ResourceId r = 0; r < platform.size(); ++r) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << r
+       << ",\"args\":{\"name\":\"" << resource_label(platform, r)
+       << "\"}}";
+  }
+  for (const auto& e : trace.entries()) {
+    os << ",{\"name\":\"" << graph.kernel_name(graph.kernel(e.task))
+       << " #" << e.task << "\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":1,"
+       << "\"tid\":" << e.resource << ",\"ts\":" << e.start
+       << ",\"dur\":" << (e.finish - e.start) << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void write_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
+                        const Platform& platform, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  }
+  out << to_chrome_trace(trace, graph, platform);
+}
+
+std::string to_ascii_gantt(const Trace& trace, const dag::TaskGraph& graph,
+                           const Platform& platform, std::size_t columns) {
+  const double makespan = trace.makespan();
+  std::ostringstream os;
+  if (makespan <= 0.0 || columns == 0) {
+    os << "(empty trace)\n";
+    return os.str();
+  }
+  const double per_cell = makespan / static_cast<double>(columns);
+  std::vector<std::string> rows(static_cast<std::size_t>(platform.size()),
+                                std::string(columns, '.'));
+  for (const auto& e : trace.entries()) {
+    const char initial = graph.kernel_name(graph.kernel(e.task))[0];
+    std::size_t c0 = static_cast<std::size_t>(e.start / per_cell);
+    std::size_t c1 = static_cast<std::size_t>(e.finish / per_cell);
+    c0 = std::min(c0, columns - 1);
+    c1 = std::min(std::max(c1, c0 + 1), columns);
+    for (std::size_t c = c0; c < c1; ++c) {
+      rows[static_cast<std::size_t>(e.resource)][c] = initial;
+    }
+  }
+  for (ResourceId r = 0; r < platform.size(); ++r) {
+    os << resource_label(platform, r) << " |"
+       << rows[static_cast<std::size_t>(r)] << "|\n";
+  }
+  os << "makespan: " << makespan << " ms, " << per_cell
+     << " ms/column (letters = kernel initials, '.' = idle)\n";
+  return os.str();
+}
+
+}  // namespace readys::sim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace readys::sim {
+
+/// Renders the trace in Chrome's trace-event JSON format
+/// (chrome://tracing, Perfetto): one timeline row per resource, one
+/// complete ("X") event per task. Durations are microseconds in the
+/// viewer; we map 1 simulated ms -> 1 viewer us.
+std::string to_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
+                            const Platform& platform);
+
+/// Writes to_chrome_trace to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
+                        const Platform& platform, const std::string& path);
+
+/// Renders a fixed-width ASCII Gantt chart: one row per resource, kernel
+/// initials in busy cells, '.' when idle. `columns` controls the
+/// horizontal resolution.
+std::string to_ascii_gantt(const Trace& trace, const dag::TaskGraph& graph,
+                           const Platform& platform, std::size_t columns = 80);
+
+}  // namespace readys::sim

@@ -1,0 +1,94 @@
+#include "tensor/autograd.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace readys::tensor {
+
+namespace detail {
+
+Tensor& Node::ensure_grad() {
+  if (!grad.same_shape(value)) {
+    grad = Tensor::zeros(value.rows(), value.cols());
+  }
+  return grad;
+}
+
+}  // namespace detail
+
+Var::Var(Tensor value, bool requires_grad)
+    : node_(std::make_shared<detail::Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::grad() const {
+  return node_->ensure_grad();
+}
+
+void Var::zero_grad() noexcept {
+  if (node_ && node_->grad.same_shape(node_->value)) {
+    node_->grad.fill(0.0);
+  }
+}
+
+Var Var::make_op(Tensor value, std::vector<Var> parents,
+                 std::function<void(detail::Node&)> backward_fn) {
+  Var out(std::move(value));
+  bool any_grad = false;
+  out.node_->parents.reserve(parents.size());
+  for (auto& p : parents) {
+    any_grad = any_grad || p.requires_grad();
+    out.node_->parents.push_back(p.node());
+  }
+  out.node_->requires_grad = any_grad;
+  if (any_grad) {
+    out.node_->backward_fn = std::move(backward_fn);
+  } else {
+    out.node_->parents.clear();  // prune: nothing downstream needs them
+  }
+  return out;
+}
+
+void Var::backward() const {
+  if (!node_) throw std::logic_error("Var::backward: undefined variable");
+  if (node_->value.size() != 1) {
+    throw std::logic_error("Var::backward: root must be a scalar");
+  }
+
+  // Iterative post-order DFS to get a reverse-topological order.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  struct Frame {
+    detail::Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node_.get(), 0});
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      detail::Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad().fill(1.0);
+  // `order` is post-order (leaves first); walk it backwards so each node's
+  // gradient is complete before it propagates to its parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward_fn) {
+      n->ensure_grad();
+      n->backward_fn(*n);
+    }
+  }
+}
+
+}  // namespace readys::tensor

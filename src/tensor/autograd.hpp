@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace readys::tensor {
+
+namespace detail {
+
+/// One node of the dynamically-built (define-by-run) computation graph.
+struct Node {
+  Tensor value;
+  Tensor grad;  ///< lazily allocated to value's shape on first touch
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this->grad into parents' grads. Empty for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  Tensor& ensure_grad();
+};
+
+}  // namespace detail
+
+/// Handle to an autograd variable (shared ownership of the graph node).
+///
+/// Vars are created from Tensors (leaves, optionally trainable) or by the
+/// ops in ops.hpp. Calling backward() on a scalar Var runs reverse-mode
+/// differentiation through every reachable ancestor that requires grad.
+class Var {
+ public:
+  Var() = default;
+
+  /// Wraps a value as a graph leaf.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const noexcept { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  bool requires_grad() const noexcept {
+    return node_ && node_->requires_grad;
+  }
+
+  /// Accumulated gradient (zeros until backward() reaches this node).
+  const Tensor& grad() const;
+
+  /// Zeroes this node's gradient buffer (if allocated).
+  void zero_grad() noexcept;
+
+  std::size_t rows() const noexcept { return node_->value.rows(); }
+  std::size_t cols() const noexcept { return node_->value.cols(); }
+
+  /// Runs reverse-mode autodiff from this variable. The value must be a
+  /// scalar (1x1); its gradient is seeded with 1. Gradients accumulate, so
+  /// call zero_grad on parameters (or Optimizer::zero_grad) between steps.
+  void backward() const;
+
+  /// Internal: constructs an op result node.
+  static Var make_op(Tensor value, std::vector<Var> parents,
+                     std::function<void(detail::Node&)> backward_fn);
+
+  const std::shared_ptr<detail::Node>& node() const noexcept { return node_; }
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+}  // namespace readys::tensor

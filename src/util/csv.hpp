@@ -1,0 +1,40 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace readys::util {
+
+/// Minimal CSV writer used by the benchmark harness to dump experiment
+/// series next to the console tables.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; fields are quoted when they contain commas/quotes.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: converts doubles with full precision.
+  void row(const std::vector<double>& fields);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void write_fields(const std::vector<std::string>& fields);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Joins string pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Splits a string on a single-character separator (no quoting rules).
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace readys::util

@@ -1,0 +1,67 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "util/csv.hpp"
+
+namespace readys::util {
+
+namespace {
+
+const char* raw(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+int env_int(const char* name, int fallback) {
+  const char* v = raw(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end == v) ? fallback : static_cast<int>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = raw(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end == v) ? fallback : parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = raw(name);
+  return v ? std::string(v) : fallback;
+}
+
+std::vector<double> env_double_list(const char* name,
+                                    const std::vector<double>& fallback) {
+  const char* v = raw(name);
+  if (!v) return fallback;
+  std::vector<double> out;
+  for (const auto& piece : split(v, ',')) {
+    if (piece.empty()) continue;
+    char* end = nullptr;
+    const double parsed = std::strtod(piece.c_str(), &end);
+    if (end != piece.c_str()) out.push_back(parsed);
+  }
+  return out.empty() ? fallback : out;
+}
+
+std::vector<int> env_int_list(const char* name,
+                              const std::vector<int>& fallback) {
+  const char* v = raw(name);
+  if (!v) return fallback;
+  std::vector<int> out;
+  for (const auto& piece : split(v, ',')) {
+    if (piece.empty()) continue;
+    char* end = nullptr;
+    const long parsed = std::strtol(piece.c_str(), &end, 10);
+    if (end != piece.c_str()) out.push_back(static_cast<int>(parsed));
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace readys::util

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace readys::util {
+
+/// Reads an environment variable, falling back to `fallback` when unset or
+/// unparsable. Used by the benchmark harness so figure reproductions can be
+/// scaled from smoke-test to paper-level budgets without recompiling.
+int env_int(const char* name, int fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Parses a comma-separated list ("0,0.2,0.5"); falls back when unset/empty.
+std::vector<double> env_double_list(const char* name,
+                                    const std::vector<double>& fallback);
+std::vector<int> env_int_list(const char* name,
+                              const std::vector<int>& fallback);
+
+}  // namespace readys::util

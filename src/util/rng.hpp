@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace readys::util {
+
+/// Splittable, fast pseudo-random generator (xoshiro256**).
+///
+/// Satisfies std::uniform_random_bit_generator so it can be used with the
+/// <random> distributions, and offers convenience draws used throughout the
+/// library. Each worker thread derives an independent stream with split().
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state from a 64-bit seed using splitmix64, which guarantees
+  /// a well-mixed non-zero state for any seed value (including 0).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n) noexcept;
+
+  /// Standard normal draw (Box–Muller with caching).
+  double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Derives an independent generator; deterministic given this state.
+  Rng split() noexcept;
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace readys::util

@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace readys::util {
+
+Summary summarize(std::span<const double> xs) noexcept {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  RunningStats acc;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    acc.add(x);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  if (s.count > 1) {
+    const double sem = s.stddev / std::sqrt(static_cast<double>(s.count));
+    s.ci95_half_width = 1.96 * sem;
+    s.ci99_half_width = 2.576 * sem;
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double quantile(std::vector<double> xs, double p) noexcept {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+}  // namespace readys::util

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace readys::util {
+
+/// Summary statistics for a sample of observations.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double ci95_half_width = 0.0;  ///< 1.96 * stddev / sqrt(n)
+  double ci99_half_width = 0.0;  ///< 2.576 * stddev / sqrt(n)
+};
+
+/// Computes summary statistics; an empty sample yields all zeros.
+Summary summarize(std::span<const double> xs) noexcept;
+
+/// Arithmetic mean (0 for empty input).
+double mean(std::span<const double> xs) noexcept;
+
+/// p-quantile in [0,1] by linear interpolation on the sorted copy.
+double quantile(std::vector<double> xs, double p) noexcept;
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< sample variance, 0 when n < 2
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace readys::util

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace readys::util {
+
+/// Aligned console table used by the figure-reproduction benches to print
+/// paper-shaped result grids.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> fields);
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders the table with column alignment and a separator under the
+  /// header.
+  std::string to_string() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace readys::util

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace readys::util {
+
+/// Fixed-size worker pool used for parallel rollout collection and
+/// embarrassingly-parallel evaluation sweeps.
+///
+/// Tasks are arbitrary callables; submit() returns a future. parallel_for
+/// blocks until all chunks complete and rethrows the first exception.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, >= 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs f(i) for i in [0, n), distributing indices across the pool.
+  /// Blocks until done; rethrows the first exception encountered.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace readys::util

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "dag/cholesky.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rx = readys::sched;
+
+TEST(CommModel, FreeModelIsFree) {
+  const auto comm = rs::CommModel::free();
+  EXPECT_TRUE(comm.is_free());
+  const auto p = rs::Platform::hybrid(1, 1);
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 0, 1), 0.0);
+}
+
+TEST(CommModel, Validation) {
+  EXPECT_THROW(rs::CommModel(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rs::CommModel(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(rs::CommModel(1.0, 1.0, -0.5), std::invalid_argument);
+}
+
+TEST(CommModel, DomainRules) {
+  const rs::CommModel comm(100.0, 10.0, 1.0);  // 100 B at 10 B/ms + 1 ms
+  const auto p = rs::Platform::hybrid(2, 2);   // CPUs 0,1; GPUs 2,3
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 0, 0), 0.0);   // same resource
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 0, 1), 0.0);   // CPU -> CPU free
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 0, 2), 11.0);  // CPU -> GPU
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 2, 0), 11.0);  // GPU -> CPU
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 2, 3), 11.0);  // GPU -> GPU
+  EXPECT_DOUBLE_EQ(comm.transfer_time(p, 2, 2), 0.0);   // same GPU
+}
+
+TEST(CommModel, InputDelaySerializesTransfers) {
+  // Diamond: task 3 consumes from tasks 1 (CPU) and 2 (GPU 2).
+  rd::TaskGraph g("d", {"A"});
+  for (int i = 0; i < 4; ++i) g.add_task(0);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const rs::CommModel comm(100.0, 10.0, 1.0);
+  const auto p = rs::Platform::hybrid(2, 2);
+  std::vector<rs::ResourceId> producer{0, 0, 2, -1};
+  // Start task 3 on CPU 1: input from task 1 (CPU 0, free) + task 2
+  // (GPU 2, 11 ms) = 11 ms.
+  EXPECT_DOUBLE_EQ(comm.input_delay(g, 3, p, producer, 1), 11.0);
+  // On GPU 3: from CPU 0 (11) + from GPU 2 (11) = 22 ms.
+  EXPECT_DOUBLE_EQ(comm.input_delay(g, 3, p, producer, 3), 22.0);
+}
+
+TEST(CommEngine, ShippingDelaysDependentTasks) {
+  rd::TaskGraph g("chain", {"A"});
+  g.add_task(0);
+  g.add_task(0);
+  g.add_edge(0, 1);
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 10.0);
+  const rs::CommModel comm(100.0, 10.0, 0.0);  // 10 ms per cross transfer
+  rs::SimEngine e(g, p, c, comm, 0.0, 1);
+  EXPECT_TRUE(e.has_comm_model());
+  e.start(0, 0);  // CPU
+  e.advance();
+  EXPECT_DOUBLE_EQ(e.expected_input_delay(1, 0), 0.0);   // stay on CPU
+  EXPECT_DOUBLE_EQ(e.expected_input_delay(1, 1), 10.0);  // move to GPU
+  e.start(1, 1);
+  e.advance();
+  EXPECT_DOUBLE_EQ(e.makespan(), 10.0 + 10.0 + 10.0);
+}
+
+TEST(CommEngine, FreeCommMatchesPlainEngine) {
+  const auto g = rd::cholesky_graph(4);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  rx::MctScheduler plain;
+  rx::MctScheduler with_free;
+  rs::Simulator sim_plain(g, p, c, {0.3, 7});
+  rs::Simulator sim_free(g, p, c, {0.3, 7, rs::CommModel::free()});
+  EXPECT_DOUBLE_EQ(sim_plain.run(plain).makespan,
+                   sim_free.run(with_free).makespan);
+}
+
+TEST(CommEngine, ExpensiveCommIncreasesMakespan) {
+  const auto g = rd::cholesky_graph(5);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  rx::MctScheduler a;
+  rx::MctScheduler b;
+  rs::Simulator cheap(g, p, c, {0.0, 3});
+  rs::Simulator costly(g, p, c, {0.0, 3, rs::CommModel(100.0, 10.0, 2.0)});
+  EXPECT_GT(costly.run(b).makespan, cheap.run(a).makespan);
+}
+
+TEST(CommEngine, TracesRemainValidUnderComm) {
+  const auto g = rd::cholesky_graph(5);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  for (bool aware : {false, true}) {
+    rx::MctScheduler sched(aware);
+    rs::Simulator sim(g, p, c, {0.4, 11, rs::CommModel::pcie_like()});
+    const auto result = sim.run(sched);
+    EXPECT_EQ(result.trace.validate(g, p), "") << aware;
+  }
+}
+
+TEST(CommEngine, CommAwareMctNoWorseOnAverage) {
+  // With expensive transfers, accounting for them should help (or at
+  // least not hurt) MCT across seeds.
+  const auto g = rd::cholesky_graph(6);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  const rs::CommModel comm(300.0, 10.0, 3.0);  // 33 ms per hop: drastic
+  double blind = 0.0;
+  double aware = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    rx::MctScheduler b(false);
+    rx::MctScheduler a(true);
+    rs::Simulator s1(g, p, c, {0.2, seed, comm});
+    rs::Simulator s2(g, p, c, {0.2, seed, comm});
+    blind += s1.run(b).makespan;
+    aware += s2.run(a).makespan;
+  }
+  EXPECT_LE(aware, blind * 1.02);
+}
+
+TEST(CommEngine, HeftReplayStillValidWithComm) {
+  const auto g = rd::cholesky_graph(5);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  rx::HeftScheduler heft;
+  rs::Simulator sim(g, p, c, {0.0, 1, rs::CommModel::pcie_like()});
+  const auto result = sim.run(heft);
+  EXPECT_EQ(result.trace.validate(g, p), "");
+  // Comm makes the zero-comm HEFT schedule slower than its estimate.
+  EXPECT_GE(result.makespan,
+            rx::heft_expected_makespan(g, p, c) - 1e-9);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "dag/cholesky.hpp"
+#include "dag/dot_export.hpp"
+#include "dag/features.hpp"
+
+namespace rd = readys::dag;
+namespace rc = readys::core;
+
+TEST(StaticFeatures, ChainGraphDescendantProfile) {
+  // 0 -> 1 -> 2, all the same type: F counts the downstream mass.
+  rd::TaskGraph g("chain", {"A"});
+  g.add_task(0);
+  g.add_task(0);
+  g.add_task(0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  rd::StaticFeatures f(g);
+  EXPECT_NEAR(f.descendant_mass(0, 0), 1.0, 1e-12);        // 3/3
+  EXPECT_NEAR(f.descendant_mass(1, 0), 2.0 / 3.0, 1e-12);  // 2/3
+  EXPECT_NEAR(f.descendant_mass(2, 0), 1.0 / 3.0, 1e-12);  // 1/3
+}
+
+TEST(StaticFeatures, SourceSeesAllMassOfEveryType) {
+  for (auto app : {rc::App::kCholesky, rc::App::kLu, rc::App::kQr}) {
+    const auto g = rc::make_graph(app, 5);
+    rd::StaticFeatures f(g);
+    const auto src = g.sources().front();
+    for (int type = 0; type < g.num_kernel_types(); ++type) {
+      EXPECT_NEAR(f.descendant_mass(src, type), 1.0, 1e-9)
+          << rc::app_name(app) << " type " << type;
+    }
+  }
+}
+
+TEST(StaticFeatures, SinkHasOnlyItsOwnMass) {
+  const auto g = rd::cholesky_graph(4);
+  rd::StaticFeatures f(g);
+  const auto sink = g.sinks().front();
+  const auto counts = g.kernel_counts();
+  for (int type = 0; type < g.num_kernel_types(); ++type) {
+    const double expected =
+        type == g.kernel(sink)
+            ? 1.0 / static_cast<double>(counts[static_cast<std::size_t>(type)])
+            : 0.0;
+    EXPECT_NEAR(f.descendant_mass(sink, type), expected, 1e-12);
+  }
+}
+
+TEST(StaticFeatures, ValuesAreNormalized) {
+  const auto g = rd::cholesky_graph(6);
+  rd::StaticFeatures f(g);
+  for (rd::TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_GE(f.norm_out_degree(t), 0.0);
+    EXPECT_LE(f.norm_out_degree(t), 1.0);
+    EXPECT_GE(f.norm_in_degree(t), 0.0);
+    EXPECT_LE(f.norm_in_degree(t), 1.0);
+    for (int type = 0; type < g.num_kernel_types(); ++type) {
+      EXPECT_GE(f.descendant_mass(t, type), -1e-12);
+      EXPECT_LE(f.descendant_mass(t, type), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(StaticFeatures, SplitMergePreservesMass) {
+  // Diamond: 0 -> {1, 2} -> 3. Node 3's unit splits between 1 and 2.
+  rd::TaskGraph g("diamond", {"A", "B"});
+  g.add_task(0);  // 0
+  g.add_task(1);  // 1
+  g.add_task(1);  // 2
+  g.add_task(0);  // 3
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  rd::StaticFeatures f(g);
+  // Source: all mass of both types (2 of type A, 2 of type B).
+  EXPECT_NEAR(f.descendant_mass(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(f.descendant_mass(0, 1), 1.0, 1e-12);
+  // Node 1: itself (1 of 2 B's) + half of node 3 (0.5 of 2 A's).
+  EXPECT_NEAR(f.descendant_mass(1, 1), 0.5, 1e-12);
+  EXPECT_NEAR(f.descendant_mass(1, 0), 0.25, 1e-12);
+}
+
+TEST(StaticFeatures, WriteStaticLayout) {
+  const auto g = rd::cholesky_graph(3);
+  rd::StaticFeatures f(g);
+  ASSERT_EQ(f.type_width(), 4);
+  ASSERT_EQ(f.static_width(), 10);
+  std::vector<double> row(10, -1.0);
+  const auto src = g.sources().front();
+  f.write_static(src, g, row.data());
+  EXPECT_DOUBLE_EQ(row[2 + rd::kPotrf], 1.0);  // one-hot type
+  EXPECT_DOUBLE_EQ(row[2 + rd::kGemm], 0.0);
+  EXPECT_NEAR(row[6 + rd::kPotrf], 1.0, 1e-12);  // full downstream mass
+}
+
+TEST(DotExport, ContainsEveryTaskAndEdge) {
+  const auto g = rd::cholesky_graph(3);
+  const std::string dot = rd::to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("POTRF"), std::string::npos);
+  EXPECT_NE(dot.find("GEMM"), std::string::npos);
+  std::size_t arrows = 0;
+  for (std::size_t p = dot.find("->"); p != std::string::npos;
+       p = dot.find("->", p + 2)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.num_edges());
+}

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "dag/cholesky.hpp"
+#include "rl/env.hpp"
+#include "sched/heft.hpp"
+#include "util/rng.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rr = readys::rl;
+
+namespace {
+
+rr::SchedulingEnv make_env(double sigma = 0.0, int window = 1,
+                           std::uint64_t seed = 1, int tiles = 4) {
+  static const rs::Platform platform = rs::Platform::hybrid(2, 2);
+  static const rs::CostModel costs = rs::CostModel::cholesky();
+  // deque: stable addresses, envs hold references into it
+  static std::deque<rd::TaskGraph> graphs;
+  graphs.push_back(rd::cholesky_graph(tiles));
+  return rr::SchedulingEnv(graphs.back(), platform, costs,
+                           {sigma, window, seed});
+}
+
+/// Always schedules the first ready task (never idles).
+double run_first_fit(rr::SchedulingEnv& env, std::uint64_t seed) {
+  env.reset(seed);
+  bool done = env.done();
+  double reward = 0.0;
+  while (!done) {
+    const auto result = env.step(0);
+    reward += result.reward;
+    done = result.done;
+  }
+  EXPECT_NEAR(reward,
+              (env.heft_reference() - env.makespan()) / env.heft_reference(),
+              1e-12);
+  return env.makespan();
+}
+
+}  // namespace
+
+TEST(Env, FirstObservationMatchesInitialState) {
+  auto env = make_env();
+  const auto& obs = env.observation();
+  EXPECT_EQ(obs.ready_tasks.size(), 1u);
+  // Three other idle resources could still take the task, so declining
+  // here is safe and ∅ must be offered.
+  EXPECT_TRUE(obs.allow_idle);
+  EXPECT_FALSE(env.done());
+  EXPECT_GT(env.heft_reference(), 0.0);
+}
+
+TEST(Env, IdleMaskedOnLastCandidateWhenNothingRuns) {
+  // Single-resource platform: the first decision cannot be declined
+  // (nothing is running and no other resource exists) -> ∅ masked.
+  static const auto graph = rd::cholesky_graph(3);
+  const rs::Platform platform = rs::Platform::cpus(1);
+  const rs::CostModel costs = rs::CostModel::cholesky();
+  rr::SchedulingEnv env(graph, platform, costs, {0.0, 1, 1});
+  EXPECT_FALSE(env.observation().allow_idle);
+}
+
+TEST(Env, DecliningEveryProcessorForcesTheLastOne) {
+  auto env = make_env();
+  env.reset(1);
+  // Keep declining: with 4 idle resources and nothing running, the ∅
+  // action must disappear on the last candidate, forcing progress.
+  int declines = 0;
+  while (env.observation().allow_idle && !env.engine().any_running()) {
+    env.step(env.observation().idle_action());
+    ++declines;
+    ASSERT_LT(declines, 4);
+  }
+  EXPECT_FALSE(env.observation().allow_idle);
+  env.step(0);  // forced placement
+  EXPECT_GE(env.engine().num_started(), 1u);
+}
+
+TEST(Env, EpisodeTerminatesAndExecutesEveryTask) {
+  auto env = make_env();
+  run_first_fit(env, 3);
+  EXPECT_TRUE(env.done());
+  EXPECT_EQ(env.engine().trace().size(), 20u);  // Cholesky T=4
+  EXPECT_EQ(env.engine().trace().validate(env.engine().graph(),
+                                          env.engine().platform()),
+            "");
+}
+
+TEST(Env, TerminalRewardSignMatchesHeftComparison) {
+  auto env = make_env();
+  const double mk = run_first_fit(env, 3);
+  const double expected_reward =
+      (env.heft_reference() - mk) / env.heft_reference();
+  // Whatever the policy quality, reward must be < 1 and finite.
+  EXPECT_LT(expected_reward, 1.0);
+  EXPECT_TRUE(std::isfinite(expected_reward));
+}
+
+TEST(Env, DeterministicUnderSameSeed) {
+  auto env = make_env(0.4);
+  const double m1 = run_first_fit(env, 5);
+  const double m2 = run_first_fit(env, 5);
+  EXPECT_DOUBLE_EQ(m1, m2);
+  const double m3 = run_first_fit(env, 6);
+  EXPECT_NE(m1, m3);
+}
+
+TEST(Env, IdleActionParksProcessorWithoutDeadlock) {
+  auto env = make_env();
+  env.reset(1);
+  // Keep answering ∅ whenever allowed: the episode must still finish
+  // because ∅ is masked on the last safe candidate and completions
+  // re-open parked processors.
+  bool done = env.done();
+  int idles = 0;
+  while (!done) {
+    const auto& obs = env.observation();
+    std::size_t action = 0;
+    if (obs.allow_idle && idles < 100) {
+      action = obs.idle_action();
+      ++idles;
+    }
+    done = env.step(action).done;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GT(idles, 0);
+  EXPECT_EQ(env.engine().trace().validate(env.engine().graph(),
+                                          env.engine().platform()),
+            "");
+}
+
+TEST(Env, InvalidActionIndexThrows) {
+  auto env = make_env();
+  env.reset(1);
+  EXPECT_THROW(env.step(env.observation().num_actions()), std::out_of_range);
+}
+
+TEST(Env, SteppingAfterDoneThrows) {
+  auto env = make_env();
+  run_first_fit(env, 1);
+  EXPECT_THROW(env.step(0), std::logic_error);
+}
+
+TEST(Env, HeftReferenceMatchesStandalone) {
+  const auto graph = rd::cholesky_graph(6);
+  const auto platform = rs::Platform::hybrid(2, 2);
+  const auto costs = rs::CostModel::cholesky();
+  rr::SchedulingEnv env(graph, platform, costs, {0.0, 1, 1});
+  EXPECT_DOUBLE_EQ(
+      env.heft_reference(),
+      readys::sched::heft_expected_makespan(graph, platform, costs));
+}
+
+TEST(Env, RandomPolicyProducesValidSchedulesUnderNoise) {
+  readys::util::Rng rng(9);
+  auto env = make_env(0.6, 2, 1, 5);
+  for (int episode = 0; episode < 5; ++episode) {
+    env.reset(static_cast<std::uint64_t>(episode));
+    bool done = env.done();
+    while (!done) {
+      const auto& obs = env.observation();
+      done = env.step(rng.uniform_index(obs.num_actions())).done;
+    }
+    EXPECT_EQ(env.engine().trace().validate(env.engine().graph(),
+                                            env.engine().platform()),
+              "")
+        << "episode " << episode;
+  }
+}
+
+TEST(Env, DeterministicOfferPicksLowestIdleResource) {
+  static const auto graph = rd::cholesky_graph(4);
+  const rs::Platform platform = rs::Platform::hybrid(2, 2);
+  const rs::CostModel costs = rs::CostModel::cholesky();
+  rr::SchedulingEnv env(graph, platform, costs,
+                        {0.0, 1, 1, /*random_offer=*/false});
+  EXPECT_EQ(env.observation().current_resource, 0);
+  env.step(env.observation().idle_action());  // decline CPU 0
+  EXPECT_EQ(env.observation().current_resource, 1);
+}
+
+TEST(Env, RandomOfferVariesWithSeed) {
+  static const auto graph = rd::cholesky_graph(4);
+  const rs::Platform platform = rs::Platform::hybrid(2, 2);
+  const rs::CostModel costs = rs::CostModel::cholesky();
+  rr::SchedulingEnv env(graph, platform, costs,
+                        {0.0, 1, 1, /*random_offer=*/true});
+  std::set<int> offered;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    env.reset(seed);
+    offered.insert(env.observation().current_resource);
+  }
+  EXPECT_GT(offered.size(), 1u);  // the draw actually varies
+}
+
+TEST(Env, DecisionCountAtLeastTaskCount) {
+  auto env = make_env();
+  run_first_fit(env, 2);
+  EXPECT_GE(env.decisions_this_episode(), 20u);
+}

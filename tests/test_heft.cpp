@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/apps.hpp"
+#include "dag/cholesky.hpp"
+#include "sched/heft.hpp"
+#include "sim/simulator.hpp"
+
+namespace rc = readys::core;
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rx = readys::sched;
+
+TEST(Heft, SingleTaskGoesToFastestResource) {
+  rd::TaskGraph g("one", {"A"});
+  g.add_task(0);
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 2.0);
+  const auto s = rx::compute_heft(g, p, c);
+  EXPECT_EQ(s.assignment[0], 1);  // GPU
+  EXPECT_DOUBLE_EQ(s.expected_makespan, 2.0);
+}
+
+TEST(Heft, ChainOnHomogeneousPlatform) {
+  rd::TaskGraph g("chain", {"A"});
+  for (int i = 0; i < 3; ++i) g.add_task(0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto p = rs::Platform::cpus(2);
+  const auto c = rs::CostModel::uniform(1, 10.0, 10.0);
+  const auto s = rx::compute_heft(g, p, c);
+  EXPECT_DOUBLE_EQ(s.expected_makespan, 30.0);  // no parallelism to exploit
+  // Ranks decrease along the chain.
+  EXPECT_GT(s.upward_rank[0], s.upward_rank[1]);
+  EXPECT_GT(s.upward_rank[1], s.upward_rank[2]);
+}
+
+TEST(Heft, ParallelTasksSpreadAcrossResources) {
+  rd::TaskGraph g("fork", {"A"});
+  for (int i = 0; i < 4; ++i) g.add_task(0);
+  const auto p = rs::Platform::cpus(2);
+  const auto c = rs::CostModel::uniform(1, 10.0, 10.0);
+  const auto s = rx::compute_heft(g, p, c);
+  EXPECT_DOUBLE_EQ(s.expected_makespan, 20.0);
+}
+
+TEST(Heft, InsertionFillsGaps) {
+  // Task layout that leaves a gap on the fast resource: a later short
+  // independent task should slot into it.
+  rd::TaskGraph g("gap", {"LONG", "SHORT"});
+  const auto a = g.add_task(0);  // long head of a chain
+  const auto b = g.add_task(0);  // long dependent
+  g.add_edge(a, b);
+  g.add_task(1);  // independent short task
+  const auto p = rs::Platform::cpus(1);
+  rs::CostModel c("gap", {{10.0, 10.0}, {3.0, 3.0}});
+  const auto s = rx::compute_heft(g, p, c);
+  // Everything on one CPU: chain 0..10, 10..20; the short task must fit
+  // after (no gap exists on a single busy machine) -> makespan 23.
+  EXPECT_DOUBLE_EQ(s.expected_makespan, 23.0);
+}
+
+TEST(Heft, ReplayMatchesExpectedMakespanWhenDeterministic) {
+  for (auto app : {rc::App::kCholesky, rc::App::kLu, rc::App::kQr}) {
+    const auto g = rc::make_graph(app, 6);
+    const auto c = rc::make_costs(app);
+    for (const auto& p :
+         {rs::Platform::cpus(4), rs::Platform::hybrid(2, 2),
+          rs::Platform::gpus(4)}) {
+      const auto expected = rx::heft_expected_makespan(g, p, c);
+      rx::HeftScheduler sched;
+      rs::Simulator sim(g, p, c, {0.0, 1});
+      const auto result = sim.run(sched);
+      EXPECT_NEAR(result.makespan, expected, 1e-6)
+          << rc::app_name(app) << " on " << p.name();
+      EXPECT_EQ(result.trace.validate(g, p), "");
+    }
+  }
+}
+
+TEST(Heft, GpuGetsTheUpdatesOnHybridPlatform) {
+  // With a 28x GEMM speedup, HEFT must place the bulk of GEMMs on GPUs.
+  const auto g = rd::cholesky_graph(8);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  const auto s = rx::compute_heft(g, p, c);
+  std::size_t gemm_on_gpu = 0;
+  std::size_t gemm_total = 0;
+  for (rd::TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (g.kernel(t) != rd::kGemm) continue;
+    ++gemm_total;
+    if (p.type(s.assignment[t]) == rs::ResourceType::kGpu) ++gemm_on_gpu;
+  }
+  EXPECT_GT(gemm_total, 0u);
+  EXPECT_GT(static_cast<double>(gemm_on_gpu),
+            0.8 * static_cast<double>(gemm_total));
+}
+
+TEST(Heft, DeterministicAcrossCalls) {
+  const auto g = rd::cholesky_graph(6);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  const auto s1 = rx::compute_heft(g, p, c);
+  const auto s2 = rx::compute_heft(g, p, c);
+  EXPECT_EQ(s1.assignment, s2.assignment);
+  EXPECT_DOUBLE_EQ(s1.expected_makespan, s2.expected_makespan);
+}
+
+TEST(Heft, StaticReplayValidUnderNoise) {
+  const auto g = rd::cholesky_graph(6);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  for (std::uint64_t seed : {1, 2, 3}) {
+    rx::HeftScheduler sched;
+    rs::Simulator sim(g, p, c, {0.5, seed});
+    const auto result = sim.run(sched);
+    EXPECT_EQ(result.trace.validate(g, p), "");
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "dag/cholesky.hpp"
+#include "sched/mct.hpp"
+#include "sim/simulator.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rx = readys::sched;
+
+TEST(Mct, SingleTaskPicksFastestResource) {
+  rd::TaskGraph g("one", {"A"});
+  g.add_task(0);
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 2.0);
+  rx::MctScheduler sched;
+  rs::Simulator sim(g, p, c, {0.0, 1});
+  const auto result = sim.run(sched);
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  EXPECT_EQ(result.trace.entries().front().resource, 1);
+}
+
+TEST(Mct, QueuesOnBusyFastResourceWhenWorthIt) {
+  // Two independent tasks, GPU 4x faster: both should go to the GPU
+  // (completion 2 + 2 = 4 < 8 on the CPU).
+  rd::TaskGraph g("pair", {"A"});
+  g.add_task(0);
+  g.add_task(0);
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::uniform(1, 8.0, 2.0);
+  rx::MctScheduler sched;
+  rs::Simulator sim(g, p, c, {0.0, 1});
+  const auto result = sim.run(sched);
+  EXPECT_DOUBLE_EQ(result.makespan, 4.0);
+  for (const auto& e : result.trace.entries()) {
+    EXPECT_EQ(e.resource, 1);
+  }
+}
+
+TEST(Mct, SpillsToSlowResourceWhenQueueTooLong) {
+  // Two independent tasks, GPU only slightly faster: second task completes
+  // sooner on the idle CPU (10) than queued behind the GPU (8+8=16).
+  rd::TaskGraph g("pair", {"A"});
+  g.add_task(0);
+  g.add_task(0);
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 8.0);
+  rx::MctScheduler sched;
+  rs::Simulator sim(g, p, c, {0.0, 1});
+  const auto result = sim.run(sched);
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+}
+
+TEST(Mct, ValidTraceOnFactorizations) {
+  for (int tiles : {2, 4, 6}) {
+    const auto g = rd::cholesky_graph(tiles);
+    const auto c = rs::CostModel::cholesky();
+    for (const auto& p :
+         {rs::Platform::cpus(2), rs::Platform::hybrid(2, 2)}) {
+      rx::MctScheduler sched;
+      rs::Simulator sim(g, p, c, {0.0, 1});
+      const auto result = sim.run(sched);
+      EXPECT_EQ(result.trace.validate(g, p), "") << "T=" << tiles;
+    }
+  }
+}
+
+TEST(Mct, DeterministicWithoutNoise) {
+  const auto g = rd::cholesky_graph(6);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto c = rs::CostModel::cholesky();
+  rx::MctScheduler s1;
+  rx::MctScheduler s2;
+  const double m1 = rs::simulate_makespan(g, p, c, s1, 0.0, 1);
+  const double m2 = rs::simulate_makespan(g, p, c, s2, 0.0, 99);
+  EXPECT_DOUBLE_EQ(m1, m2);  // seed only affects noise, which is off
+}
+
+TEST(Mct, SchedulerObjectIsReusable) {
+  const auto g = rd::cholesky_graph(4);
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::cholesky();
+  rx::MctScheduler sched;
+  const double m1 = rs::simulate_makespan(g, p, c, sched, 0.0, 1);
+  const double m2 = rs::simulate_makespan(g, p, c, sched, 0.0, 1);
+  EXPECT_DOUBLE_EQ(m1, m2);
+}

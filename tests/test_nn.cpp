@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gcn.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/ops.hpp"
+
+namespace rn = readys::nn;
+namespace rt = readys::tensor;
+using readys::util::Rng;
+
+TEST(Linear, ShapesAndBias) {
+  Rng rng(1);
+  rn::Linear layer(3, 2, rng);
+  rt::Var x(rt::Tensor::randn(5, 3, rng));
+  auto y = layer.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(2);
+  rn::Linear layer(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  rt::Var zero(rt::Tensor::zeros(1, 3));
+  auto y = layer.forward(zero);
+  EXPECT_DOUBLE_EQ(y.value().abs_max(), 0.0);
+}
+
+TEST(Linear, ParameterRegistration) {
+  Rng rng(3);
+  rn::Linear layer(4, 4, rng);
+  auto named = layer.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(layer.parameter_count(), 4u * 4u + 4u);
+}
+
+TEST(Module, ZeroGradClearsGradients) {
+  Rng rng(4);
+  rn::Linear layer(2, 2, rng);
+  rt::Var x(rt::Tensor::randn(1, 2, rng));
+  rt::sum_all(layer.forward(x)).backward();
+  bool any_nonzero = false;
+  for (auto& p : layer.parameters()) {
+    any_nonzero = any_nonzero || p.grad().abs_max() > 0.0;
+  }
+  EXPECT_TRUE(any_nonzero);
+  layer.zero_grad();
+  for (auto& p : layer.parameters()) {
+    EXPECT_DOUBLE_EQ(p.grad().abs_max(), 0.0);
+  }
+}
+
+TEST(Module, CopyParametersFrom) {
+  Rng rng1(5);
+  Rng rng2(6);
+  rn::Linear a(3, 3, rng1);
+  rn::Linear b(3, 3, rng2);
+  b.copy_parameters_from(a);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].value() == pb[i].value());
+  }
+}
+
+TEST(Module, CopyParametersShapeMismatchThrows) {
+  Rng rng(7);
+  rn::Linear a(3, 3, rng);
+  rn::Linear b(3, 4, rng);
+  EXPECT_THROW(b.copy_parameters_from(a), std::invalid_argument);
+}
+
+TEST(Mlp, ForwardShapeAndDepth) {
+  Rng rng(8);
+  rn::Mlp mlp({6, 8, 8, 1}, rng);
+  rt::Var x(rt::Tensor::randn(3, 6, rng));
+  auto y = mlp.forward(x);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 1u);
+  EXPECT_EQ(mlp.named_parameters().size(), 6u);  // 3 layers x (W, b)
+}
+
+TEST(Mlp, RejectsSingleSize) {
+  Rng rng(9);
+  EXPECT_THROW(rn::Mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(NormalizedAdjacency, IsolatedNodesSelfLoopOnly) {
+  auto a = rn::normalized_adjacency(3, {});
+  // With only self loops, Ahat is the identity.
+  EXPECT_TRUE(a == rt::Tensor::eye(3));
+}
+
+TEST(NormalizedAdjacency, SymmetricAndRowNormalized) {
+  auto a = rn::normalized_adjacency(3, {{0, 1}, {1, 2}});
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(a.at(i, j), a.at(j, i), 1e-12);
+    }
+  }
+  // Known value: deg(0)=2, deg(1)=3 -> entry (0,1) = 1/sqrt(6).
+  EXPECT_NEAR(a.at(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(GcnLayer, PropagatesNeighborInformation) {
+  Rng rng(10);
+  rn::GCNLayer layer(2, 2, rng);
+  // Two nodes connected vs not: outputs of node 0 must differ when node 1
+  // changes iff they are connected.
+  rt::Tensor feats = rt::Tensor::from_rows({{1.0, 0.0}, {0.0, 1.0}});
+  rt::Tensor feats2 = rt::Tensor::from_rows({{1.0, 0.0}, {5.0, -3.0}});
+  auto connected = rn::normalized_adjacency(2, {{0, 1}});
+  auto isolated = rn::normalized_adjacency(2, {});
+
+  auto out_conn_1 = layer.forward(rt::Var(connected), rt::Var(feats)).value();
+  auto out_conn_2 = layer.forward(rt::Var(connected), rt::Var(feats2)).value();
+  EXPECT_GT(std::abs(out_conn_1.at(0, 0) - out_conn_2.at(0, 0)), 1e-9);
+
+  auto out_iso_1 = layer.forward(rt::Var(isolated), rt::Var(feats)).value();
+  auto out_iso_2 = layer.forward(rt::Var(isolated), rt::Var(feats2)).value();
+  EXPECT_NEAR(out_iso_1.at(0, 0), out_iso_2.at(0, 0), 1e-12);
+}
+
+TEST(GcnLayer, GradientsFlowToWeights) {
+  Rng rng(11);
+  rn::GCNLayer layer(3, 4, rng);
+  rt::Var h(rt::Tensor::randn(5, 3, rng));
+  auto ahat = rn::normalized_adjacency(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  rt::sum_all(rt::square(layer.forward(rt::Var(ahat), h))).backward();
+  for (auto& p : layer.parameters()) {
+    EXPECT_GT(p.grad().abs_max(), 0.0);
+  }
+}
+
+TEST(Glorot, BoundsRespected) {
+  Rng rng(12);
+  auto w = rn::glorot_uniform(10, 10, rng);
+  const double limit = std::sqrt(6.0 / 20.0);
+  EXPECT_LE(w.abs_max(), limit);
+  EXPECT_GT(w.norm(), 0.0);
+}

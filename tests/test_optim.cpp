@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace rn = readys::nn;
+namespace rt = readys::tensor;
+using readys::util::Rng;
+
+namespace {
+
+/// Minimizes f(w) = ||w - target||^2 with the given optimizer factory and
+/// returns the final distance to the optimum.
+template <typename MakeOpt>
+double optimize_quadratic(MakeOpt make_opt, int steps) {
+  rt::Var w(rt::Tensor(1, 4, 0.0), true);
+  rt::Var target(rt::Tensor::from_rows({{1.0, -2.0, 3.0, 0.5}}));
+  auto opt = make_opt(std::vector<rt::Var>{w});
+  for (int i = 0; i < steps; ++i) {
+    opt->zero_grad();
+    rt::mse(w, target).backward();
+    opt->step();
+  }
+  double dist = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    dist += std::pow(w.value()[i] - target.value()[i], 2.0);
+  }
+  return std::sqrt(dist);
+}
+
+}  // namespace
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  const double dist = optimize_quadratic(
+      [](std::vector<rt::Var> p) {
+        return std::make_unique<rn::Sgd>(std::move(p), 0.1);
+      },
+      500);
+  EXPECT_LT(dist, 1e-6);
+}
+
+TEST(Sgd, MomentumConvergesFaster) {
+  const double plain = optimize_quadratic(
+      [](std::vector<rt::Var> p) {
+        return std::make_unique<rn::Sgd>(std::move(p), 0.02);
+      },
+      50);
+  const double momentum = optimize_quadratic(
+      [](std::vector<rt::Var> p) {
+        return std::make_unique<rn::Sgd>(std::move(p), 0.02, 0.9);
+      },
+      50);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  const double dist = optimize_quadratic(
+      [](std::vector<rt::Var> p) {
+        return std::make_unique<rn::Adam>(std::move(p), 0.1);
+      },
+      400);
+  EXPECT_LT(dist, 1e-4);
+}
+
+TEST(Adam, FirstStepHasLearningRateMagnitude) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  rt::Var w(rt::Tensor(1, 1, 0.0), true);
+  rn::Adam opt({w}, 0.01);
+  rt::scale(w, 5.0).backward();
+  opt.step();
+  EXPECT_NEAR(w.value()[0], -0.01, 1e-6);
+}
+
+TEST(Optimizer, ClipGradNorm) {
+  rt::Var w(rt::Tensor(1, 2, 0.0), true);
+  rn::Sgd opt({w}, 0.1);
+  // Force a known gradient of norm 5.
+  rt::Var loss = rt::sum_all(
+      rt::mul(w, rt::Var(rt::Tensor::from_rows({{3.0, 4.0}}))));
+  loss.backward();
+  const double norm = opt.clip_grad_norm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-12);
+  EXPECT_NEAR(w.grad().norm(), 1.0, 1e-12);
+  // Clipping below the threshold is a no-op.
+  const double norm2 = opt.clip_grad_norm(10.0);
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+  EXPECT_NEAR(w.grad().norm(), 1.0, 1e-12);
+}
+
+TEST(Training, LinearLayerFitsLinearMap) {
+  // End-to-end sanity: y = xA can be learned by a Linear layer.
+  Rng rng(3);
+  rn::Linear layer(2, 2, rng);
+  rn::Adam opt(layer.parameters(), 0.05);
+  const rt::Tensor a = rt::Tensor::from_rows({{2.0, -1.0}, {0.5, 3.0}});
+  double last_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    rt::Tensor xv = rt::Tensor::randn(8, 2, rng);
+    rt::Var x(xv);
+    rt::Var target(rt::matmul_value(xv, a));
+    opt.zero_grad();
+    rt::Var loss = rt::mse(layer.forward(x), target);
+    loss.backward();
+    opt.step();
+    last_loss = loss.value().item();
+  }
+  EXPECT_LT(last_loss, 1e-3);
+}

@@ -1,0 +1,155 @@
+// Property tests over every scheduler x application x platform x noise
+// combination: traces must always be valid schedules, makespans must
+// respect lower bounds, and dynamic schedulers must not stall.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "core/apps.hpp"
+#include "core/evaluation.hpp"
+#include "dag/random_dag.hpp"
+#include "sched/critical_path.hpp"
+#include "sched/greedy_eft.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sched/random_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace rc = readys::core;
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+
+namespace {
+
+/// Lower bound at sigma = 0: the critical path priced at each task's
+/// fastest resource, and the total work over all resources assuming every
+/// task runs at its fastest.
+double makespan_lower_bound(const rd::TaskGraph& g, const rs::Platform& p,
+                            const rs::CostModel& c) {
+  auto fastest = [&](rd::TaskId t) {
+    double best = std::numeric_limits<double>::infinity();
+    for (rs::ResourceId r = 0; r < p.size(); ++r) {
+      best = std::min(best, c.expected(g, t, p, r));
+    }
+    return best;
+  };
+  std::vector<double> finish(g.num_tasks(), 0.0);
+  double cp = 0.0;
+  double work = 0.0;
+  for (rd::TaskId t : g.topological_order()) {
+    double ready = 0.0;
+    for (rd::TaskId q : g.predecessors(t)) ready = std::max(ready, finish[q]);
+    finish[t] = ready + fastest(t);
+    cp = std::max(cp, finish[t]);
+    work += fastest(t);
+  }
+  return std::max(cp, work / static_cast<double>(p.size()));
+}
+
+struct Combo {
+  std::string scheduler;
+  rc::App app;
+  int tiles;
+  int cpus;
+  int gpus;
+  double sigma;
+};
+
+void PrintTo(const Combo& c, std::ostream* os) {
+  *os << c.scheduler << "_" << rc::app_name(c.app) << "_T" << c.tiles << "_"
+      << c.cpus << "c" << c.gpus << "g_s" << c.sigma;
+}
+
+rc::SchedulerFactory factory_by_name(const std::string& name) {
+  if (name == "heft") return rc::heft_factory();
+  if (name == "mct") return rc::mct_factory();
+  if (name == "random") return rc::random_factory();
+  if (name == "greedy") return rc::greedy_eft_factory();
+  return rc::critical_path_factory();
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<Combo> {};
+
+}  // namespace
+
+TEST_P(SchedulerProperty, ProducesValidScheduleAboveLowerBound) {
+  const Combo combo = GetParam();
+  const auto g = rc::make_graph(combo.app, combo.tiles);
+  const auto c = rc::make_costs(combo.app);
+  const rs::Platform p = rs::Platform::hybrid(combo.cpus, combo.gpus);
+  auto scheduler = factory_by_name(combo.scheduler)(17);
+  rs::Simulator sim(g, p, c, {combo.sigma, 17});
+  const auto result = sim.run(*scheduler);
+  ASSERT_EQ(result.trace.validate(g, p), "");
+  EXPECT_EQ(result.trace.size(), g.num_tasks());
+  if (combo.sigma == 0.0) {
+    EXPECT_GE(result.makespan, makespan_lower_bound(g, p, c) - 1e-9);
+  } else {
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedulerProperty, ::testing::ValuesIn([] {
+      std::vector<Combo> combos;
+      for (const std::string& s :
+           {"heft", "mct", "random", "greedy", "cp"}) {
+        for (rc::App app :
+             {rc::App::kCholesky, rc::App::kLu, rc::App::kQr}) {
+          for (int tiles : {2, 5}) {
+            for (auto [cpus, gpus] :
+                 {std::pair{3, 0}, std::pair{2, 2}, std::pair{0, 3}}) {
+              for (double sigma : {0.0, 0.5}) {
+                combos.push_back({s, app, tiles, cpus, gpus, sigma});
+              }
+            }
+          }
+        }
+      }
+      return combos;
+    }()));
+
+TEST(SchedulerProperty, RandomLayeredDagsAllSchedulersValid) {
+  readys::util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    rd::RandomDagConfig cfg;
+    cfg.layers = 3 + static_cast<int>(rng.uniform_index(4));
+    cfg.width = 2 + static_cast<int>(rng.uniform_index(5));
+    cfg.edge_density = rng.uniform(0.2, 0.9);
+    const auto g = rd::random_layered_dag(cfg, rng);
+    const auto c = rs::CostModel::uniform(cfg.kernel_types, 10.0, 3.0);
+    const auto p = rs::Platform::hybrid(2, 1);
+    for (const std::string& s : {"heft", "mct", "random", "greedy", "cp"}) {
+      auto scheduler = factory_by_name(s)(trial);
+      rs::Simulator sim(g, p, c, {0.3, static_cast<std::uint64_t>(trial)});
+      const auto result = sim.run(*scheduler);
+      EXPECT_EQ(result.trace.validate(g, p), "")
+          << s << " trial " << trial;
+    }
+  }
+}
+
+TEST(SchedulerProperty, HeftBeatsRandomOnAverage) {
+  const auto g = rc::make_graph(rc::App::kCholesky, 6);
+  const auto c = rc::make_costs(rc::App::kCholesky);
+  const auto p = rs::Platform::hybrid(2, 2);
+  const auto heft = rc::evaluate_makespans(g, p, c, rc::heft_factory(), 0.0,
+                                           1, 1);
+  const auto rnd = rc::evaluate_makespans(g, p, c, rc::random_factory(), 0.0,
+                                          10, 1);
+  EXPECT_LT(heft.front(), readys::util::mean(rnd));
+}
+
+TEST(SchedulerProperty, EvaluationIsThreadSafe) {
+  const auto g = rc::make_graph(rc::App::kLu, 5);
+  const auto c = rc::make_costs(rc::App::kLu);
+  const auto p = rs::Platform::hybrid(2, 2);
+  readys::util::ThreadPool pool(4);
+  const auto serial = rc::evaluate_makespans(g, p, c, rc::mct_factory(), 0.4,
+                                             16, 7, nullptr);
+  const auto parallel = rc::evaluate_makespans(g, p, c, rc::mct_factory(),
+                                               0.4, 16, 7, &pool);
+  EXPECT_EQ(serial, parallel);  // per-run seeding makes this exact
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace rn = readys::nn;
+namespace rt = readys::tensor;
+using readys::util::Rng;
+
+namespace {
+
+std::filesystem::path temp_file(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+}  // namespace
+
+TEST(Serialize, InMemoryRoundTripIsExact) {
+  Rng rng1(1);
+  Rng rng2(2);
+  rn::Mlp a({4, 8, 2}, rng1);
+  rn::Mlp b({4, 8, 2}, rng2);
+  rn::deserialize_parameters(b, rn::serialize_parameters(a));
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].value() == pb[i].value()) << "param " << i;
+  }
+}
+
+TEST(Serialize, FileRoundTripPreservesForwardPass) {
+  Rng rng1(3);
+  Rng rng2(4);
+  rn::Mlp a({5, 6, 1}, rng1);
+  rn::Mlp b({5, 6, 1}, rng2);
+  const auto path = temp_file("readys_test_weights.txt");
+  rn::save_parameters(a, path.string());
+  rn::load_parameters(b, path.string());
+  std::filesystem::remove(path);
+
+  rt::Tensor x = rt::Tensor::randn(3, 5, rng1);
+  auto ya = a.forward(rt::Var(x)).value();
+  auto yb = b.forward(rt::Var(x)).value();
+  EXPECT_TRUE(ya == yb);
+}
+
+TEST(Serialize, ArchitectureMismatchThrows) {
+  Rng rng(5);
+  rn::Mlp a({4, 8, 2}, rng);
+  rn::Mlp wrong_shape({4, 9, 2}, rng);
+  rn::Mlp wrong_depth({4, 8, 8, 2}, rng);
+  const std::string blob = rn::serialize_parameters(a);
+  EXPECT_THROW(rn::deserialize_parameters(wrong_shape, blob),
+               std::runtime_error);
+  EXPECT_THROW(rn::deserialize_parameters(wrong_depth, blob),
+               std::runtime_error);
+}
+
+TEST(Serialize, BadHeaderThrows) {
+  Rng rng(6);
+  rn::Mlp a({2, 2}, rng);
+  EXPECT_THROW(rn::deserialize_parameters(a, "not-a-weights-file\n"),
+               std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Rng rng(7);
+  rn::Mlp a({2, 2}, rng);
+  EXPECT_THROW(rn::load_parameters(a, "/nonexistent/readys.txt"),
+               std::runtime_error);
+  EXPECT_THROW(rn::save_parameters(a, "/nonexistent/readys.txt"),
+               std::runtime_error);
+}

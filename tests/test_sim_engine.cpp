@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "dag/cholesky.hpp"
+#include "sim/engine.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+
+namespace {
+
+rd::TaskGraph two_independent() {
+  rd::TaskGraph g("pair", {"A"});
+  g.add_task(0);
+  g.add_task(0);
+  return g;
+}
+
+}  // namespace
+
+TEST(Platform, FactoriesAndCounts) {
+  const auto p = rs::Platform::hybrid(2, 3);
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_EQ(p.num_cpus(), 2);
+  EXPECT_EQ(p.num_gpus(), 3);
+  EXPECT_EQ(p.type(0), rs::ResourceType::kCpu);
+  EXPECT_EQ(p.type(4), rs::ResourceType::kGpu);
+  EXPECT_EQ(p.name(), "2CPU+3GPU");
+  EXPECT_EQ(rs::Platform::cpus(4).name(), "4CPU");
+  EXPECT_EQ(rs::Platform::gpus(2).name(), "2GPU");
+  EXPECT_THROW(rs::Platform({}), std::invalid_argument);
+}
+
+TEST(CostModel, LookupAndValidation) {
+  const auto c = rs::CostModel::cholesky();
+  EXPECT_EQ(c.num_kernels(), 4);
+  EXPECT_DOUBLE_EQ(c.expected(rd::kGemm, rs::ResourceType::kCpu), 170.0);
+  EXPECT_DOUBLE_EQ(c.expected(rd::kGemm, rs::ResourceType::kGpu), 6.0);
+  EXPECT_THROW(c.expected(99, rs::ResourceType::kCpu), std::out_of_range);
+  EXPECT_THROW(rs::CostModel("bad", {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(rs::CostModel("bad", {{0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(CostModel, UnrelatedAccelerationFactors) {
+  // Panel kernels accelerate far less than update kernels — the regime
+  // that makes the platforms "unrelated machines".
+  for (const auto& c : {rs::CostModel::cholesky(), rs::CostModel::lu(),
+                        rs::CostModel::qr()}) {
+    const double panel_accel = c.expected(0, rs::ResourceType::kCpu) /
+                               c.expected(0, rs::ResourceType::kGpu);
+    const double update_accel = c.expected(3, rs::ResourceType::kCpu) /
+                                c.expected(3, rs::ResourceType::kGpu);
+    EXPECT_LT(panel_accel, 3.0) << c.name();
+    EXPECT_GT(update_accel, 15.0) << c.name();
+  }
+}
+
+TEST(CostModel, MeanOverPlatform) {
+  const auto c = rs::CostModel::cholesky();
+  const auto p = rs::Platform::hybrid(1, 1);
+  EXPECT_DOUBLE_EQ(c.mean_over_platform(rd::kPotrf, p), (30.0 + 15.0) / 2.0);
+}
+
+TEST(CostModel, ForGraphDispatch) {
+  EXPECT_EQ(rs::CostModel::for_graph(rd::cholesky_graph(2)).name(),
+            "cholesky");
+  rd::TaskGraph g("mystery", {"A"});
+  g.add_task(0);
+  EXPECT_THROW(rs::CostModel::for_graph(g), std::invalid_argument);
+}
+
+TEST(NoiseModel, DeterministicWhenSigmaZero) {
+  rs::NoiseModel noise(0.0);
+  readys::util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(noise.sample(42.0, rng), 42.0);
+  }
+  EXPECT_THROW(rs::NoiseModel(-0.1), std::invalid_argument);
+}
+
+TEST(NoiseModel, NonNegativeAndCentered) {
+  rs::NoiseModel noise(0.5);
+  readys::util::Rng rng(2);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = noise.sample(100.0, rng);
+    ASSERT_GE(d, 0.0);
+    acc += d;
+  }
+  // Truncation at 0 biases the mean slightly above E for sigma = 0.5; it
+  // must stay within a few percent.
+  EXPECT_NEAR(acc / n, 100.0, 5.0);
+}
+
+TEST(SimEngine, InitialStateHasSourcesReady) {
+  const auto g = rd::cholesky_graph(4);
+  const auto p = rs::Platform::cpus(2);
+  const auto c = rs::CostModel::cholesky();
+  rs::SimEngine e(g, p, c, 0.0, 1);
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_FALSE(e.finished());
+  EXPECT_EQ(e.ready().size(), 1u);
+  EXPECT_EQ(e.ready().front(), g.sources().front());
+  EXPECT_EQ(e.idle_resources().size(), 2u);
+}
+
+TEST(SimEngine, StartValidation) {
+  const auto g = two_independent();
+  const auto p = rs::Platform::cpus(1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 5.0);
+  rs::SimEngine e(g, p, c, 0.0, 1);
+  e.start(0, 0);
+  EXPECT_THROW(e.start(1, 0), std::logic_error);   // resource busy
+  EXPECT_THROW(e.start(0, 0), std::logic_error);   // not ready anymore
+  EXPECT_THROW(e.start(1, 99), std::logic_error);  // bad resource
+}
+
+TEST(SimEngine, DeterministicChainExecution) {
+  rd::TaskGraph g("chain", {"A"});
+  g.add_task(0);
+  g.add_task(0);
+  g.add_edge(0, 1);
+  const auto p = rs::Platform::cpus(1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 5.0);
+  rs::SimEngine e(g, p, c, 0.0, 1);
+  e.start(0, 0);
+  EXPECT_TRUE(e.advance());
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+  EXPECT_EQ(e.ready().size(), 1u);
+  e.start(1, 0);
+  EXPECT_TRUE(e.advance());
+  EXPECT_DOUBLE_EQ(e.now(), 20.0);
+  EXPECT_TRUE(e.finished());
+  EXPECT_DOUBLE_EQ(e.makespan(), 20.0);
+  EXPECT_FALSE(e.advance());  // nothing running
+}
+
+TEST(SimEngine, SimultaneousCompletionsRetireTogether) {
+  const auto g = two_independent();
+  const auto p = rs::Platform::cpus(2);
+  const auto c = rs::CostModel::uniform(1, 10.0, 5.0);
+  rs::SimEngine e(g, p, c, 0.0, 1);
+  e.start(0, 0);
+  e.start(1, 1);
+  EXPECT_TRUE(e.advance());
+  EXPECT_TRUE(e.finished());
+  EXPECT_EQ(e.num_completed(), 2u);
+}
+
+TEST(SimEngine, ExpectedAvailability) {
+  const auto g = two_independent();
+  const auto p = rs::Platform::hybrid(1, 1);
+  const auto c = rs::CostModel::uniform(1, 10.0, 4.0);
+  rs::SimEngine e(g, p, c, 0.0, 1);
+  EXPECT_DOUBLE_EQ(e.expected_available_at(0), 0.0);
+  e.start(0, 0);  // CPU, expected 10
+  EXPECT_DOUBLE_EQ(e.expected_available_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(e.expected_available_at(1), 0.0);
+  EXPECT_DOUBLE_EQ(e.expected_duration(1, 1), 4.0);
+}
+
+TEST(SimEngine, ResetReproducesNoiseStream) {
+  const auto g = two_independent();
+  const auto p = rs::Platform::cpus(2);
+  const auto c = rs::CostModel::uniform(1, 100.0, 50.0);
+  rs::SimEngine e(g, p, c, 0.3, 123);
+  e.start(0, 0);
+  e.start(1, 1);
+  e.advance();
+  while (!e.finished()) e.advance();
+  const double mk1 = e.makespan();
+  e.reset(123);
+  e.start(0, 0);
+  e.start(1, 1);
+  while (!e.finished()) e.advance();
+  EXPECT_DOUBLE_EQ(e.makespan(), mk1);
+  e.reset(124);
+  e.start(0, 0);
+  e.start(1, 1);
+  while (!e.finished()) e.advance();
+  EXPECT_NE(e.makespan(), mk1);
+}
+
+TEST(SimEngine, CostModelCoverageChecked) {
+  const auto g = rd::cholesky_graph(2);  // 4 kernel types
+  const auto p = rs::Platform::cpus(1);
+  const auto c = rs::CostModel::uniform(2, 1.0, 1.0);  // only 2 kernels
+  EXPECT_THROW(rs::SimEngine(g, p, c, 0.0, 1), std::invalid_argument);
+}

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "dag/cholesky.hpp"
+#include "rl/state_encoder.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rr = readys::rl;
+
+namespace {
+
+struct Fixture {
+  rd::TaskGraph graph = rd::cholesky_graph(4);
+  rs::Platform platform = rs::Platform::hybrid(2, 2);
+  rs::CostModel costs = rs::CostModel::cholesky();
+};
+
+}  // namespace
+
+TEST(StateEncoder, WidthsAreConsistent) {
+  EXPECT_EQ(rr::StateEncoder::node_feature_width(4), 17);
+  EXPECT_EQ(rr::StateEncoder::kResourceFeatureWidth, 8);
+}
+
+TEST(StateEncoder, InitialObservationHasSourceReady) {
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  rr::StateEncoder enc(f.graph, f.costs, 1);
+  const auto obs = enc.encode(engine, 0);
+  ASSERT_EQ(obs.ready_tasks.size(), 1u);
+  EXPECT_EQ(obs.ready_tasks.front(), f.graph.sources().front());
+  EXPECT_FALSE(obs.allow_idle);  // nothing running yet
+  EXPECT_EQ(obs.num_actions(), 1u);
+  EXPECT_EQ(obs.features.rows(), obs.window.size());
+  EXPECT_EQ(obs.features.cols(), 17u);
+  EXPECT_EQ(obs.ahat.rows(), obs.window.size());
+  EXPECT_EQ(obs.ahat.cols(), obs.window.size());
+}
+
+TEST(StateEncoder, WindowGrowsWithW) {
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  std::size_t prev = 0;
+  for (int w = 0; w <= 3; ++w) {
+    rr::StateEncoder enc(f.graph, f.costs, w);
+    const auto obs = enc.encode(engine, 0);
+    EXPECT_GE(obs.window.size(), prev);
+    prev = obs.window.size();
+  }
+  EXPECT_GT(prev, 1u);
+}
+
+TEST(StateEncoder, RunningTaskFlagsSet) {
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  const auto src = f.graph.sources().front();
+  engine.start(src, 3);  // a GPU
+  rr::StateEncoder enc(f.graph, f.costs, 2);
+  const auto obs = enc.encode(engine, 0);
+  EXPECT_TRUE(obs.allow_idle);
+  const auto pos = obs.window.position_of(src);
+  ASSERT_NE(pos, rd::Window::npos);
+  const int base = enc.static_features().static_width();
+  EXPECT_DOUBLE_EQ(obs.features.at(pos, base + 0), 0.0);  // not ready
+  EXPECT_DOUBLE_EQ(obs.features.at(pos, base + 1), 1.0);  // running
+  EXPECT_GT(obs.features.at(pos, base + 2), 0.0);         // remaining
+  EXPECT_DOUBLE_EQ(obs.features.at(pos, base + 3), 1.0);  // on GPU
+}
+
+TEST(StateEncoder, ResourceSummaryFields) {
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  rr::StateEncoder enc(f.graph, f.costs, 1);
+  {
+    const auto obs = enc.encode(engine, 0);  // CPU current
+    EXPECT_DOUBLE_EQ(obs.resource_state[0], 0.0);
+    EXPECT_DOUBLE_EQ(obs.resource_state[1], 1.0);  // all CPUs idle
+    EXPECT_DOUBLE_EQ(obs.resource_state[2], 1.0);  // all GPUs idle
+    EXPECT_DOUBLE_EQ(obs.resource_state[5], 0.5);  // CPU share
+    EXPECT_DOUBLE_EQ(obs.resource_state[6], 0.5);  // GPU share
+  }
+  {
+    const auto obs = enc.encode(engine, 2);  // GPU current
+    EXPECT_DOUBLE_EQ(obs.resource_state[0], 1.0);
+  }
+  engine.start(f.graph.sources().front(), 0);
+  {
+    const auto obs = enc.encode(engine, 1);
+    EXPECT_DOUBLE_EQ(obs.resource_state[1], 0.5);  // one CPU busy
+    // CPU 1 is still idle, so the earliest CPU availability stays 0.
+    EXPECT_DOUBLE_EQ(obs.resource_state[3], 0.0);
+    EXPECT_DOUBLE_EQ(obs.resource_state[4], 0.0);  // GPUs available now
+  }
+  {
+    // With every CPU busy the earliest CPU availability must be positive.
+    rs::SimEngine busy(f.graph, rs::Platform::cpus(1), f.costs, 0.0, 1);
+    busy.start(f.graph.sources().front(), 0);
+    rr::StateEncoder enc1(f.graph, f.costs, 1);
+    const auto obs = enc1.encode(busy, 0, true);
+    EXPECT_GT(obs.resource_state[3], 0.0);
+  }
+}
+
+TEST(StateEncoder, ReadyPositionsAlignWithTasks) {
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  // Run the source to get several ready tasks (3 TRSMs for T=4).
+  engine.start(f.graph.sources().front(), 0);
+  engine.advance();
+  ASSERT_EQ(engine.ready().size(), 3u);
+  rr::StateEncoder enc(f.graph, f.costs, 1);
+  const auto obs = enc.encode(engine, 0);
+  ASSERT_EQ(obs.ready_tasks.size(), 3u);
+  ASSERT_EQ(obs.ready_positions.size(), 3u);
+  for (std::size_t i = 0; i < obs.ready_tasks.size(); ++i) {
+    EXPECT_EQ(obs.window.nodes[obs.ready_positions[i]], obs.ready_tasks[i]);
+  }
+}
+
+TEST(StateEncoder, CpuOnlyPlatformHasGpuDefaults) {
+  Fixture f;
+  const auto p = rs::Platform::cpus(4);
+  rs::SimEngine engine(f.graph, p, f.costs, 0.0, 1);
+  rr::StateEncoder enc(f.graph, f.costs, 1);
+  const auto obs = enc.encode(engine, 0);
+  EXPECT_DOUBLE_EQ(obs.resource_state[2], 0.0);  // no GPUs to be idle
+  EXPECT_DOUBLE_EQ(obs.resource_state[6], 0.0);  // zero GPU share
+  EXPECT_DOUBLE_EQ(obs.resource_state[4], 1.0);  // sentinel availability
+}

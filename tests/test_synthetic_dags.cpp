@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "dag/synthetic.hpp"
+#include "sched/mct.hpp"
+#include "sim/simulator.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+
+TEST(ForkJoin, StructureAndCounts) {
+  // 1 source + stages * (width*depth + 1 join).
+  const auto g = rd::fork_join_graph(3, 4, 2);
+  EXPECT_EQ(g.num_tasks(), 1u + 3u * (4u * 2u + 1u));
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.depth(), 3u * (2u + 1u));
+  EXPECT_EQ(g.topological_order().size(), g.num_tasks());
+}
+
+TEST(ForkJoin, RejectsBadConfig) {
+  EXPECT_THROW(rd::fork_join_graph(0, 1), std::invalid_argument);
+  EXPECT_THROW(rd::fork_join_graph(1, 0), std::invalid_argument);
+}
+
+TEST(Stencil, StructureAndCounts) {
+  const auto g = rd::stencil_1d_graph(4, 5);
+  EXPECT_EQ(g.num_tasks(), 20u);
+  EXPECT_EQ(g.sources().size(), 5u);  // entire first time step
+  EXPECT_EQ(g.sinks().size(), 5u);    // entire last time step
+  EXPECT_EQ(g.depth(), 3u);
+  // Inner cell of step 2 depends on 3 neighbors.
+  bool found_inner = false;
+  for (rd::TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (g.in_degree(t) == 3) found_inner = true;
+  }
+  EXPECT_TRUE(found_inner);
+}
+
+TEST(Stencil, SingleCellIsAChain) {
+  const auto g = rd::stencil_1d_graph(5, 1);
+  EXPECT_EQ(g.num_tasks(), 5u);
+  EXPECT_EQ(g.depth(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(ReductionTree, StructureAndCounts) {
+  const auto g = rd::reduction_tree_graph(8);
+  EXPECT_EQ(g.num_tasks(), 15u);  // 8 leaves + 7 internal
+  EXPECT_EQ(g.sources().size(), 8u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.depth(), 3u);
+  EXPECT_THROW(rd::reduction_tree_graph(6), std::invalid_argument);
+  EXPECT_THROW(rd::reduction_tree_graph(0), std::invalid_argument);
+}
+
+TEST(ReductionTree, SingleLeafDegenerate) {
+  const auto g = rd::reduction_tree_graph(1);
+  EXPECT_EQ(g.num_tasks(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(IndependentTasks, NoEdgesAllTypes) {
+  const auto g = rd::independent_tasks_graph(12);
+  EXPECT_EQ(g.num_tasks(), 12u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  const auto counts = g.kernel_counts();
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    EXPECT_EQ(counts[k], 3u) << "type " << k;
+  }
+}
+
+TEST(SyntheticDags, SchedulableEndToEnd) {
+  const rs::CostModel costs = rs::CostModel::cholesky();
+  const auto p = rs::Platform::hybrid(2, 1);
+  for (const auto& g :
+       {rd::fork_join_graph(2, 3), rd::stencil_1d_graph(3, 4),
+        rd::reduction_tree_graph(4), rd::independent_tasks_graph(10)}) {
+    readys::sched::MctScheduler mct;
+    rs::Simulator sim(g, p, costs, {0.3, 7});
+    const auto result = sim.run(mct);
+    EXPECT_EQ(result.trace.validate(g, p), "") << g.name();
+  }
+}

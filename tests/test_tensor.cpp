@@ -1,0 +1,103 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rt = readys::tensor;
+
+TEST(Tensor, DefaultIsEmpty) {
+  rt::Tensor t;
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ConstructFill) {
+  rt::Tensor t(2, 3, 1.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 1.5);
+}
+
+TEST(Tensor, FromRows) {
+  auto t = rt::Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 4.0);
+}
+
+TEST(Tensor, FromRowsRaggedThrows) {
+  EXPECT_THROW(rt::Tensor::from_rows({{1.0}, {2.0, 3.0}}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, RowVector) {
+  auto t = rt::Tensor::row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_DOUBLE_EQ(t[2], 3.0);
+}
+
+TEST(Tensor, Eye) {
+  auto t = rt::Tensor::eye(3);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 3.0);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  rt::Tensor s(1, 1, 4.0);
+  EXPECT_DOUBLE_EQ(s.item(), 4.0);
+  rt::Tensor m(2, 2);
+  EXPECT_THROW(m.item(), std::logic_error);
+}
+
+TEST(Tensor, AddInPlace) {
+  rt::Tensor a(2, 2, 1.0);
+  rt::Tensor b(2, 2, 2.0);
+  a.add_(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  rt::Tensor c(1, 2);
+  EXPECT_THROW(a.add_(c), std::invalid_argument);
+}
+
+TEST(Tensor, ScaleSumNorm) {
+  auto t = rt::Tensor::from_rows({{3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(t.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 7.0);
+  t.scale_(2.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(t.abs_max(), 8.0);
+}
+
+TEST(Tensor, RandnIsSeeded) {
+  readys::util::Rng r1(42);
+  readys::util::Rng r2(42);
+  auto a = rt::Tensor::randn(4, 4, r1);
+  auto b = rt::Tensor::randn(4, 4, r2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Tensor, MatmulValueIdentity) {
+  auto a = rt::Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  auto out = rt::matmul_value(a, rt::Tensor::eye(2));
+  EXPECT_TRUE(out == a);
+}
+
+TEST(Tensor, MatmulValueKnownProduct) {
+  auto a = rt::Tensor::from_rows({{1.0, 2.0, 3.0}});
+  auto b = rt::Tensor::from_rows({{1.0}, {10.0}, {100.0}});
+  auto out = rt::matmul_value(a, b);
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out.cols(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 321.0);
+}
+
+TEST(Tensor, MatmulValueShapeMismatchThrows) {
+  rt::Tensor a(2, 3);
+  rt::Tensor b(2, 3);
+  EXPECT_THROW(rt::matmul_value(a, b), std::invalid_argument);
+}

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dag/cholesky.hpp"
+#include "sched/mct.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_export.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+
+namespace {
+
+struct Executed {
+  rd::TaskGraph graph = rd::cholesky_graph(3);
+  rs::Platform platform = rs::Platform::hybrid(1, 1);
+  rs::CostModel costs = rs::CostModel::cholesky();
+  rs::Trace trace;
+
+  Executed() {
+    readys::sched::MctScheduler mct;
+    rs::Simulator sim(graph, platform, costs, {0.0, 1});
+    trace = sim.run(mct).trace;
+  }
+};
+
+}  // namespace
+
+TEST(ChromeTrace, ContainsEveryTaskAndResourceLabels) {
+  Executed fx;
+  const std::string json = rs::to_chrome_trace(fx.trace, fx.graph, fx.platform);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("CPU 0"), std::string::npos);
+  EXPECT_NE(json.find("GPU 1"), std::string::npos);
+  std::size_t events = 0;
+  for (std::size_t p = json.find("\"ph\":\"X\""); p != std::string::npos;
+       p = json.find("\"ph\":\"X\"", p + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, fx.graph.num_tasks());
+  // Kernel names appear as event labels.
+  EXPECT_NE(json.find("POTRF"), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFile) {
+  Executed fx;
+  const auto path =
+      (std::filesystem::temp_directory_path() / "readys_trace.json").string();
+  rs::write_chrome_trace(fx.trace, fx.graph, fx.platform, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, rs::to_chrome_trace(fx.trace, fx.graph, fx.platform));
+  std::filesystem::remove(path);
+  EXPECT_THROW(
+      rs::write_chrome_trace(fx.trace, fx.graph, fx.platform, "/nope/x.json"),
+      std::runtime_error);
+}
+
+TEST(AsciiGantt, OneRowPerResourceWithBusyCells) {
+  Executed fx;
+  const std::string gantt =
+      rs::to_ascii_gantt(fx.trace, fx.graph, fx.platform, 60);
+  EXPECT_NE(gantt.find("CPU 0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("GPU 1 |"), std::string::npos);
+  EXPECT_NE(gantt.find("makespan:"), std::string::npos);
+  // The GPU runs the bulk of the work; its row must contain busy cells.
+  const auto gpu_row_start = gantt.find("GPU 1 |");
+  const auto row = gantt.substr(gpu_row_start, 60);
+  EXPECT_NE(row.find_first_not_of("GPU 1|. \n"), std::string::npos);
+}
+
+TEST(AsciiGantt, EmptyTraceHandled) {
+  Executed fx;
+  rs::Trace empty;
+  const std::string gantt =
+      rs::to_ascii_gantt(empty, fx.graph, fx.platform, 40);
+  EXPECT_NE(gantt.find("empty"), std::string::npos);
+}

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ru = readys::util;
+
+TEST(Rng, DeterministicStreams) {
+  ru::Rng a(1);
+  ru::Rng b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SplitIsIndependent) {
+  ru::Rng a(1);
+  ru::Rng child = a.split();
+  // Parent and child streams must diverge.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  ru::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  ru::Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Rng, NormalMoments) {
+  ru::Rng rng(4);
+  ru::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  ru::Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, SummaryKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = ru::summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(s.ci95_half_width, 1.96 * std::sqrt(2.5 / 5.0), 1e-12);
+}
+
+TEST(Stats, EmptySampleIsZero) {
+  const auto s = ru::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 0.5), 2.5);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ru::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue) {
+  ru::ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ru::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "readys_test.csv").string();
+  {
+    ru::CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<std::string>{"x", "y,z"});
+    csv.row(std::vector<double>{1.5, 2.0});
+    EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}),
+                 std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,\"y,z\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, JoinAndSplit) {
+  EXPECT_EQ(ru::join({"a", "b", "c"}, "-"), "a-b-c");
+  const auto parts = ru::split("1,2,,3", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Env, FallbacksAndParsing) {
+  ::unsetenv("READYS_TEST_VAR");
+  EXPECT_EQ(ru::env_int("READYS_TEST_VAR", 5), 5);
+  ::setenv("READYS_TEST_VAR", "12", 1);
+  EXPECT_EQ(ru::env_int("READYS_TEST_VAR", 5), 12);
+  ::setenv("READYS_TEST_VAR", "0.5,1,2", 1);
+  const auto xs = ru::env_double_list("READYS_TEST_VAR", {});
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 0.5);
+  ::setenv("READYS_TEST_VAR", "garbage", 1);
+  EXPECT_EQ(ru::env_int("READYS_TEST_VAR", 5), 5);
+  ::unsetenv("READYS_TEST_VAR");
+}
+
+TEST(Table, AlignedRendering) {
+  ru::Table t({"name", "value"});
+  t.add_row({"x", ru::Table::num(1.23456, 2)});
+  t.add_row({"longer-name", "9"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
