@@ -60,14 +60,21 @@ inline rl::AgentConfig default_agent_config(const Budget& b,
 /// MDP has a known bad local optimum (serialize everything on one GPU);
 /// best-of-k seeds is the standard cheap hedge and is reported as such
 /// in EXPERIMENTS.md.
+///
+/// The k trainings share nothing (each owns its net, env and RNG
+/// streams), so with a pool they run concurrently; the selection scan
+/// stays serial and deterministic. Results are identical with and
+/// without a pool.
 inline std::unique_ptr<rl::ReadysAgent> train_agent(
     const dag::TaskGraph& graph, const sim::Platform& platform,
     const sim::CostModel& costs, double sigma, const Budget& budget,
-    std::uint64_t seed = 1) {
-  std::unique_ptr<rl::ReadysAgent> best;
-  double best_mean = 0.0;
-  for (int k = 0; k < std::max(1, budget.train_seeds); ++k) {
-    const std::uint64_t s = seed + static_cast<std::uint64_t>(k) * 7919;
+    std::uint64_t seed = 1, util::ThreadPool* pool = nullptr) {
+  const int k = std::max(1, budget.train_seeds);
+  std::vector<std::unique_ptr<rl::ReadysAgent>> agents(
+      static_cast<std::size_t>(k));
+  std::vector<double> means(static_cast<std::size_t>(k), 0.0);
+  const auto train_one = [&](std::size_t i) {
+    const std::uint64_t s = seed + static_cast<std::uint64_t>(i) * 7919;
     auto agent = std::make_unique<rl::ReadysAgent>(
         graph.num_kernel_types(), default_agent_config(budget, s));
     rl::TrainOptions opts;
@@ -75,15 +82,25 @@ inline std::unique_ptr<rl::ReadysAgent> train_agent(
     opts.sigma = sigma;
     opts.seed = s;
     agent->train(graph, platform, costs, opts);
-    const double mean = util::mean(
+    // Serial evaluation on purpose: the pool's workers are already busy
+    // with sibling trainings and nested parallel_for would deadlock.
+    means[i] = util::mean(
         agent->evaluate(graph, platform, costs, sigma, budget.eval_seeds,
                         20'000));
-    if (!best || mean < best_mean) {
-      best = std::move(agent);
-      best_mean = mean;
+    agents[i] = std::move(agent);
+  };
+  if (pool != nullptr && k > 1) {
+    pool->parallel_for(static_cast<std::size_t>(k), train_one);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(k); ++i) {
+      train_one(i);
     }
   }
-  return best;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < means.size(); ++i) {
+    if (means[i] < means[best]) best = i;
+  }
+  return std::move(agents[best]);
 }
 
 /// Factory adapter for a trained agent (greedy evaluation policy).

@@ -1,0 +1,140 @@
+// Simulator-throughput baseline: decisions/sec and episodes/sec of the
+// discrete-event core under the non-learned schedulers, on the tile
+// counts the paper trains over. RL training replays thousands of
+// episodes per configuration, so this loop *is* the training hot path;
+// the numbers land in BENCH_sim_throughput.json so successive PRs can
+// track the trajectory.
+//
+// A "decision" is one task placement (one SimEngine::start); an episode
+// schedules every task of the DAG, so decisions/sec ~= tasks simulated
+// per second.
+//
+//   READYS_BENCH_TILES     comma list of Cholesky tile counts (10,20,30)
+//   READYS_BENCH_SECONDS   min wall time per (scheduler, T) cell (0.5)
+//   READYS_BENCH_SIGMA     duration noise level (0.3)
+//   READYS_BENCH_EPISODES  fixed episode count per cell (0 = time-target);
+//                          makes mean_makespan comparable across engines
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/readys.hpp"
+
+using namespace readys;
+
+namespace {
+
+struct Cell {
+  std::string scheduler;
+  int tiles = 0;
+  std::size_t tasks = 0;
+  int episodes = 0;
+  double wall_s = 0.0;
+  double decisions_per_s = 0.0;
+  double episodes_per_s = 0.0;
+  double mean_makespan = 0.0;  ///< fingerprint: must not move across PRs
+};
+
+Cell run_cell(const std::string& name, const core::SchedulerFactory& factory,
+              const dag::TaskGraph& graph, const sim::Platform& platform,
+              const sim::CostModel& costs, int tiles, double sigma,
+              double min_seconds, int fixed_episodes) {
+  using clock = std::chrono::steady_clock;
+  Cell cell;
+  cell.scheduler = name;
+  cell.tiles = tiles;
+  cell.tasks = graph.num_tasks();
+
+  // Warm-up run (touches cold memory, builds HEFT's static schedule).
+  {
+    auto sched = factory(0);
+    sim::Simulator sim(graph, platform, costs, {sigma, 1});
+    sim.run(*sched);
+  }
+
+  double makespan_acc = 0.0;
+  const auto t0 = clock::now();
+  double elapsed = 0.0;
+  while (fixed_episodes > 0 ? cell.episodes < fixed_episodes
+                            : elapsed < min_seconds) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(cell.episodes) + 1;
+    auto sched = factory(seed);
+    sim::Simulator sim(graph, platform, costs, {sigma, seed});
+    makespan_acc += sim.run(*sched).makespan;
+    ++cell.episodes;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  }
+  cell.wall_s = elapsed;
+  const double decisions =
+      static_cast<double>(cell.tasks) * static_cast<double>(cell.episodes);
+  cell.decisions_per_s = decisions / elapsed;
+  cell.episodes_per_s = static_cast<double>(cell.episodes) / elapsed;
+  cell.mean_makespan = makespan_acc / static_cast<double>(cell.episodes);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const auto tiles = util::env_int_list("READYS_BENCH_TILES", {10, 20, 30});
+  const double min_seconds = util::env_double("READYS_BENCH_SECONDS", 0.5);
+  const double sigma = util::env_double("READYS_BENCH_SIGMA", 0.3);
+  const int fixed_episodes = util::env_int("READYS_BENCH_EPISODES", 0);
+  const auto platform = sim::Platform::hybrid(2, 2);
+  const auto costs = sim::CostModel::cholesky();
+
+  const std::vector<std::pair<std::string, core::SchedulerFactory>> scheds{
+      {"MCT", core::mct_factory()},
+      {"HEFT", core::heft_factory()},
+      {"RANDOM", core::random_factory()},
+  };
+
+  std::printf("=== Simulator throughput on %s, sigma=%.2f ===\n\n",
+              platform.name().c_str(), sigma);
+  util::Table table({"scheduler", "T", "tasks", "episodes", "decisions/s",
+                     "episodes/s", "mean mk (ms)"});
+  std::vector<Cell> cells;
+  for (int t : tiles) {
+    const auto graph = dag::cholesky_graph(t);
+    for (const auto& [name, factory] : scheds) {
+      const auto cell = run_cell(name, factory, graph, platform, costs, t,
+                                 sigma, min_seconds, fixed_episodes);
+      table.add_row({cell.scheduler, std::to_string(cell.tiles),
+                     std::to_string(cell.tasks),
+                     std::to_string(cell.episodes),
+                     util::Table::num(cell.decisions_per_s, 0),
+                     util::Table::num(cell.episodes_per_s, 1),
+                     util::Table::num(cell.mean_makespan, 1)});
+      cells.push_back(cell);
+    }
+  }
+  table.print();
+
+  const char* path = "BENCH_sim_throughput.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"benchmark\": \"sim_throughput\",\n");
+    std::fprintf(f, "  \"platform\": \"%s\",\n  \"sigma\": %.3f,\n",
+                 platform.name().c_str(), sigma);
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"scheduler\": \"%s\", \"tiles\": %d, \"tasks\": "
+                   "%zu, \"episodes\": %d, \"wall_s\": %.3f, "
+                   "\"decisions_per_s\": %.1f, \"episodes_per_s\": %.2f, "
+                   "\"mean_makespan_ms\": %.3f}%s\n",
+                   c.scheduler.c_str(), c.tiles, c.tasks, c.episodes,
+                   c.wall_s, c.decisions_per_s, c.episodes_per_s,
+                   c.mean_makespan, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nbaseline written to %s\n", path);
+  } else {
+    std::perror("BENCH_sim_throughput.json");
+    return 1;
+  }
+  return 0;
+}

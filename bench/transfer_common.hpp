@@ -37,8 +37,8 @@ inline int run_transfer_figure(const char* figure_name,
     const auto graph = core::make_graph(core::App::kCholesky, t);
     std::printf("training on T=%d (%zu tasks)...\n", t, graph.num_tasks());
     std::fflush(stdout);
-    agents.emplace_back(
-        t, train_agent(graph, platform, costs, train_sigma, budget));
+    agents.emplace_back(t, train_agent(graph, platform, costs, train_sigma,
+                                       budget, /*seed=*/1, &pool));
   }
   std::printf("\n");
 

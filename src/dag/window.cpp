@@ -5,6 +5,10 @@
 namespace readys::dag {
 
 std::size_t Window::position_of(TaskId t) const noexcept {
+  if (!index.empty()) {
+    const auto it = index.find(t);
+    return it != index.end() ? it->second : npos;
+  }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (nodes[i] == t) return i;
   }
@@ -14,7 +18,7 @@ std::size_t Window::position_of(TaskId t) const noexcept {
 Window extract_window(const TaskGraph& graph,
                       const std::vector<TaskId>& seeds, int window) {
   Window w;
-  std::unordered_map<TaskId, std::size_t> index;
+  auto& index = w.index;
   index.reserve(seeds.size() * 4);
 
   auto add_node = [&](TaskId t, int d) -> bool {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "dag/task_graph.hpp"
@@ -17,11 +18,15 @@ struct Window {
   std::vector<std::pair<std::size_t, std::size_t>> edges;
   /// BFS depth of each node (0 for seeds).
   std::vector<int> depth;
+  /// task id -> position in `nodes`; filled by extract_window. Windows
+  /// assembled by hand may leave it empty — position_of then falls back
+  /// to a linear scan.
+  std::unordered_map<TaskId, std::size_t> index;
 
   std::size_t size() const noexcept { return nodes.size(); }
 
-  /// Position of a task inside `nodes`, or npos if absent. O(n) scan —
-  /// windows are small by design.
+  /// Position of a task inside `nodes`, or npos if absent. O(1) via the
+  /// index map when present, O(n) scan otherwise.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t position_of(TaskId t) const noexcept;
 };

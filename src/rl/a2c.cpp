@@ -171,6 +171,11 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
 std::vector<double> A2CTrainer::evaluate(SchedulingEnv& env, int episodes,
                                          std::uint64_t seed_base,
                                          bool greedy) {
+  // Evaluation must be a pure function of (policy weights, seed_base):
+  // drawing from the shared training sample_rng_ would make the result
+  // depend on how many actions were sampled during training before the
+  // call, so sampled (non-greedy) evaluation uses its own stream.
+  util::Rng eval_rng(seed_base ^ 0xE7037ED1A0B428DBULL);
   std::vector<double> makespans;
   makespans.reserve(static_cast<std::size_t>(episodes));
   for (int ep = 0; ep < episodes; ++ep) {
@@ -178,7 +183,7 @@ std::vector<double> A2CTrainer::evaluate(SchedulingEnv& env, int episodes,
     bool done = env.done();
     while (!done) {
       const PolicyNet::Output out = net_->forward(env.observation());
-      const std::size_t a = select_action(out, greedy, sample_rng_);
+      const std::size_t a = select_action(out, greedy, eval_rng);
       done = env.step(a).done;
     }
     makespans.push_back(env.makespan());

@@ -1,5 +1,6 @@
 #include "sched/mct.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace readys::sched {
@@ -8,36 +9,57 @@ MctScheduler::MctScheduler(bool comm_aware) : comm_aware_(comm_aware) {}
 
 void MctScheduler::reset(const sim::SimEngine& engine) {
   queue_.assign(static_cast<std::size_t>(engine.platform().size()), {});
+  tail_.assign(static_cast<std::size_t>(engine.platform().size()), 0.0);
   bound_.assign(engine.graph().num_tasks(), false);
+  log_cursor_ = 0;
 }
 
 double MctScheduler::expected_available(const sim::SimEngine& engine,
                                         sim::ResourceId r) const {
-  double t = engine.expected_available_at(r);
-  for (dag::TaskId q : queue_[static_cast<std::size_t>(r)]) {
-    t += engine.expected_duration(q, r);
-  }
-  return t;
+  return engine.expected_available_at(r) +
+         tail_[static_cast<std::size_t>(r)];
 }
 
 std::vector<sim::Assignment> MctScheduler::decide(
     const sim::SimEngine& engine) {
   // Bind newly-ready tasks to their minimum-expected-completion resource.
-  for (dag::TaskId t : engine.ready()) {
-    if (bound_[t]) continue;
-    double best = std::numeric_limits<double>::infinity();
-    sim::ResourceId best_r = 0;
-    for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
-      double completion =
-          expected_available(engine, r) + engine.expected_duration(t, r);
-      if (comm_aware_) completion += engine.expected_input_delay(t, r);
-      if (completion < best) {
-        best = completion;
-        best_r = r;
-      }
+  // Everything ready before log_cursor_ was bound by an earlier scan, so
+  // only the new tail of the ready log needs work: O(new) per decision
+  // instead of rescanning the whole ready set. Sorting the batch by id
+  // reproduces the ascending-id binding order of a full ready() scan.
+  const auto& log = engine.ready_log();
+  if (log_cursor_ < log.size()) {
+    batch_.assign(log.begin() + static_cast<std::ptrdiff_t>(log_cursor_),
+                  log.end());
+    log_cursor_ = log.size();
+    std::sort(batch_.begin(), batch_.end());
+    const sim::ResourceId n_res = engine.platform().size();
+    // Running-task remainders are fixed for the whole scan; only the
+    // queue tails move as tasks are bound.
+    avail_base_.resize(static_cast<std::size_t>(n_res));
+    for (sim::ResourceId r = 0; r < n_res; ++r) {
+      avail_base_[static_cast<std::size_t>(r)] =
+          engine.expected_available_at(r);
     }
-    queue_[static_cast<std::size_t>(best_r)].push_back(t);
-    bound_[t] = true;
+    for (dag::TaskId t : batch_) {
+      if (bound_[t]) continue;
+      double best = std::numeric_limits<double>::infinity();
+      sim::ResourceId best_r = 0;
+      for (sim::ResourceId r = 0; r < n_res; ++r) {
+        double completion = (avail_base_[static_cast<std::size_t>(r)] +
+                             tail_[static_cast<std::size_t>(r)]) +
+                            engine.expected_duration(t, r);
+        if (comm_aware_) completion += engine.expected_input_delay(t, r);
+        if (completion < best) {
+          best = completion;
+          best_r = r;
+        }
+      }
+      queue_[static_cast<std::size_t>(best_r)].push_back(t);
+      tail_[static_cast<std::size_t>(best_r)] +=
+          engine.expected_duration(t, best_r);
+      bound_[t] = true;
+    }
   }
   // Idle resources pull the head of their own queue.
   std::vector<sim::Assignment> out;
@@ -45,7 +67,10 @@ std::vector<sim::Assignment> MctScheduler::decide(
     auto& q = queue_[static_cast<std::size_t>(r)];
     if (engine.is_idle(r) && !q.empty()) {
       out.push_back({q.front(), r});
+      tail_[static_cast<std::size_t>(r)] -=
+          engine.expected_duration(q.front(), r);
       q.pop_front();
+      if (q.empty()) tail_[static_cast<std::size_t>(r)] = 0.0;
     }
   }
   return out;

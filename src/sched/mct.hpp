@@ -35,7 +35,20 @@ class MctScheduler : public sim::Scheduler {
 
   bool comm_aware_;
   std::vector<std::deque<dag::TaskId>> queue_;  // per resource
+  /// Sum of expected durations of queue_[r] — maintained on push/pop so
+  /// each candidate completion estimate is O(1) instead of O(|queue|).
+  /// Reset to exactly 0 whenever a queue drains, so floating-point drift
+  /// cannot outlive a busy period.
+  std::vector<double> tail_;
   std::vector<bool> bound_;                     // per task: already queued
+  /// Position in engine.ready_log() up to which tasks have been bound;
+  /// the binding scan only touches log entries past this cursor.
+  std::size_t log_cursor_ = 0;
+  /// Scratch: per-resource expected availability, snapshotted once per
+  /// binding scan (it cannot change while tasks are being bound).
+  std::vector<double> avail_base_;
+  /// Scratch: newly-ready batch, sorted ascending before binding.
+  std::vector<dag::TaskId> batch_;
 };
 
 }  // namespace readys::sched

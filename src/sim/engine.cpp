@@ -1,10 +1,20 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace readys::sim {
+
+// Heap comparator: a sorts after b when it finishes later, ties broken
+// by start sequence. std::push_heap/pop_heap build max-heaps, so this
+// ordering makes the *earliest* event sit at events_.front().
+static bool event_after(double fa, std::uint64_t sa, double fb,
+                        std::uint64_t sb) noexcept {
+  if (fa != fb) return fa > fb;
+  return sa > sb;
+}
 
 SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
                      const CostModel& costs, double sigma, std::uint64_t seed)
@@ -16,6 +26,20 @@ SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
   if (costs.num_kernels() < graph.num_kernel_types()) {
     throw std::invalid_argument(
         "SimEngine: cost model does not cover every kernel type");
+  }
+  // Flatten the cost model into a (kernel x resource) lookup so the
+  // scheduler inner loops pay one multiply-add per query. Graph,
+  // platform and costs are fixed for the engine's lifetime, so this
+  // survives reset().
+  const auto n_res = static_cast<std::size_t>(platform_.size());
+  duration_table_.resize(static_cast<std::size_t>(costs_.num_kernels()) *
+                         n_res);
+  for (int k = 0; k < costs_.num_kernels(); ++k) {
+    for (ResourceId r = 0; r < platform_.size(); ++r) {
+      duration_table_[static_cast<std::size_t>(k) * n_res +
+                      static_cast<std::size_t>(r)] =
+          costs_.expected(k, platform_.type(r));
+    }
   }
   reset(seed);
 }
@@ -36,14 +60,25 @@ void SimEngine::reset(std::uint64_t seed) {
   missing_preds_.assign(n, 0);
   done_.assign(n, false);
   ready_.clear();
+  in_ready_.assign(n, 0);
+  ready_log_.clear();
+  ready_log_.reserve(n);
   running_.clear();
+  events_.clear();
   resource_task_.assign(static_cast<std::size_t>(platform_.size()),
                         dag::kInvalidTask);
+  resource_expected_finish_.assign(
+      static_cast<std::size_t>(platform_.size()),
+      std::numeric_limits<double>::quiet_NaN());
   producer_of_.assign(n, -1);
   trace_.clear();
   for (dag::TaskId t = 0; t < n; ++t) {
     missing_preds_[t] = graph_->in_degree(t);
-    if (missing_preds_[t] == 0) ready_.push_back(t);
+    if (missing_preds_[t] == 0) {
+      ready_.push_back(t);  // ascending: t is appended in id order
+      in_ready_[t] = 1;
+      ready_log_.push_back(t);
+    }
   }
 }
 
@@ -55,14 +90,6 @@ std::vector<ResourceId> SimEngine::idle_resources() const {
   return out;
 }
 
-bool SimEngine::is_ready(dag::TaskId t) const {
-  return std::find(ready_.begin(), ready_.end(), t) != ready_.end();
-}
-
-double SimEngine::expected_duration(dag::TaskId t, ResourceId r) const {
-  return costs_.expected(*graph_, t, platform_, r);
-}
-
 double SimEngine::expected_input_delay(dag::TaskId t, ResourceId r) const {
   if (!comm_) return 0.0;
   return comm_->input_delay(*graph_, t, platform_, producer_of_, r);
@@ -70,11 +97,27 @@ double SimEngine::expected_input_delay(dag::TaskId t, ResourceId r) const {
 
 double SimEngine::expected_available_at(ResourceId r) const {
   const dag::TaskId t = running_on(r);
-  if (t == dag::kInvalidTask) return now_;
-  for (const auto& info : running_) {
-    if (info.resource == r) return std::max(now_, info.expected_finish);
+  const double ef = resource_expected_finish_[static_cast<std::size_t>(r)];
+  if (t == dag::kInvalidTask) {
+    if (!std::isnan(ef)) {
+      throw std::logic_error(
+          "SimEngine::expected_available_at: idle resource has a pending "
+          "expected finish (state corruption)");
+    }
+    return now_;
   }
-  return now_;
+  if (std::isnan(ef)) {
+    throw std::logic_error(
+        "SimEngine::expected_available_at: busy resource has no expected "
+        "finish (state corruption)");
+  }
+  return std::max(now_, ef);
+}
+
+void SimEngine::insert_ready(dag::TaskId t) {
+  ready_.insert(std::lower_bound(ready_.begin(), ready_.end(), t), t);
+  in_ready_[t] = 1;
+  ready_log_.push_back(t);
 }
 
 void SimEngine::start(dag::TaskId t, ResourceId r) {
@@ -84,11 +127,11 @@ void SimEngine::start(dag::TaskId t, ResourceId r) {
   if (!is_idle(r)) {
     throw std::logic_error("SimEngine::start: resource is busy");
   }
-  auto it = std::find(ready_.begin(), ready_.end(), t);
-  if (it == ready_.end()) {
+  if (!is_ready(t)) {
     throw std::logic_error("SimEngine::start: task is not ready");
   }
-  ready_.erase(it);
+  ready_.erase(std::lower_bound(ready_.begin(), ready_.end(), t));
+  in_ready_[t] = 0;
 
   const double expected = expected_duration(t, r);
   const double actual = noise_.sample(expected, rng_);
@@ -103,39 +146,53 @@ void SimEngine::start(dag::TaskId t, ResourceId r) {
   info.expected_finish = now_ + shipping + expected;
   running_.push_back(info);
   resource_task_[static_cast<std::size_t>(r)] = t;
+  resource_expected_finish_[static_cast<std::size_t>(r)] =
+      info.expected_finish;
+  events_.push_back({info.actual_finish, started_, t});
+  std::push_heap(events_.begin(), events_.end(),
+                 [](const Event& a, const Event& b) {
+                   return event_after(a.finish, a.seq, b.finish, b.seq);
+                 });
   ++started_;
 }
 
-void SimEngine::complete(std::size_t running_index) {
-  const RunningInfo info = running_[running_index];
-  running_.erase(running_.begin() +
-                 static_cast<std::ptrdiff_t>(running_index));
+void SimEngine::complete(dag::TaskId task) {
+  // running_ holds at most one entry per resource, so this scan is O(P).
+  auto it = std::find_if(
+      running_.begin(), running_.end(),
+      [task](const RunningInfo& info) { return info.task == task; });
+  if (it == running_.end()) {
+    throw std::logic_error(
+        "SimEngine::complete: event for a task that is not running "
+        "(state corruption)");
+  }
+  const RunningInfo info = *it;
+  running_.erase(it);  // preserves start order for running()
   resource_task_[static_cast<std::size_t>(info.resource)] = dag::kInvalidTask;
+  resource_expected_finish_[static_cast<std::size_t>(info.resource)] =
+      std::numeric_limits<double>::quiet_NaN();
   producer_of_[info.task] = info.resource;
   done_[info.task] = true;
   ++completed_;
   trace_.add({info.task, info.resource, info.start, info.actual_finish});
   for (dag::TaskId s : graph_->successors(info.task)) {
-    if (--missing_preds_[s] == 0) ready_.push_back(s);
+    if (--missing_preds_[s] == 0) insert_ready(s);
   }
-  std::sort(ready_.begin(), ready_.end());
 }
 
 bool SimEngine::advance() {
-  if (running_.empty()) return false;
-  double next = std::numeric_limits<double>::infinity();
-  for (const auto& info : running_) {
-    next = std::min(next, info.actual_finish);
-  }
-  now_ = next;
+  if (events_.empty()) return false;
+  now_ = events_.front().finish;
   // Retire every task that finishes at this instant (ties are common when
-  // sigma == 0).
-  for (std::size_t i = 0; i < running_.size();) {
-    if (running_[i].actual_finish <= now_) {
-      complete(i);  // erases element i; do not advance
-    } else {
-      ++i;
-    }
+  // sigma == 0); equal finishes pop in start order.
+  const auto later = [](const Event& a, const Event& b) {
+    return event_after(a.finish, a.seq, b.finish, b.seq);
+  };
+  while (!events_.empty() && events_.front().finish <= now_) {
+    std::pop_heap(events_.begin(), events_.end(), later);
+    const Event ev = events_.back();
+    events_.pop_back();
+    complete(ev.task);
   }
   return true;
 }

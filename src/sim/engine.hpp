@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,16 @@ struct RunningInfo {
 /// clock, the ready set, the running tasks (with their noisy actual
 /// durations, hidden from schedulers), and the trace. Schedulers observe
 /// *expected* completion times only — the stochastic setting of the paper.
+///
+/// Hot-path complexity (R = ready-set width, P = platform size):
+///  - is_ready          O(1)   membership bitmap
+///  - start             O(log R + move) ordered erase from the ready set
+///  - advance/complete  O(log P) per event via the completion min-heap;
+///                      newly-ready successors insert in O(log R + move)
+///  - expected_duration O(1)   precomputed (kernel x resource) table
+///  - expected_available_at O(1) per-resource expected-finish table
+/// The ready set stays an ascending-id contiguous vector so ready() can
+/// hand out a reference without materializing anything.
 class SimEngine {
  public:
   SimEngine(const dag::TaskGraph& graph, const Platform& platform,
@@ -56,10 +67,21 @@ class SimEngine {
   /// in ascending id order.
   const std::vector<dag::TaskId>& ready() const noexcept { return ready_; }
 
+  /// Append-only log of every task in the order it became ready this
+  /// episode (sources first, then successors as completions release
+  /// them). Entries are never removed when tasks start, so a scheduler
+  /// can keep a cursor into this log and discover newly-ready work in
+  /// O(new) instead of rescanning the whole ready set each decision.
+  const std::vector<dag::TaskId>& ready_log() const noexcept {
+    return ready_log_;
+  }
+
   /// Resources with nothing running, in ascending id order.
   std::vector<ResourceId> idle_resources() const;
 
-  bool is_ready(dag::TaskId t) const;
+  bool is_ready(dag::TaskId t) const noexcept {
+    return t < in_ready_.size() && in_ready_[t] != 0;
+  }
   bool is_idle(ResourceId r) const {
     return resource_task_[static_cast<std::size_t>(r)] == dag::kInvalidTask;
   }
@@ -71,13 +93,17 @@ class SimEngine {
     return resource_task_[static_cast<std::size_t>(r)];
   }
 
-  /// Currently-running tasks.
+  /// Currently-running tasks, in start order.
   const std::vector<RunningInfo>& running() const noexcept { return running_; }
   bool any_running() const noexcept { return !running_.empty(); }
 
   /// Expected duration of `t` on resource `r` per the cost model
-  /// (compute only, no communication).
-  double expected_duration(dag::TaskId t, ResourceId r) const;
+  /// (compute only, no communication). Plain table lookup.
+  double expected_duration(dag::TaskId t, ResourceId r) const {
+    return duration_table_[static_cast<std::size_t>(graph_->kernel(t)) *
+                               static_cast<std::size_t>(platform_.size()) +
+                           static_cast<std::size_t>(r)];
+  }
 
   /// Input-shipping delay `t` would pay before computing on `r` given
   /// where its predecessors ran; 0 without a communication model.
@@ -87,7 +113,9 @@ class SimEngine {
   bool has_comm_model() const noexcept { return comm_.has_value(); }
 
   /// Observable availability estimate of resource r: now if idle, else
-  /// the expected finish of its running task clamped to now.
+  /// the expected finish of its running task clamped to now. Throws
+  /// std::logic_error if the busy/expected-finish tables disagree
+  /// (state corruption).
   double expected_available_at(ResourceId r) const;
 
   /// Starts `t` on idle resource `r` at the current time; draws the
@@ -113,7 +141,17 @@ class SimEngine {
   std::size_t num_started() const noexcept { return started_; }
 
  private:
-  void complete(std::size_t running_index);
+  /// One pending completion in the event heap. Ties on the finish time
+  /// break by start sequence, which reproduces the retirement order of
+  /// the historical linear-scan implementation exactly.
+  struct Event {
+    double finish = 0.0;
+    std::uint64_t seq = 0;
+    dag::TaskId task = dag::kInvalidTask;
+  };
+
+  void insert_ready(dag::TaskId t);
+  void complete(dag::TaskId task);
 
   // The graph is held by reference (it can be large and is shared across
   // many engines); platform and cost model are tiny and copied so that
@@ -128,10 +166,15 @@ class SimEngine {
   double now_ = 0.0;
   std::vector<std::size_t> missing_preds_;  // per task
   std::vector<bool> done_;
-  std::vector<dag::TaskId> ready_;
-  std::vector<RunningInfo> running_;
+  std::vector<dag::TaskId> ready_;          // ascending id order
+  std::vector<std::uint8_t> in_ready_;      // per task: O(1) membership
+  std::vector<dag::TaskId> ready_log_;      // became-ready order, append-only
+  std::vector<RunningInfo> running_;        // start order, <= platform size
+  std::vector<Event> events_;               // min-heap on (finish, seq)
   std::vector<dag::TaskId> resource_task_;  // per resource
+  std::vector<double> resource_expected_finish_;  // per resource; NaN idle
   std::vector<ResourceId> producer_of_;     // resource that ran each task
+  std::vector<double> duration_table_;      // kernel x resource, row-major
   Trace trace_;
   std::size_t completed_ = 0;
   std::size_t started_ = 0;

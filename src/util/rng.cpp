@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace readys::util {
 
@@ -46,7 +47,10 @@ double Rng::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
 }
 
-std::size_t Rng::uniform_index(std::size_t n) noexcept {
+std::size_t Rng::uniform_index(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("Rng::uniform_index: n must be positive");
+  }
   // Rejection-free multiply-shift; bias is negligible for n << 2^64.
   return static_cast<std::size_t>(uniform() * static_cast<double>(n));
 }

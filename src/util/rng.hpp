@@ -34,8 +34,10 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) noexcept;
 
-  /// Uniform integer in [0, n). Requires n > 0.
-  std::size_t uniform_index(std::size_t n) noexcept;
+  /// Uniform integer in [0, n). Throws std::invalid_argument when n == 0
+  /// — drawing from an empty range is always an upstream bug (e.g. an
+  /// empty candidate list) and must not silently yield index 0.
+  std::size_t uniform_index(std::size_t n);
 
   /// Standard normal draw (Box–Muller with caching).
   double normal() noexcept;

@@ -102,6 +102,26 @@ TEST(A2C, EvaluateIsGreedyDeterministic) {
   EXPECT_EQ(a.size(), 3u);
 }
 
+TEST(A2C, SampledEvaluateIsIndependentOfTrainingHistory) {
+  // Regression: evaluate() used to draw from the shared training
+  // sample_rng_, so a sampled evaluation's result depended on how many
+  // actions training had consumed beforehand. A zero-lr training burst
+  // advances the training RNG without moving the weights; the two
+  // sampled evaluations around it must still agree exactly.
+  const auto graph = rd::cholesky_graph(3);
+  const auto platform = rs::Platform::hybrid(1, 1);
+  const auto costs = rs::CostModel::cholesky();
+  auto cfg = tiny_config();
+  cfg.lr = 0.0;
+  rr::PolicyNet net(rr::StateEncoder::node_feature_width(4), 8, cfg);
+  rr::A2CTrainer trainer(net, cfg);
+  rr::SchedulingEnv env(graph, platform, costs, {0.1, cfg.window, 1});
+  const auto before = trainer.evaluate(env, 4, 77, /*greedy=*/false);
+  trainer.train(env, {.episodes = 5});
+  const auto after = trainer.evaluate(env, 4, 77, /*greedy=*/false);
+  EXPECT_EQ(before, after);
+}
+
 TEST(A2C, RewardSquashIsMonotoneAndBounded) {
   auto cfg = tiny_config();
   cfg.squash_reward = true;

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <stdexcept>
 
 #include "util/csv.hpp"
 #include "util/env.hpp"
@@ -47,6 +48,15 @@ TEST(Rng, UniformIndexCoversAllValues) {
   for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(5));
   EXPECT_EQ(seen.size(), 5u);
   EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Rng, UniformIndexRejectsEmptyRange) {
+  // Regression: uniform_index(0) used to silently return 0, a valid-looking
+  // index into an empty collection. It must fail loudly instead.
+  ru::Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+  // The generator stream is still usable after the failed call.
+  EXPECT_LT(rng.uniform_index(7), 7u);
 }
 
 TEST(Rng, NormalMoments) {
