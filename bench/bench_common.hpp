@@ -9,6 +9,9 @@
 //   READYS_SIGMAS          comma list of noise levels
 //   READYS_TILES           comma list of tile counts
 //   READYS_HIDDEN          embedding width (default 64)
+//   READYS_CHECKPOINT_DIR  checkpoint trainings here (resumable; each
+//                          training seed gets its own subdirectory)
+//   READYS_RESUME          1 = resume trainings from READYS_CHECKPOINT_DIR
 
 #include <cstdio>
 #include <memory>
@@ -26,6 +29,8 @@ struct Budget {
   int eval_seeds;
   int hidden;
   int train_seeds;  ///< independent trainings per cell; the best is kept
+  std::string checkpoint_dir;  ///< empty = no checkpointing
+  bool resume;                 ///< restart trainings from checkpoint_dir
 
   static Budget from_env() {
     Budget b;
@@ -33,6 +38,8 @@ struct Budget {
     b.eval_seeds = util::env_int("READYS_EVAL_SEEDS", 5);
     b.hidden = util::env_int("READYS_HIDDEN", 64);
     b.train_seeds = util::env_int("READYS_TRAIN_SEEDS", 2);
+    b.checkpoint_dir = util::env_string("READYS_CHECKPOINT_DIR", "");
+    b.resume = util::env_int("READYS_RESUME", 0) != 0;
     return b;
   }
 
@@ -81,6 +88,13 @@ inline std::unique_ptr<rl::ReadysAgent> train_agent(
     opts.episodes = budget.episodes_for(graph.num_tasks());
     opts.sigma = sigma;
     opts.seed = s;
+    if (!budget.checkpoint_dir.empty()) {
+      // One subdirectory per training seed: the k trainings run
+      // concurrently and must not clobber each other's checkpoints.
+      opts.checkpoint_dir =
+          budget.checkpoint_dir + "/seed-" + std::to_string(s);
+      opts.resume = budget.resume;
+    }
     agent->train(graph, platform, costs, opts);
     // Serial evaluation on purpose: the pool's workers are already busy
     // with sibling trainings and nested parallel_for would deadlock.

@@ -1,0 +1,86 @@
+// Fault-tolerance sweep: makespan degradation of READYS vs MCT vs HEFT
+// as the resource-outage rate grows. Not a paper figure — the paper's
+// §VI names execution faults as future work; this harness quantifies how
+// the dynamic strategies (READYS, MCT) absorb outages that a static HEFT
+// schedule cannot, using the simulator's fail-stop + recovery fault
+// model (src/sim/fault_model.hpp).
+//
+// The agent is trained fault-free (the deployment-realistic setting:
+// faults are surprises, not part of the curriculum) and evaluated under
+// injection. Every scheduler sees the same fault seeds, so the
+// comparison is paired. Degradation is mean makespan over the fault-free
+// mean of the same scheduler.
+//
+// Extra knobs on top of the shared READYS_* budget variables:
+//   READYS_FAULT_RATES      comma list of outage rates per resource per
+//                           ms (default 0,0.0002,0.0005,0.001,0.002)
+//   READYS_FAULT_DOWNTIME   mean outage duration in ms (default 200)
+//   READYS_FAULT_TASK_FAIL  per-execution failure probability (default 0)
+
+#include "bench_common.hpp"
+
+using namespace bench;
+
+int main() {
+  const auto budget = Budget::from_env();
+  const double sigma = util::env_double("READYS_TRAIN_SIGMA", 0.2);
+  const auto rates = util::env_double_list(
+      "READYS_FAULT_RATES", {0.0, 0.0002, 0.0005, 0.001, 0.002});
+  const double downtime = util::env_double("READYS_FAULT_DOWNTIME", 200.0);
+  const double task_fail = util::env_double("READYS_FAULT_TASK_FAIL", 0.0);
+  const auto graph = core::make_graph(core::App::kCholesky, 8);
+  const auto costs = core::make_costs(core::App::kCholesky);
+  const auto platform = sim::Platform::hybrid(2, 2);
+  util::ThreadPool pool;
+
+  std::printf("=== Fault sweep (Cholesky T=8, %s, sigma=%.2f, mean "
+              "downtime %.0f ms) ===\n\n",
+              platform.name().c_str(), sigma, downtime);
+  auto agent =
+      train_agent(graph, platform, costs, sigma, budget, /*seed=*/1, &pool);
+
+  util::CsvWriter csv("fault_sweep.csv",
+                      {"scheduler", "outage_rate", "mean_ms", "ci95",
+                       "degradation"});
+  util::Table table({"rate (/res/ms)", "scheduler", "mean (ms)", "ci95",
+                     "degradation"});
+
+  struct Series {
+    const char* name;
+    core::SchedulerFactory factory;
+    double baseline = 0.0;  ///< fault-free mean, denominator of degradation
+  };
+  Series series[] = {{"READYS", agent_factory(*agent)},
+                     {"MCT", core::mct_factory()},
+                     {"HEFT", core::heft_factory()}};
+
+  for (const double rate : rates) {
+    sim::Simulator::Options options;
+    options.sigma = sigma;
+    options.seed = 10'000;
+    if (rate > 0.0) {
+      sim::FaultModel faults;
+      faults.outage_rate = rate;
+      faults.mean_downtime = downtime;
+      faults.task_failure_prob = task_fail;
+      options.faults = faults;
+    }
+    for (Series& s : series) {
+      const auto mks = core::evaluate_makespans(
+          graph, platform, costs, s.factory, options, budget.eval_seeds,
+          &pool);
+      const auto sum = util::summarize(mks);
+      if (s.baseline == 0.0) s.baseline = sum.mean;
+      const double degradation = sum.mean / s.baseline;
+      table.add_row({fmt(rate, 4), s.name, fmt(sum.mean, 0),
+                     fmt(sum.ci95_half_width, 0), fmt(degradation)});
+      csv.row({s.name, fmt(rate, 6), fmt(sum.mean, 2),
+               fmt(sum.ci95_half_width, 2), fmt(degradation, 4)});
+    }
+  }
+  table.print();
+  std::printf("\nseries written to fault_sweep.csv\n");
+  std::printf("(degradation = mean makespan / same scheduler's fault-free "
+              "mean; rate 0 row is the baseline)\n");
+  return 0;
+}

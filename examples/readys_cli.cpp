@@ -1,6 +1,7 @@
 // readys_cli — command-line front end over the library.
 //
 //   readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> <sigma> <out.weights>
+//                       [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
 //   readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> <weights> [runs]
 //   readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]
 //   readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> [sigma]
@@ -26,6 +27,8 @@ int usage() {
       "usage:\n"
       "  readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> "
       "<sigma> <out.weights>\n"
+      "                      [--checkpoint-dir <dir>] [--checkpoint-every "
+      "<n>] [--resume]\n"
       "  readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> "
       "<weights> [runs]\n"
       "  readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]\n"
@@ -63,14 +66,37 @@ int cmd_train(int argc, char** argv) {
   const int episodes = std::atoi(argv[6]);
   const double sigma = std::atof(argv[7]);
 
+  rl::TrainOptions opts;
+  opts.episodes = episodes;
+  opts.sigma = sigma;
+  opts.verbose = true;
+  for (int i = 9; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--checkpoint-dir" && i + 1 < argc) {
+      opts.checkpoint_dir = argv[++i];
+    } else if (flag == "--checkpoint-every" && i + 1 < argc) {
+      opts.checkpoint_every = std::atoi(argv[++i]);
+    } else if (flag == "--resume") {
+      opts.resume = true;
+    } else {
+      std::fprintf(stderr, "unknown train option '%s'\n", flag.c_str());
+      return usage();
+    }
+  }
+
   rl::ReadysAgent agent(graph.num_kernel_types(), rl::AgentConfig{});
   std::printf("training %s on %s, %d episodes, sigma=%.2f...\n",
               graph.name().c_str(), platform.name().c_str(), episodes,
               sigma);
-  const auto report = agent.train(
-      graph, platform, costs,
-      {.episodes = episodes, .sigma = sigma, .verbose = true});
+  const auto report = agent.train(graph, platform, costs, opts);
   agent.save(argv[8]);
+  if (report.start_episode > 0) {
+    std::printf("resumed at episode %d\n", report.start_episode);
+  }
+  if (report.skipped_updates > 0 || report.rollbacks > 0) {
+    std::printf("divergence guard: %zu updates skipped, %zu rollbacks\n",
+                report.skipped_updates, report.rollbacks);
+  }
   std::printf("best makespan %.1f ms; weights -> %s\n",
               report.best_makespan, argv[8]);
   return 0;

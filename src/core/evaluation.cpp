@@ -13,11 +13,24 @@ std::vector<double> evaluate_makespans(
     const sim::CostModel& costs, const SchedulerFactory& factory,
     double sigma, int runs, std::uint64_t seed_base,
     util::ThreadPool* pool) {
+  sim::Simulator::Options base;
+  base.sigma = sigma;
+  base.seed = seed_base;
+  return evaluate_makespans(graph, platform, costs, factory, base, runs,
+                            pool);
+}
+
+std::vector<double> evaluate_makespans(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, const SchedulerFactory& factory,
+    const sim::Simulator::Options& base, int runs,
+    util::ThreadPool* pool) {
   std::vector<double> out(static_cast<std::size_t>(runs), 0.0);
   auto run_one = [&](std::size_t i) {
-    const std::uint64_t seed = seed_base + i;
-    auto scheduler = factory(seed);
-    sim::Simulator sim(graph, platform, costs, {sigma, seed});
+    sim::Simulator::Options options = base;
+    options.seed = base.seed + i;
+    auto scheduler = factory(options.seed);
+    sim::Simulator sim(graph, platform, costs, options);
     out[i] = sim.run(*scheduler).makespan;
   };
   if (pool != nullptr) {

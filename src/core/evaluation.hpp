@@ -25,6 +25,16 @@ std::vector<double> evaluate_makespans(
     double sigma, int runs, std::uint64_t seed_base,
     util::ThreadPool* pool = nullptr);
 
+/// As above, but from a full Simulator::Options base — run i executes
+/// with seed `base.seed + i` and everything else (sigma, communication
+/// model, fault model) carried over unchanged. This is how the
+/// fault-injection benchmarks evaluate schedulers under outages.
+std::vector<double> evaluate_makespans(
+    const dag::TaskGraph& graph, const sim::Platform& platform,
+    const sim::CostModel& costs, const SchedulerFactory& factory,
+    const sim::Simulator::Options& base, int runs,
+    util::ThreadPool* pool = nullptr);
+
 /// Mean makespans of two strategies and their ratio — the paper's
 /// "improvement of A over B" is makespan(B)/makespan(A) (bars above 1
 /// mean A wins).

@@ -37,6 +37,7 @@
 #include "rl/a2c.hpp"
 #include "rl/ppo.hpp"
 #include "rl/agent.hpp"
+#include "rl/checkpoint.hpp"
 #include "rl/config.hpp"
 #include "rl/env.hpp"
 #include "rl/policy_net.hpp"
@@ -51,6 +52,7 @@
 #include "sim/comm_model.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/noise.hpp"
 #include "sim/platform.hpp"
 #include "sim/simulator.hpp"

@@ -10,6 +10,16 @@ void Optimizer::zero_grad() {
   for (auto& p : params_) p.zero_grad();
 }
 
+bool Optimizer::grads_finite() const {
+  for (const auto& p : params_) {
+    const Tensor& g = p.grad();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (!std::isfinite(g[i])) return false;
+    }
+  }
+  return true;
+}
+
 double Optimizer::clip_grad_norm(double max_norm) {
   double total = 0.0;
   for (auto& p : params_) {

@@ -22,8 +22,16 @@ class Optimizer {
   virtual void step() = 0;
 
   /// Rescales gradients so their global L2 norm is at most `max_norm`.
-  /// Returns the pre-clipping norm.
+  /// Returns the pre-clipping norm, which is NaN/Inf whenever any
+  /// gradient entry is — callers use it to detect poisoned backward
+  /// passes before step() bakes them into the weights.
   double clip_grad_norm(double max_norm);
+
+  /// True iff every accumulated gradient entry is finite. A NaN/Inf
+  /// gradient stepped into the weights is unrecoverable (Adam moments
+  /// keep the poison), so trainers check this (or the clip_grad_norm
+  /// return) and skip the update instead.
+  bool grads_finite() const;
 
  protected:
   std::vector<Var> params_;

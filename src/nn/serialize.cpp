@@ -1,16 +1,29 @@
 #include "nn/serialize.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace readys::nn {
 
 namespace {
+
 constexpr const char* kMagic = "readys-weights v1";
+
+std::string shape_str(std::size_t rows, std::size_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
 }
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("deserialize_parameters: line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
 
 std::string serialize_parameters(const Module& module) {
   std::ostringstream os;
@@ -29,55 +42,108 @@ std::string serialize_parameters(const Module& module) {
 
 void deserialize_parameters(Module& module, const std::string& blob) {
   std::istringstream is(blob);
-  std::string magic;
-  std::getline(is, magic);
-  if (magic != kMagic) {
-    throw std::runtime_error("deserialize_parameters: bad header '" + magic +
-                             "'");
+  std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&](std::string& out) {
+    if (!std::getline(is, out)) return false;
+    ++line_no;
+    return true;
+  };
+
+  if (!next_line(line) || line != kMagic) {
+    fail(line_no == 0 ? 1 : line_no,
+         "bad header '" + line + "' (expected '" + std::string(kMagic) + "')");
   }
   std::unordered_map<std::string, Tensor> entries;
-  std::string name;
-  while (is >> name) {
+  while (next_line(line)) {
+    if (line.empty()) continue;  // tolerate trailing blank lines
+    std::istringstream header(line);
+    std::string name;
     std::size_t rows = 0;
     std::size_t cols = 0;
-    if (!(is >> rows >> cols)) {
-      throw std::runtime_error("deserialize_parameters: truncated header");
+    if (!(header >> name >> rows >> cols)) {
+      fail(line_no, "malformed parameter header '" + line +
+                        "' (expected '<name> <rows> <cols>')");
+    }
+    if (entries.contains(name)) {
+      fail(line_no, "duplicate parameter '" + name + "'");
     }
     Tensor t(rows, cols);
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (!(is >> t[i])) {
-        throw std::runtime_error("deserialize_parameters: truncated data for " +
-                                 name);
+    const std::size_t header_line = line_no;
+    if (t.size() > 0 && !next_line(line)) {
+      fail(header_line, "missing data line for parameter '" + name + "' (" +
+                            shape_str(rows, cols) + ")");
+    }
+    if (t.size() > 0) {
+      std::istringstream data(line);
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        if (!(data >> t[i])) {
+          fail(line_no, "truncated data for parameter '" + name +
+                            "': expected " + std::to_string(t.size()) +
+                            " values (" + shape_str(rows, cols) + "), found " +
+                            std::to_string(i));
+        }
       }
+    } else {
+      next_line(line);  // consume the empty data line, if present
     }
     entries.emplace(name, std::move(t));
   }
+
   auto named = module.named_parameters();
-  if (named.size() != entries.size()) {
-    throw std::runtime_error(
-        "deserialize_parameters: parameter count mismatch");
-  }
+  std::unordered_set<std::string> known;
   for (auto& [pname, var] : named) {
+    known.insert(pname);
     auto it = entries.find(pname);
     if (it == entries.end()) {
-      throw std::runtime_error("deserialize_parameters: missing " + pname);
+      throw std::runtime_error(
+          "deserialize_parameters: missing parameter '" + pname +
+          "' (module expects " + shape_str(var.rows(), var.cols()) + ")");
     }
     if (!var.value().same_shape(it->second)) {
-      throw std::runtime_error("deserialize_parameters: shape mismatch at " +
-                               pname);
+      throw std::runtime_error(
+          "deserialize_parameters: shape mismatch for parameter '" + pname +
+          "': module expects " + shape_str(var.rows(), var.cols()) +
+          ", file has " +
+          shape_str(it->second.rows(), it->second.cols()));
     }
-    var.mutable_value() = it->second;
+  }
+  for (const auto& [ename, t] : entries) {
+    if (!known.contains(ename)) {
+      throw std::runtime_error(
+          "deserialize_parameters: file contains unknown parameter '" +
+          ename + "' (" + shape_str(t.rows(), t.cols()) + ")");
+    }
+  }
+  // All checks passed: apply. Deferred until here so a bad file cannot
+  // leave the module half-overwritten.
+  for (auto& [pname, var] : named) {
+    var.mutable_value() = std::move(entries.at(pname));
   }
 }
 
 void save_parameters(const Module& module, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("save_parameters: cannot open " + path);
+  // Crash-safe: write the full payload to <path>.tmp, then atomically
+  // rename over <path>. A crash mid-write leaves at worst a stale .tmp
+  // next to the previous complete file — never a truncated <path>.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("save_parameters: cannot open " + tmp);
+    }
+    out << serialize_parameters(module);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_parameters: write failed for " + tmp);
+    }
   }
-  out << serialize_parameters(module);
-  if (!out) {
-    throw std::runtime_error("save_parameters: write failed for " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_parameters: cannot rename " + tmp +
+                             " to " + path);
   }
 }
 

@@ -10,13 +10,20 @@ namespace readys::nn {
 ///   readys-weights v1
 ///   <name> <rows> <cols>
 ///   v v v ...
-/// Used by the transfer-learning experiments (train on T, reuse on T').
-/// Throws std::runtime_error on I/O failure.
+/// Used by the transfer-learning experiments (train on T, reuse on T')
+/// and by training checkpoints. Crash-safe: the payload is written to
+/// `<path>.tmp` and atomically renamed over `<path>`, so a crash
+/// mid-write never leaves a truncated weights file — at worst a stale
+/// .tmp beside the previous complete one. Throws std::runtime_error on
+/// I/O failure.
 void save_parameters(const Module& module, const std::string& path);
 
 /// Loads parameters saved by save_parameters into `module`. Every
 /// parameter of `module` must be present in the file with a matching
-/// shape; extra entries in the file are an error too.
+/// shape; extra entries in the file are an error too. Errors carry the
+/// offending parameter name, the expected vs. found shape, and the line
+/// number for parse failures; the module is only mutated after the whole
+/// file validates (no half-overwritten state on throw).
 void load_parameters(Module& module, const std::string& path);
 
 /// In-memory round trip (used by tests and by cloning across threads).

@@ -1,8 +1,12 @@
 #include "rl/a2c.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <stdexcept>
 
+#include "nn/serialize.hpp"
+#include "rl/checkpoint.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
@@ -16,6 +20,10 @@ A2CTrainer::A2CTrainer(PolicyNet& net, const AgentConfig& cfg)
       sample_rng_(cfg.seed ^ 0xA3EC647659359ACDULL) {}
 
 double shape_reward(const AgentConfig& cfg, double reward) {
+  if (!std::isfinite(reward)) {
+    throw std::domain_error("shape_reward: non-finite reward " +
+                            std::to_string(reward));
+  }
   if (cfg.squash_reward && reward < 1.0) {
     reward = reward / (1.0 - reward);  // == mk_HEFT / mk - 1
   }
@@ -48,9 +56,9 @@ std::size_t A2CTrainer::select_action(const PolicyNet::Output& out,
   return p.size() - 1;  // numerical slack
 }
 
-void A2CTrainer::update(const std::vector<StepRecord>& batch,
+bool A2CTrainer::update(const std::vector<StepRecord>& batch,
                         double bootstrap) {
-  if (batch.empty()) return;
+  if (batch.empty()) return true;
   // n-step discounted returns, resetting at episode boundaries.
   std::vector<double> returns(batch.size());
   double running = bootstrap;
@@ -95,9 +103,25 @@ void A2CTrainer::update(const std::vector<StepRecord>& batch,
 
   optimizer_.zero_grad();
   loss.backward();
-  optimizer_.clip_grad_norm(cfg_.grad_clip);
+  const double grad_norm = optimizer_.clip_grad_norm(cfg_.grad_clip);
+  // A NaN/Inf loss or gradient stepped into Adam poisons the moments and
+  // then every subsequent update; drop the batch instead. The norm is
+  // non-finite iff any gradient entry is, so this one check covers the
+  // whole parameter list.
+  if (!std::isfinite(loss.value().item()) || !std::isfinite(grad_norm)) {
+    optimizer_.zero_grad();
+    return false;
+  }
   optimizer_.step();
   ++updates_;
+  return true;
+}
+
+void A2CTrainer::rollback(const std::string& last_good) {
+  nn::deserialize_parameters(*net_, last_good);
+  // Fresh optimizer: the moment estimates were built on the divergent
+  // trajectory and would steer the restored weights right back into it.
+  optimizer_ = nn::Adam(net_->parameters(), cfg_.lr);
 }
 
 TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
@@ -106,7 +130,42 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   std::vector<StepRecord> batch;
   batch.reserve(static_cast<std::size_t>(cfg_.unroll));
 
-  for (int ep = 0; ep < opts.episodes; ++ep) {
+  int start_ep = 0;
+  if (opts.resume && !opts.checkpoint_dir.empty()) {
+    CheckpointState st;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
+      start_ep = std::min(st.episode, opts.episodes);
+      updates_ = st.updates;
+      if (opts.verbose) {
+        util::log_info() << "resumed from " << checkpoint_path(
+                                opts.checkpoint_dir)
+                         << " at episode " << st.episode;
+      }
+    }
+  }
+  report.start_episode = start_ep;
+
+  // Divergence guard: updates that went NaN/Inf are skipped; after
+  // `divergence_patience` consecutive skips the weights roll back to the
+  // last good snapshot (refreshed at every checkpoint interval).
+  std::string last_good = nn::serialize_parameters(*net_);
+  const int patience = std::max(1, opts.divergence_patience);
+  const int every = std::max(1, opts.checkpoint_every);
+  int divergent_streak = 0;
+  const auto guarded = [&](bool applied) {
+    if (applied) {
+      divergent_streak = 0;
+      return;
+    }
+    ++report.skipped_updates;
+    if (++divergent_streak >= patience) {
+      rollback(last_good);
+      ++report.rollbacks;
+      divergent_streak = 0;
+    }
+  };
+
+  for (int ep = start_ep; ep < opts.episodes; ++ep) {
     entropy_scale_ =
         cfg_.entropy_decay
             ? 1.0 - static_cast<double>(ep) /
@@ -133,19 +192,25 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
       batch.push_back(std::move(rec));
 
       if (done) {
-        update(batch, 0.0);
+        guarded(update(batch, 0.0));
         batch.clear();
       } else if (cfg_.unroll > 0 &&
                  batch.size() >= static_cast<std::size_t>(cfg_.unroll)) {
         const double bootstrap =
             net_->forward(env.observation()).value.value().item();
-        update(batch, bootstrap);
+        guarded(update(batch, bootstrap));
         batch.clear();
       }
     }
     report.episode_rewards.push_back(episode_reward);
     report.episode_makespans.push_back(env.makespan());
     report.best_makespan = std::min(report.best_makespan, env.makespan());
+    if ((ep + 1) % every == 0) {
+      last_good = nn::serialize_parameters(*net_);
+      if (!opts.checkpoint_dir.empty()) {
+        save_checkpoint(opts.checkpoint_dir, *net_, {ep + 1, updates_});
+      }
+    }
     if (opts.verbose && (ep + 1) % opts.log_every == 0) {
       const std::size_t tail =
           std::min<std::size_t>(report.episode_rewards.size(),
@@ -159,12 +224,18 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
                        << " makespan=" << env.makespan();
     }
   }
+  if (!opts.checkpoint_dir.empty()) {
+    save_checkpoint(opts.checkpoint_dir, *net_, {opts.episodes, updates_});
+  }
   report.updates = updates_;
-  const std::size_t tail = std::max<std::size_t>(
-      1, report.episode_rewards.size() / 5);
-  report.final_mean_reward = util::mean(
-      {report.episode_rewards.data() + report.episode_rewards.size() - tail,
-       tail});
+  if (!report.episode_rewards.empty()) {
+    // Empty when --resume found a run that already finished.
+    const std::size_t tail = std::max<std::size_t>(
+        1, report.episode_rewards.size() / 5);
+    report.final_mean_reward = util::mean(
+        {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+         tail});
+  }
   return report;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "nn/optim.hpp"
@@ -10,7 +11,10 @@
 namespace readys::rl {
 
 /// Applies the configured squash/clip (see AgentConfig) to a terminal
-/// reward. Shared by the A2C and PPO trainers.
+/// reward. Shared by the A2C and PPO trainers. Throws std::domain_error
+/// on a non-finite reward — a NaN here means the simulator or the HEFT
+/// reference is corrupt, and squashing/clipping would silently launder
+/// it into a plausible-looking value.
 double shape_reward(const AgentConfig& cfg, double reward);
 
 /// Summary of one training run.
@@ -20,6 +24,14 @@ struct TrainReport {
   double best_makespan = 0.0;
   double final_mean_reward = 0.0;  ///< mean reward over the last 20%
   std::size_t updates = 0;
+  /// Updates skipped because the loss or a gradient went NaN/Inf (the
+  /// poisoned batch is dropped; weights and Adam moments stay clean).
+  std::size_t skipped_updates = 0;
+  /// Times the weights were rolled back to the last good snapshot after
+  /// `TrainOptions::divergence_patience` consecutive divergent updates.
+  std::size_t rollbacks = 0;
+  /// First episode index actually trained (non-zero after --resume).
+  int start_episode = 0;
 };
 
 /// Synchronous advantage actor-critic (A2C) on the scheduling MDP.
@@ -57,8 +69,14 @@ class A2CTrainer {
   };
 
   /// One gradient step from a batch of transitions; `bootstrap` is
-  /// V(s_next) of the last (non-terminal) state.
-  void update(const std::vector<StepRecord>& batch, double bootstrap);
+  /// V(s_next) of the last (non-terminal) state. Returns false when the
+  /// update was skipped because the loss or gradients were non-finite
+  /// (the weights are left untouched).
+  bool update(const std::vector<StepRecord>& batch, double bootstrap);
+
+  /// Restores `last_good` into the net and resets the optimizer (Adam
+  /// moments may reference the divergent trajectory).
+  void rollback(const std::string& last_good);
 
   PolicyNet* net_;
   AgentConfig cfg_;

@@ -1,0 +1,81 @@
+#include "rl/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace readys::rl {
+
+namespace {
+constexpr const char* kMagic = "readys-checkpoint v1";
+constexpr const char* kFileName = "checkpoint.txt";
+}  // namespace
+
+std::string checkpoint_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / kFileName).string();
+}
+
+void save_checkpoint(const std::string& dir, const nn::Module& module,
+                     const CheckpointState& state) {
+  std::filesystem::create_directories(dir);
+  const std::string path = checkpoint_path(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("save_checkpoint: cannot open " + tmp);
+    }
+    out << kMagic << '\n'
+        << "episode " << state.episode << '\n'
+        << "updates " << state.updates << '\n'
+        << nn::serialize_parameters(module);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("save_checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_checkpoint: cannot rename " + tmp +
+                             " to " + path);
+  }
+}
+
+bool load_checkpoint(const std::string& dir, nn::Module& module,
+                     CheckpointState& state) {
+  const std::string path = checkpoint_path(dir);
+  std::ifstream in(path);
+  if (!in) return false;  // no complete checkpoint (a .tmp does not count)
+
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("load_checkpoint: " + path + ": bad magic '" +
+                             magic + "'");
+  }
+  std::string key;
+  CheckpointState parsed;
+  if (!(in >> key >> parsed.episode) || key != "episode") {
+    throw std::runtime_error("load_checkpoint: " + path +
+                             ": malformed episode line");
+  }
+  if (!(in >> key >> parsed.updates) || key != "updates") {
+    throw std::runtime_error("load_checkpoint: " + path +
+                             ": malformed updates line");
+  }
+  in.ignore();  // trailing newline before the weights payload
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  // Validate the payload fully before touching module or state.
+  nn::deserialize_parameters(module, payload.str());
+  state = parsed;
+  return true;
+}
+
+}  // namespace readys::rl

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace readys::rl {
+
+/// Training progress captured alongside the weights, so a resumed run
+/// continues counting where the interrupted one stopped.
+struct CheckpointState {
+  int episode = 0;           ///< episodes fully trained so far
+  std::size_t updates = 0;   ///< gradient updates applied so far
+};
+
+/// Path of the (single) checkpoint file inside `dir`.
+std::string checkpoint_path(const std::string& dir);
+
+/// Atomically writes weights + progress to `<dir>/checkpoint.txt`
+/// (creating `dir` if needed). Everything lives in one file written via
+/// tmp-then-rename, so a kill at any instant leaves either the previous
+/// complete checkpoint or the new complete checkpoint on disk — never a
+/// torn one. A stale `checkpoint.txt.tmp` from an interrupted write may
+/// remain; load_checkpoint ignores it. Throws std::runtime_error on I/O
+/// failure.
+void save_checkpoint(const std::string& dir, const nn::Module& module,
+                     const CheckpointState& state);
+
+/// Restores weights + progress from `<dir>/checkpoint.txt`. Returns
+/// false (leaving `module` and `state` untouched) when no checkpoint
+/// file exists — including when only a partial `.tmp` is present.
+/// Throws std::runtime_error if the file exists but is corrupt (bad
+/// magic, torn payload, shape mismatch).
+bool load_checkpoint(const std::string& dir, nn::Module& module,
+                     CheckpointState& state);
+
+}  // namespace readys::rl

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace readys::rl {
 
@@ -70,6 +71,24 @@ struct TrainOptions {
   std::uint64_t seed = 1;    ///< environment (noise + processor draw) seed
   bool verbose = false;      ///< log a line every `log_every` episodes
   int log_every = 50;
+
+  // --- resilience (see docs/architecture.md, "Fault tolerance") ---
+  /// Directory for periodic checkpoints (weights + progress, written
+  /// atomically). Empty disables checkpointing. The same directory is
+  /// what `resume` restores from.
+  std::string checkpoint_dir;
+  /// Episodes between checkpoints (also the final state is always
+  /// checkpointed when a directory is set).
+  int checkpoint_every = 50;
+  /// Restore weights + episode counter from checkpoint_dir before
+  /// training; a missing checkpoint silently starts from scratch, so a
+  /// resumable run can use the same invocation for first start and
+  /// restart.
+  bool resume = false;
+  /// After this many consecutive divergent (NaN/Inf loss or gradient)
+  /// updates, roll the weights back to the last good snapshot and reset
+  /// the optimizer. Divergent updates are always skipped, never applied.
+  int divergence_patience = 3;
 };
 
 }  // namespace readys::rl

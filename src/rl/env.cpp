@@ -9,7 +9,8 @@ namespace readys::rl {
 SchedulingEnv::SchedulingEnv(const dag::TaskGraph& graph,
                              const sim::Platform& platform,
                              const sim::CostModel& costs, Config config)
-    : engine_(graph, platform, costs, config.sigma, config.seed),
+    : engine_(graph, platform, costs, config.faults, config.sigma,
+              config.seed),
       encoder_(graph, costs, config.window),
       config_(config),
       action_rng_(config.seed ^ 0xD1B54A32D192ED03ULL),
@@ -51,12 +52,20 @@ void SchedulingEnv::advance_to_decision() {
         return;
       }
     }
+    if (engine_.fault_enabled() && !engine_.any_running() &&
+        engine_.num_up() == 0 && engine_.faults().mean_downtime <= 0.0) {
+      // Fault events may keep firing (slowdown edges), but no resource
+      // can ever come back: fail loudly instead of spinning.
+      throw std::logic_error(
+          "SchedulingEnv: platform unrecoverable (every resource "
+          "permanently down, tasks remain)");
+    }
     if (!engine_.advance()) {
       // Nothing running and no assignable work: impossible unless the ∅
       // mask was bypassed.
       throw std::logic_error("SchedulingEnv: stalled (all idle declined)");
     }
-    declined_.clear();  // a completion re-opens parked resources
+    declined_.clear();  // a completion or topology change re-opens parking
   }
 }
 

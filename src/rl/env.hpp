@@ -32,6 +32,12 @@ class SchedulingEnv {
     /// a processor on to the next) but removes a large exogenous noise
     /// source from the returns, which stabilizes A2C substantially.
     bool random_offer = false;
+    /// Fault injection for the episode engine. Down resources drop out
+    /// of the candidate set (the action mask only ever offers idle, up
+    /// resources), and tasks whose execution was lost reappear in the
+    /// ready actions. none() keeps the environment bit-exact with the
+    /// fault-free construction.
+    sim::FaultModel faults = sim::FaultModel::none();
   };
 
   struct StepResult {

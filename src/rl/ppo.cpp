@@ -4,7 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "nn/serialize.hpp"
+#include "rl/checkpoint.hpp"
 #include "tensor/ops.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 
 namespace readys::rl {
@@ -26,7 +29,16 @@ std::size_t PpoTrainer::sample(const tensor::Tensor& probs) {
   return probs.size() - 1;
 }
 
-void PpoTrainer::optimize(std::vector<Step>& steps) {
+void PpoTrainer::rollback(const std::string& last_good) {
+  nn::deserialize_parameters(*net_, last_good);
+  // Fresh optimizer: the moment estimates were built on the divergent
+  // trajectory and would steer the restored weights right back into it.
+  optimizer_ = nn::Adam(net_->parameters(), cfg_.lr);
+}
+
+void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
+                          const std::string& last_good, int patience,
+                          int& divergent_streak) {
   for (int epoch = 0; epoch < ppo_.epochs; ++epoch) {
     rng_.shuffle(steps);
     for (std::size_t begin = 0; begin < steps.size();
@@ -77,7 +89,21 @@ void PpoTrainer::optimize(std::vector<Step>& steps) {
       loss = tensor::scale(loss, 1.0 / static_cast<double>(end - begin));
       optimizer_.zero_grad();
       loss.backward();
-      optimizer_.clip_grad_norm(cfg_.grad_clip);
+      const double grad_norm = optimizer_.clip_grad_norm(cfg_.grad_clip);
+      if (!std::isfinite(loss.value().item()) ||
+          !std::isfinite(grad_norm)) {
+        // Poisoned minibatch: skip it before step() bakes NaN/Inf into
+        // the weights and the Adam moments.
+        optimizer_.zero_grad();
+        ++report.skipped_updates;
+        if (++divergent_streak >= patience) {
+          rollback(last_good);
+          ++report.rollbacks;
+          divergent_streak = 0;
+        }
+        continue;
+      }
+      divergent_streak = 0;
       optimizer_.step();
     }
   }
@@ -88,6 +114,25 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   report.best_makespan = std::numeric_limits<double>::infinity();
 
   int episode = 0;
+  if (opts.resume && !opts.checkpoint_dir.empty()) {
+    CheckpointState st;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
+      episode = std::min(st.episode, opts.episodes);
+      report.updates = st.updates;
+      if (opts.verbose) {
+        util::log_info() << "resumed from " << checkpoint_path(
+                                opts.checkpoint_dir)
+                         << " at episode " << st.episode;
+      }
+    }
+  }
+  report.start_episode = episode;
+
+  std::string last_good = nn::serialize_parameters(*net_);
+  const int patience = std::max(1, opts.divergence_patience);
+  const int every = std::max(1, opts.checkpoint_every);
+  int divergent_streak = 0;
+  int since_checkpoint = 0;
   while (episode < opts.episodes) {
     std::vector<Step> steps;
     const int round = std::min(ppo_.rollout_episodes,
@@ -125,14 +170,30 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
                    std::make_move_iterator(episode_steps.begin()),
                    std::make_move_iterator(episode_steps.end()));
     }
-    optimize(steps);
+    optimize(steps, report, last_good, patience, divergent_streak);
     ++report.updates;
+    since_checkpoint += round;
+    if (since_checkpoint >= every) {
+      last_good = nn::serialize_parameters(*net_);
+      if (!opts.checkpoint_dir.empty()) {
+        save_checkpoint(opts.checkpoint_dir, *net_,
+                        {episode, report.updates});
+      }
+      since_checkpoint = 0;
+    }
   }
-  const std::size_t tail =
-      std::max<std::size_t>(1, report.episode_rewards.size() / 5);
-  report.final_mean_reward = util::mean(
-      {report.episode_rewards.data() + report.episode_rewards.size() - tail,
-       tail});
+  if (!opts.checkpoint_dir.empty()) {
+    save_checkpoint(opts.checkpoint_dir, *net_,
+                    {opts.episodes, report.updates});
+  }
+  if (!report.episode_rewards.empty()) {
+    // Empty when --resume found a run that already finished.
+    const std::size_t tail =
+        std::max<std::size_t>(1, report.episode_rewards.size() / 5);
+    report.final_mean_reward = util::mean(
+        {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+         tail});
+  }
   return report;
 }
 

@@ -39,8 +39,16 @@ class PpoTrainer {
     double old_value = 0.0;  ///< V(s) at collection time
   };
 
-  /// One optimization round over the collected steps.
-  void optimize(std::vector<Step>& steps);
+  /// One optimization round over the collected steps. Minibatch updates
+  /// whose loss or gradients go NaN/Inf are skipped (counted in
+  /// `report.skipped_updates`); after `patience` consecutive skips the
+  /// weights roll back to `last_good` and the optimizer is reset.
+  void optimize(std::vector<Step>& steps, TrainReport& report,
+                const std::string& last_good, int patience,
+                int& divergent_streak);
+
+  /// Restores `last_good` into the net and resets the optimizer.
+  void rollback(const std::string& last_good);
 
   std::size_t sample(const tensor::Tensor& probs);
 

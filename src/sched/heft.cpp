@@ -110,21 +110,64 @@ double heft_expected_makespan(const TaskGraph& graph, const Platform& platform,
 void HeftScheduler::reset(const sim::SimEngine& engine) {
   schedule_ = compute_heft(engine.graph(), engine.platform(), engine.costs());
   next_index_.assign(static_cast<std::size_t>(engine.platform().size()), 0);
+  running_now_.assign(engine.graph().num_tasks(), 0);
 }
 
 std::vector<sim::Assignment> HeftScheduler::decide(
     const sim::SimEngine& engine) {
   std::vector<sim::Assignment> out;
-  for (ResourceId r = 0; r < engine.platform().size(); ++r) {
+  const ResourceId n_res = engine.platform().size();
+  const bool faulty = engine.fault_enabled();
+  if (faulty) {
+    // A stolen task can sit mid-queue while in flight elsewhere; mark
+    // what is running so the scan can step over it.
+    for (const auto& info : engine.running()) running_now_[info.task] = 1;
+  }
+  // Each resource dispatches the next entry of its own queue. The cursor
+  // tracks the done prefix (not the started prefix), so a lost execution
+  // is found again by the scan; fault-free the two notions coincide
+  // whenever the resource is idle, so this selects exactly the entry the
+  // historical started-task cursor would.
+  for (ResourceId r = 0; r < n_res; ++r) {
     if (!engine.is_idle(r)) continue;
     auto& cursor = next_index_[static_cast<std::size_t>(r)];
     const auto& queue = schedule_.order[static_cast<std::size_t>(r)];
-    if (cursor >= queue.size()) continue;
-    const TaskId head = queue[cursor];
-    if (engine.is_ready(head)) {
-      out.push_back({head, r});
-      ++cursor;
+    while (cursor < queue.size() && engine.is_done(queue[cursor])) ++cursor;
+    for (std::size_t i = cursor; i < queue.size(); ++i) {
+      const TaskId t = queue[i];
+      if (engine.is_done(t)) continue;            // finished out of order
+      if (faulty && running_now_[t] != 0) continue;  // stolen, in flight
+      if (engine.is_ready(t)) out.push_back({t, r});
+      break;  // head dispatched, or still waiting on predecessors
     }
+  }
+  if (faulty) {
+    // Work-stealing, restricted to queues whose home resource is down:
+    // an idle resource that found nothing above takes the first ready,
+    // unclaimed task stranded behind an outage. Fault-free every queue's
+    // home is up and this loop is dead.
+    for (ResourceId r = 0; r < n_res; ++r) {
+      if (!engine.is_idle(r)) continue;
+      bool busy = false;
+      for (const auto& a : out) busy = busy || a.resource == r;
+      if (busy) continue;
+      for (ResourceId d = 0; d < n_res && !busy; ++d) {
+        if (engine.is_up(d)) continue;
+        const auto& queue = schedule_.order[static_cast<std::size_t>(d)];
+        for (std::size_t i = next_index_[static_cast<std::size_t>(d)];
+             i < queue.size(); ++i) {
+          const TaskId t = queue[i];
+          if (!engine.is_ready(t)) continue;  // done, running, or blocked
+          bool claimed = false;
+          for (const auto& a : out) claimed = claimed || a.task == t;
+          if (claimed) continue;
+          out.push_back({t, r});
+          busy = true;
+          break;
+        }
+      }
+    }
+    for (const auto& info : engine.running()) running_now_[info.task] = 0;
   }
   return out;
 }

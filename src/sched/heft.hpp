@@ -39,6 +39,15 @@ double heft_expected_makespan(const TaskGraph& graph, const Platform& platform,
 /// schedule exactly; under noise the assignment and per-resource order
 /// stay fixed while start times drift — the static-schedule behaviour the
 /// paper compares against.
+///
+/// Fault tolerance (static schedules are exactly what breaks under
+/// faults, so this is deliberately minimal): the per-resource cursor
+/// tracks *completed* rather than started tasks, so a task whose
+/// execution is lost is simply re-dispatched by its home resource; and
+/// when a resource is down, an idle resource with no dispatchable work
+/// of its own picks up ready tasks stranded in the dead resource's queue
+/// (in queue order). Fault-free runs never hit either path and stay
+/// bit-exact with the historical started-task cursor.
 class HeftScheduler : public sim::Scheduler {
  public:
   void reset(const sim::SimEngine& engine) override;
@@ -49,7 +58,11 @@ class HeftScheduler : public sim::Scheduler {
 
  private:
   HeftSchedule schedule_;
-  std::vector<std::size_t> next_index_;  // per resource, cursor into order
+  std::vector<std::size_t> next_index_;  // per resource: done-task cursor
+  /// Scratch: per task, running right now (rebuilt per decide; only used
+  /// under fault injection, where a stolen task can sit mid-queue while
+  /// in flight on another resource).
+  std::vector<std::uint8_t> running_now_;
 };
 
 }  // namespace readys::sched

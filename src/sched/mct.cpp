@@ -10,7 +10,8 @@ MctScheduler::MctScheduler(bool comm_aware) : comm_aware_(comm_aware) {}
 void MctScheduler::reset(const sim::SimEngine& engine) {
   queue_.assign(static_cast<std::size_t>(engine.platform().size()), {});
   tail_.assign(static_cast<std::size_t>(engine.platform().size()), 0.0);
-  bound_.assign(engine.graph().num_tasks(), false);
+  queued_.assign(engine.graph().num_tasks(), 0);
+  pending_.clear();
   log_cursor_ = 0;
 }
 
@@ -20,8 +21,65 @@ double MctScheduler::expected_available(const sim::SimEngine& engine,
          tail_[static_cast<std::size_t>(r)];
 }
 
+void MctScheduler::bind_batch(const sim::SimEngine& engine) {
+  std::sort(batch_.begin(), batch_.end());
+  const sim::ResourceId n_res = engine.platform().size();
+  // Running-task remainders are fixed for the whole scan; only the
+  // queue tails move as tasks are bound. A down resource reports an
+  // infinite availability, but is skipped outright so a fully-down
+  // platform parks the batch instead of binding to garbage.
+  avail_base_.resize(static_cast<std::size_t>(n_res));
+  for (sim::ResourceId r = 0; r < n_res; ++r) {
+    avail_base_[static_cast<std::size_t>(r)] =
+        engine.expected_available_at(r);
+  }
+  for (dag::TaskId t : batch_) {
+    if (queued_[t] != 0 || !engine.is_ready(t)) continue;
+    double best = std::numeric_limits<double>::infinity();
+    sim::ResourceId best_r = -1;
+    for (sim::ResourceId r = 0; r < n_res; ++r) {
+      if (!engine.is_up(r)) continue;
+      double completion = (avail_base_[static_cast<std::size_t>(r)] +
+                           tail_[static_cast<std::size_t>(r)]) +
+                          engine.expected_duration(t, r);
+      if (comm_aware_) completion += engine.expected_input_delay(t, r);
+      if (completion < best) {
+        best = completion;
+        best_r = r;
+      }
+    }
+    if (best_r < 0) {
+      pending_.push_back(t);  // no resource up; retry next decision
+      continue;
+    }
+    queue_[static_cast<std::size_t>(best_r)].push_back(t);
+    tail_[static_cast<std::size_t>(best_r)] +=
+        engine.expected_duration(t, best_r);
+    queued_[t] = 1;
+  }
+}
+
 std::vector<sim::Assignment> MctScheduler::decide(
     const sim::SimEngine& engine) {
+  batch_.clear();
+  // Backlog stranded on a dead resource is drained and re-bound; a task
+  // whose *execution* was lost re-enters via the ready log below.
+  if (engine.fault_enabled()) {
+    for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
+      auto& q = queue_[static_cast<std::size_t>(r)];
+      if (engine.is_up(r) || q.empty()) continue;
+      for (const dag::TaskId t : q) {
+        queued_[t] = 0;
+        batch_.push_back(t);
+      }
+      q.clear();
+      tail_[static_cast<std::size_t>(r)] = 0.0;
+    }
+    if (!pending_.empty()) {
+      batch_.insert(batch_.end(), pending_.begin(), pending_.end());
+      pending_.clear();
+    }
+  }
   // Bind newly-ready tasks to their minimum-expected-completion resource.
   // Everything ready before log_cursor_ was bound by an earlier scan, so
   // only the new tail of the ready log needs work: O(new) per decision
@@ -29,38 +87,12 @@ std::vector<sim::Assignment> MctScheduler::decide(
   // reproduces the ascending-id binding order of a full ready() scan.
   const auto& log = engine.ready_log();
   if (log_cursor_ < log.size()) {
-    batch_.assign(log.begin() + static_cast<std::ptrdiff_t>(log_cursor_),
+    batch_.insert(batch_.end(),
+                  log.begin() + static_cast<std::ptrdiff_t>(log_cursor_),
                   log.end());
     log_cursor_ = log.size();
-    std::sort(batch_.begin(), batch_.end());
-    const sim::ResourceId n_res = engine.platform().size();
-    // Running-task remainders are fixed for the whole scan; only the
-    // queue tails move as tasks are bound.
-    avail_base_.resize(static_cast<std::size_t>(n_res));
-    for (sim::ResourceId r = 0; r < n_res; ++r) {
-      avail_base_[static_cast<std::size_t>(r)] =
-          engine.expected_available_at(r);
-    }
-    for (dag::TaskId t : batch_) {
-      if (bound_[t]) continue;
-      double best = std::numeric_limits<double>::infinity();
-      sim::ResourceId best_r = 0;
-      for (sim::ResourceId r = 0; r < n_res; ++r) {
-        double completion = (avail_base_[static_cast<std::size_t>(r)] +
-                             tail_[static_cast<std::size_t>(r)]) +
-                            engine.expected_duration(t, r);
-        if (comm_aware_) completion += engine.expected_input_delay(t, r);
-        if (completion < best) {
-          best = completion;
-          best_r = r;
-        }
-      }
-      queue_[static_cast<std::size_t>(best_r)].push_back(t);
-      tail_[static_cast<std::size_t>(best_r)] +=
-          engine.expected_duration(t, best_r);
-      bound_[t] = true;
-    }
   }
+  if (!batch_.empty()) bind_batch(engine);
   // Idle resources pull the head of their own queue.
   std::vector<sim::Assignment> out;
   for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
@@ -69,6 +101,7 @@ std::vector<sim::Assignment> MctScheduler::decide(
       out.push_back({q.front(), r});
       tail_[static_cast<std::size_t>(r)] -=
           engine.expected_duration(q.front(), r);
+      queued_[q.front()] = 0;  // a lost execution re-binds via the log
       q.pop_front();
       if (q.empty()) tail_[static_cast<std::size_t>(r)] = 0.0;
     }

@@ -14,6 +14,15 @@ namespace readys::sched {
 /// availability of that resource (running task remainder + already-queued
 /// work). Resources then execute their queues in FIFO order. Like READYS,
 /// MCT never inspects the DAG beyond the ready set.
+///
+/// Fault tolerance: binding considers only resources that are up, a task
+/// whose execution is lost (its resource died mid-run, or the result
+/// failed) re-enters the engine's ready_log() and is simply re-bound like
+/// any newly-ready task, and the backlog queued on a resource that goes
+/// down is drained and re-bound elsewhere on the next decision. When no
+/// resource is up at all, unbound work parks in a pending list and is
+/// retried once the platform recovers. None of these paths activates in a
+/// fault-free run, which keeps the golden traces bit-exact.
 class MctScheduler : public sim::Scheduler {
  public:
   /// `comm_aware` adds the expected input-shipping delay (engine's
@@ -33,6 +42,11 @@ class MctScheduler : public sim::Scheduler {
   double expected_available(const sim::SimEngine& engine,
                             sim::ResourceId r) const;
 
+  /// Binds every task in `batch_` (sorted ascending) to its
+  /// minimum-expected-completion resource among the up resources;
+  /// unbindable tasks go to `pending_`.
+  void bind_batch(const sim::SimEngine& engine);
+
   bool comm_aware_;
   std::vector<std::deque<dag::TaskId>> queue_;  // per resource
   /// Sum of expected durations of queue_[r] — maintained on push/pop so
@@ -40,15 +54,20 @@ class MctScheduler : public sim::Scheduler {
   /// Reset to exactly 0 whenever a queue drains, so floating-point drift
   /// cannot outlive a busy period.
   std::vector<double> tail_;
-  std::vector<bool> bound_;                     // per task: already queued
+  std::vector<std::uint8_t> queued_;            // per task: in some queue
   /// Position in engine.ready_log() up to which tasks have been bound;
-  /// the binding scan only touches log entries past this cursor.
+  /// the binding scan only touches log entries past this cursor. Under
+  /// fault injection the log can contain the same task several times
+  /// (once per time it became ready); the cursor consumes each
+  /// became-ready occurrence exactly once.
   std::size_t log_cursor_ = 0;
   /// Scratch: per-resource expected availability, snapshotted once per
   /// binding scan (it cannot change while tasks are being bound).
   std::vector<double> avail_base_;
-  /// Scratch: newly-ready batch, sorted ascending before binding.
+  /// Scratch: batch to bind, sorted ascending before binding.
   std::vector<dag::TaskId> batch_;
+  /// Tasks that could not be bound (no resource up); retried each call.
+  std::vector<dag::TaskId> pending_;
 };
 
 }  // namespace readys::sched

@@ -7,14 +7,22 @@
 
 namespace readys::sim {
 
-// Heap comparator: a sorts after b when it finishes later, ties broken
-// by start sequence. std::push_heap/pop_heap build max-heaps, so this
+namespace {
+
+/// Salt for the fault stream so it is independent of the noise stream
+/// seeded from the same value.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA171E5D00DAD5ULL;
+
+// Heap comparator: a sorts after b when it fires later, ties broken by
+// insertion sequence. std::push_heap/pop_heap build max-heaps, so this
 // ordering makes the *earliest* event sit at events_.front().
-static bool event_after(double fa, std::uint64_t sa, double fb,
-                        std::uint64_t sb) noexcept {
-  if (fa != fb) return fa > fb;
+bool event_after(double ta, std::uint64_t sa, double tb,
+                 std::uint64_t sb) noexcept {
+  if (ta != tb) return ta > tb;
   return sa > sb;
 }
+
+}  // namespace
 
 SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
                      const CostModel& costs, double sigma, std::uint64_t seed)
@@ -51,12 +59,37 @@ SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
   if (!comm.is_free()) comm_ = comm;
 }
 
+SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
+                     const CostModel& costs, const FaultModel& faults,
+                     double sigma, std::uint64_t seed)
+    : SimEngine(graph, platform, costs, sigma, seed) {
+  faults.validate();
+  fault_ = faults;
+  fault_enabled_ = faults.enabled();
+  // The delegated constructor reset() ran without the fault schedule;
+  // redo it so the initial outage/slowdown arrivals are in the heap.
+  if (fault_enabled_) reset(seed);
+}
+
+SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
+                     const CostModel& costs, const CommModel& comm,
+                     const FaultModel& faults, double sigma,
+                     std::uint64_t seed)
+    : SimEngine(graph, platform, costs, faults, sigma, seed) {
+  if (!comm.is_free()) comm_ = comm;
+}
+
 void SimEngine::reset(std::uint64_t seed) {
   rng_ = util::Rng(seed);
   now_ = 0.0;
   completed_ = 0;
   started_ = 0;
+  outages_ = 0;
+  recoveries_ = 0;
+  lost_executions_ = 0;
+  event_seq_ = 0;
   const std::size_t n = graph_->num_tasks();
+  const auto n_res = static_cast<std::size_t>(platform_.size());
   missing_preds_.assign(n, 0);
   done_.assign(n, false);
   ready_.clear();
@@ -65,11 +98,11 @@ void SimEngine::reset(std::uint64_t seed) {
   ready_log_.reserve(n);
   running_.clear();
   events_.clear();
-  resource_task_.assign(static_cast<std::size_t>(platform_.size()),
-                        dag::kInvalidTask);
+  resource_task_.assign(n_res, dag::kInvalidTask);
   resource_expected_finish_.assign(
-      static_cast<std::size_t>(platform_.size()),
-      std::numeric_limits<double>::quiet_NaN());
+      n_res, std::numeric_limits<double>::quiet_NaN());
+  resource_up_.assign(n_res, 1);
+  speed_factor_.assign(n_res, 1.0);
   producer_of_.assign(n, -1);
   trace_.clear();
   for (dag::TaskId t = 0; t < n; ++t) {
@@ -78,6 +111,19 @@ void SimEngine::reset(std::uint64_t seed) {
       ready_.push_back(t);  // ascending: t is appended in id order
       in_ready_[t] = 1;
       ready_log_.push_back(t);
+    }
+  }
+  if (fault_enabled_) {
+    fault_rng_ = util::Rng(seed ^ kFaultSeedSalt);
+    for (ResourceId r = 0; r < platform_.size(); ++r) {
+      if (fault_.outage_rate > 0.0) {
+        push_event(FaultModel::sample_gap(fault_.outage_rate, fault_rng_),
+                   dag::kInvalidTask, r, EventKind::kOutage);
+      }
+      if (fault_.slowdown_rate > 0.0) {
+        push_event(FaultModel::sample_gap(fault_.slowdown_rate, fault_rng_),
+                   dag::kInvalidTask, r, EventKind::kSlowdownBegin);
+      }
     }
   }
 }
@@ -90,12 +136,21 @@ std::vector<ResourceId> SimEngine::idle_resources() const {
   return out;
 }
 
+int SimEngine::num_up() const noexcept {
+  int up = 0;
+  for (const std::uint8_t u : resource_up_) up += u != 0;
+  return up;
+}
+
 double SimEngine::expected_input_delay(dag::TaskId t, ResourceId r) const {
   if (!comm_) return 0.0;
   return comm_->input_delay(*graph_, t, platform_, producer_of_, r);
 }
 
 double SimEngine::expected_available_at(ResourceId r) const {
+  if (fault_enabled_ && !is_up(r)) {
+    return std::numeric_limits<double>::infinity();
+  }
   const dag::TaskId t = running_on(r);
   const double ef = resource_expected_finish_[static_cast<std::size_t>(r)];
   if (t == dag::kInvalidTask) {
@@ -120,9 +175,23 @@ void SimEngine::insert_ready(dag::TaskId t) {
   ready_log_.push_back(t);
 }
 
+std::uint64_t SimEngine::push_event(double time, dag::TaskId task,
+                                    ResourceId r, EventKind kind) {
+  const std::uint64_t seq = event_seq_++;
+  events_.push_back({time, seq, task, r, kind});
+  std::push_heap(events_.begin(), events_.end(),
+                 [](const Event& a, const Event& b) {
+                   return event_after(a.time, a.seq, b.time, b.seq);
+                 });
+  return seq;
+}
+
 void SimEngine::start(dag::TaskId t, ResourceId r) {
   if (r < 0 || r >= platform_.size()) {
     throw std::logic_error("SimEngine::start: invalid resource");
+  }
+  if (fault_enabled_ && !is_up(r)) {
+    throw std::logic_error("SimEngine::start: resource is down");
   }
   if (!is_idle(r)) {
     throw std::logic_error("SimEngine::start: resource is busy");
@@ -138,36 +207,26 @@ void SimEngine::start(dag::TaskId t, ResourceId r) {
   // Input shipping (if modeled) happens before compute; the transfer
   // itself is deterministic.
   const double shipping = expected_input_delay(t, r);
+  // Independent task-failure channel: the execution occupies the
+  // resource for its full duration, then the result is lost.
+  const bool fails = fault_enabled_ && fault_.task_failure_prob > 0.0 &&
+                     fault_rng_.uniform() < fault_.task_failure_prob;
   RunningInfo info;
   info.task = t;
   info.resource = r;
   info.start = now_;
   info.actual_finish = now_ + shipping + actual;
   info.expected_finish = now_ + shipping + expected;
+  info.seq = push_event(info.actual_finish, t, r,
+                        fails ? EventKind::kFail : EventKind::kFinish);
   running_.push_back(info);
   resource_task_[static_cast<std::size_t>(r)] = t;
   resource_expected_finish_[static_cast<std::size_t>(r)] =
       info.expected_finish;
-  events_.push_back({info.actual_finish, started_, t});
-  std::push_heap(events_.begin(), events_.end(),
-                 [](const Event& a, const Event& b) {
-                   return event_after(a.finish, a.seq, b.finish, b.seq);
-                 });
   ++started_;
 }
 
-void SimEngine::complete(dag::TaskId task) {
-  // running_ holds at most one entry per resource, so this scan is O(P).
-  auto it = std::find_if(
-      running_.begin(), running_.end(),
-      [task](const RunningInfo& info) { return info.task == task; });
-  if (it == running_.end()) {
-    throw std::logic_error(
-        "SimEngine::complete: event for a task that is not running "
-        "(state corruption)");
-  }
-  const RunningInfo info = *it;
-  running_.erase(it);  // preserves start order for running()
+void SimEngine::complete(const RunningInfo& info) {
   resource_task_[static_cast<std::size_t>(info.resource)] = dag::kInvalidTask;
   resource_expected_finish_[static_cast<std::size_t>(info.resource)] =
       std::numeric_limits<double>::quiet_NaN();
@@ -180,21 +239,140 @@ void SimEngine::complete(dag::TaskId task) {
   }
 }
 
-bool SimEngine::advance() {
-  if (events_.empty()) return false;
-  now_ = events_.front().finish;
-  // Retire every task that finishes at this instant (ties are common when
-  // sigma == 0); equal finishes pop in start order.
-  const auto later = [](const Event& a, const Event& b) {
-    return event_after(a.finish, a.seq, b.finish, b.seq);
-  };
-  while (!events_.empty() && events_.front().finish <= now_) {
-    std::pop_heap(events_.begin(), events_.end(), later);
-    const Event ev = events_.back();
-    events_.pop_back();
-    complete(ev.task);
+void SimEngine::kill_running(ResourceId r) {
+  auto it = std::find_if(
+      running_.begin(), running_.end(),
+      [r](const RunningInfo& info) { return info.resource == r; });
+  if (it == running_.end()) return;
+  const dag::TaskId task = it->task;
+  running_.erase(it);  // preserves start order for running()
+  resource_task_[static_cast<std::size_t>(r)] = dag::kInvalidTask;
+  resource_expected_finish_[static_cast<std::size_t>(r)] =
+      std::numeric_limits<double>::quiet_NaN();
+  // The in-flight work is lost; the task becomes ready again. Its stale
+  // completion event stays in the heap and is dropped on pop (the seq no
+  // longer matches any running entry).
+  insert_ready(task);
+  ++lost_executions_;
+}
+
+bool SimEngine::outage_would_strand(ResourceId r) const {
+  if (fault_.min_survivors_per_type <= 0) return false;
+  const ResourceType type = platform_.type(r);
+  int up_of_type = 0;
+  for (ResourceId o = 0; o < platform_.size(); ++o) {
+    if (platform_.type(o) == type && is_up(o)) ++up_of_type;
   }
-  return true;
+  return up_of_type <= fault_.min_survivors_per_type;
+}
+
+void SimEngine::dispatch(const Event& ev, bool& observable) {
+  switch (ev.kind) {
+    case EventKind::kFinish:
+    case EventKind::kFail: {
+      // running_ holds at most one entry per resource, so this scan is
+      // O(P). Matching on (task, seq) drops events whose execution was
+      // killed by an outage after the event was scheduled.
+      auto it = std::find_if(running_.begin(), running_.end(),
+                             [&ev](const RunningInfo& info) {
+                               return info.task == ev.task &&
+                                      info.seq == ev.seq;
+                             });
+      if (it == running_.end()) {
+        if (!fault_enabled_) {
+          throw std::logic_error(
+              "SimEngine::complete: event for a task that is not running "
+              "(state corruption)");
+        }
+        return;  // stale: the execution was killed mid-flight
+      }
+      const RunningInfo info = *it;
+      running_.erase(it);  // preserves start order for running()
+      if (ev.kind == EventKind::kFinish) {
+        complete(info);
+      } else {
+        // The execution ran to its end, then failed: free the resource,
+        // discard the result, re-ready the task.
+        resource_task_[static_cast<std::size_t>(info.resource)] =
+            dag::kInvalidTask;
+        resource_expected_finish_[static_cast<std::size_t>(info.resource)] =
+            std::numeric_limits<double>::quiet_NaN();
+        insert_ready(info.task);
+        ++lost_executions_;
+      }
+      observable = true;
+      return;
+    }
+    case EventKind::kOutage: {
+      if (!is_up(ev.resource)) return;  // defensive: already down
+      if (outage_would_strand(ev.resource)) {
+        // Survivor guard: suppress this outage and re-sample the arrival
+        // so liveness is preserved (>= min survivors per type stay up).
+        push_event(now_ + FaultModel::sample_gap(fault_.outage_rate,
+                                                 fault_rng_),
+                   dag::kInvalidTask, ev.resource, EventKind::kOutage);
+        return;
+      }
+      resource_up_[static_cast<std::size_t>(ev.resource)] = 0;
+      ++outages_;
+      kill_running(ev.resource);
+      if (fault_.mean_downtime > 0.0) {
+        push_event(now_ + FaultModel::sample_duration(fault_.mean_downtime,
+                                                      fault_rng_),
+                   dag::kInvalidTask, ev.resource, EventKind::kRecovery);
+      }
+      observable = true;
+      return;
+    }
+    case EventKind::kRecovery: {
+      resource_up_[static_cast<std::size_t>(ev.resource)] = 1;
+      ++recoveries_;
+      push_event(
+          now_ + FaultModel::sample_gap(fault_.outage_rate, fault_rng_),
+          dag::kInvalidTask, ev.resource, EventKind::kOutage);
+      observable = true;
+      return;
+    }
+    case EventKind::kSlowdownBegin: {
+      speed_factor_[static_cast<std::size_t>(ev.resource)] =
+          fault_.slowdown_factor;
+      push_event(now_ + FaultModel::sample_duration(fault_.mean_slowdown,
+                                                    fault_rng_),
+                 dag::kInvalidTask, ev.resource, EventKind::kSlowdownEnd);
+      observable = true;
+      return;
+    }
+    case EventKind::kSlowdownEnd: {
+      speed_factor_[static_cast<std::size_t>(ev.resource)] = 1.0;
+      push_event(
+          now_ + FaultModel::sample_gap(fault_.slowdown_rate, fault_rng_),
+          dag::kInvalidTask, ev.resource, EventKind::kSlowdownBegin);
+      observable = true;
+      return;
+    }
+  }
+}
+
+bool SimEngine::advance() {
+  const auto later = [](const Event& a, const Event& b) {
+    return event_after(a.time, a.seq, b.time, b.seq);
+  };
+  while (!events_.empty()) {
+    now_ = events_.front().time;
+    // Process every event firing at this instant (ties are common when
+    // sigma == 0); equal times pop in insertion order. A stale
+    // completion (its execution was killed) changes nothing observable,
+    // in which case the clock keeps advancing to the next instant.
+    bool observable = false;
+    while (!events_.empty() && events_.front().time <= now_) {
+      std::pop_heap(events_.begin(), events_.end(), later);
+      const Event ev = events_.back();
+      events_.pop_back();
+      dispatch(ev, observable);
+    }
+    if (observable) return true;
+  }
+  return false;
 }
 
 }  // namespace readys::sim

@@ -1,0 +1,47 @@
+#include "sim/fault_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace readys::sim {
+
+void FaultModel::validate() const {
+  if (outage_rate < 0.0 || slowdown_rate < 0.0) {
+    throw std::invalid_argument("FaultModel: rates must be >= 0");
+  }
+  if (task_failure_prob < 0.0 || task_failure_prob > 1.0) {
+    throw std::invalid_argument(
+        "FaultModel: task_failure_prob must be in [0, 1]");
+  }
+  if (slowdown_rate > 0.0 && mean_slowdown <= 0.0) {
+    throw std::invalid_argument(
+        "FaultModel: slowdowns need a positive mean_slowdown");
+  }
+  if (slowdown_factor < 1.0) {
+    throw std::invalid_argument(
+        "FaultModel: slowdown_factor must be >= 1 (a factor below 1 would "
+        "be a speedup)");
+  }
+  if (min_survivors_per_type < 0) {
+    throw std::invalid_argument(
+        "FaultModel: min_survivors_per_type must be >= 0");
+  }
+}
+
+double FaultModel::sample_gap(double rate, util::Rng& rng) {
+  if (rate <= 0.0) {
+    throw std::invalid_argument("FaultModel::sample_gap: rate must be > 0");
+  }
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+double FaultModel::sample_duration(double mean, util::Rng& rng) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument(
+        "FaultModel::sample_duration: mean must be > 0");
+  }
+  return -std::log(1.0 - rng.uniform()) * mean;
+}
+
+}  // namespace readys::sim

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/platform.hpp"
+#include "util/rng.hpp"
+
+namespace readys::sim {
+
+/// Stochastic fault-injection specification for one simulated platform.
+///
+/// Three disturbance channels, all per-resource and all driven by a
+/// dedicated RNG stream (never the duration-noise stream, so enabling
+/// faults does not perturb the noise draws of a fault-free run):
+///
+///  - **Fail-stop outages**: resource r dies at an exponentially
+///    distributed arrival time. Any task in flight on r is lost — its
+///    partial work is discarded and the task re-enters the ready set for
+///    re-execution. With `mean_downtime > 0` the resource recovers after
+///    an exponentially distributed downtime and outages keep arriving;
+///    otherwise the outage is permanent.
+///  - **Transient slowdowns**: r is degraded by `slowdown_factor` for an
+///    exponentially distributed window. The factor applies to tasks
+///    *started* while degraded (discrete-event simplification: a task's
+///    duration is fixed at start).
+///  - **Task failures**: each execution independently fails with
+///    probability `task_failure_prob` — the task occupies the resource
+///    for its full duration, then the result is lost and the task
+///    re-enters the ready set (the resource survives).
+///
+/// Liveness guard: an outage that would leave fewer than
+/// `min_survivors_per_type` live resources of the victim's type is
+/// suppressed (the arrival is re-sampled). With the default of 1, every
+/// DAG eventually completes even under permanent outages, because at
+/// least one resource of each capability survives. Set to 0 to allow
+/// total loss (the simulator then fails loudly when it deadlocks).
+///
+/// `FaultModel::none()` (the default) injects nothing and is bit-exact
+/// with a fault-free engine: no fault events are scheduled, no extra RNG
+/// draws happen, and every fault branch in the engine is dead.
+struct FaultModel {
+  /// Fail-stop arrivals per resource per millisecond (0 disables).
+  double outage_rate = 0.0;
+  /// Mean outage duration in ms; <= 0 makes outages permanent.
+  double mean_downtime = 0.0;
+  /// Slowdown-window arrivals per resource per millisecond (0 disables).
+  double slowdown_rate = 0.0;
+  /// Mean slowdown-window duration in ms.
+  double mean_slowdown = 0.0;
+  /// Duration multiplier while degraded (> 1 means slower).
+  double slowdown_factor = 1.0;
+  /// Probability that one task execution fails at completion.
+  double task_failure_prob = 0.0;
+  /// Outages never reduce a resource type below this many live units.
+  int min_survivors_per_type = 1;
+
+  /// The no-fault default; engines built with it are bit-exact with the
+  /// fault-free constructors (pinned by tests/test_fault_model.cpp).
+  static FaultModel none() noexcept { return FaultModel{}; }
+
+  /// True when any channel can fire.
+  bool enabled() const noexcept {
+    return outage_rate > 0.0 || slowdown_rate > 0.0 ||
+           task_failure_prob > 0.0;
+  }
+
+  /// Validates rates/probabilities; throws std::invalid_argument on
+  /// nonsense (negative rates, probability outside [0, 1], slowdown
+  /// factor < 1).
+  void validate() const;
+
+  /// Exponential inter-arrival gap with the given rate (> 0).
+  static double sample_gap(double rate, util::Rng& rng);
+  /// Exponential duration with the given mean (> 0).
+  static double sample_duration(double mean, util::Rng& rng);
+};
+
+}  // namespace readys::sim

@@ -12,12 +12,12 @@ Simulator::Simulator(const dag::TaskGraph& graph, const Platform& platform,
       options_(options) {}
 
 SimResult Simulator::run(Scheduler& scheduler) {
-  SimEngine engine =
-      options_.comm.has_value()
-          ? SimEngine(*graph_, platform_, costs_, *options_.comm,
-                      options_.sigma, options_.seed)
-          : SimEngine(*graph_, platform_, costs_, options_.sigma,
-                      options_.seed);
+  const CommModel comm =
+      options_.comm.has_value() ? *options_.comm : CommModel::free();
+  const FaultModel faults =
+      options_.faults.has_value() ? *options_.faults : FaultModel::none();
+  SimEngine engine(*graph_, platform_, costs_, comm, faults, options_.sigma,
+                   options_.seed);
   scheduler.reset(engine);
 
   SimResult result;
@@ -33,6 +33,14 @@ SimResult Simulator::run(Scheduler& scheduler) {
       }
     }
     if (engine.finished()) break;
+    if (engine.fault_enabled() && !engine.any_running() &&
+        engine.num_up() == 0 && engine.faults().mean_downtime <= 0.0) {
+      // Fault events may keep firing (slowdown edges), but no resource
+      // can ever come back: fail loudly instead of spinning.
+      throw std::logic_error(
+          "Simulator: platform unrecoverable (every resource permanently "
+          "down, tasks remain)");
+    }
     if (!engine.advance()) {
       throw std::logic_error("Simulator: scheduler stalled (no task running, "
                              "none assigned, tasks remain)");
@@ -46,7 +54,10 @@ SimResult Simulator::run(Scheduler& scheduler) {
 double simulate_makespan(const dag::TaskGraph& graph, const Platform& platform,
                          const CostModel& costs, Scheduler& scheduler,
                          double sigma, std::uint64_t seed) {
-  Simulator sim(graph, platform, costs, {sigma, seed});
+  Simulator::Options options;
+  options.sigma = sigma;
+  options.seed = seed;
+  Simulator sim(graph, platform, costs, options);
   return sim.run(scheduler).makespan;
 }
 

@@ -44,7 +44,10 @@ struct SimResult {
 ///
 /// Throws std::logic_error if the scheduler stalls (assigns nothing while
 /// nothing is running and tasks remain) — a deadlock under the paper's
-/// MDP, where the ∅ action must be masked when no task is in flight.
+/// MDP, where the ∅ action must be masked when no task is in flight —
+/// or if fault injection rendered the platform unrecoverable (every
+/// resource down with no recovery pending; impossible with the fault
+/// model's default survivor guard).
 class Simulator {
  public:
   struct Options {
@@ -53,6 +56,10 @@ class Simulator {
     /// Optional communication model (input shipping before compute);
     /// unset reproduces the paper's zero-communication assumption.
     std::optional<CommModel> comm;
+    /// Optional fault injection (outages / slowdowns / task failures);
+    /// unset — or FaultModel::none() — reproduces the fault-free engine
+    /// bit-exactly.
+    std::optional<FaultModel> faults;
   };
 
   Simulator(const dag::TaskGraph& graph, const Platform& platform,

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "dag/cholesky.hpp"
 #include "rl/a2c.hpp"
 #include "util/stats.hpp"
@@ -142,6 +145,19 @@ TEST(A2C, RewardSquashIsMonotoneAndBounded) {
   EXPECT_DOUBLE_EQ(trainer.shape_reward(0.0), 0.0);
   // r = -1 (mk = 2 x HEFT) -> mk_H/mk - 1 = -0.5.
   EXPECT_DOUBLE_EQ(trainer.shape_reward(-1.0), -0.5);
+}
+
+TEST(A2C, ShapeRewardRejectsNonFiniteReward) {
+  // A NaN reward (e.g. a makespan ratio with a zero denominator) must
+  // fail loudly before it poisons the returns of a whole episode.
+  auto cfg = tiny_config();
+  rr::PolicyNet net(rr::StateEncoder::node_feature_width(4), 8, cfg);
+  rr::A2CTrainer trainer(net, cfg);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(trainer.shape_reward(nan), std::domain_error);
+  EXPECT_THROW(trainer.shape_reward(inf), std::domain_error);
+  EXPECT_THROW(trainer.shape_reward(-inf), std::domain_error);
 }
 
 TEST(A2C, RewardShapingCanBeDisabled) {

@@ -1,0 +1,192 @@
+// Crash-safe checkpointing: atomic save/load roundtrips, kill-mid-write
+// recovery (a stale .tmp must never shadow the last complete
+// checkpoint), torn-file detection, and trainer-level --resume
+// continuing exactly where the interrupted run stopped.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "dag/cholesky.hpp"
+#include "nn/mlp.hpp"
+#include "nn/serialize.hpp"
+#include "rl/agent.hpp"
+#include "rl/checkpoint.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/platform.hpp"
+
+namespace fs = std::filesystem;
+namespace rd = readys::dag;
+namespace rl = readys::rl;
+namespace rn = readys::nn;
+namespace rs = readys::sim;
+using readys::util::Rng;
+
+namespace {
+
+/// Fresh (removed + unique) scratch directory under the system tmp dir.
+std::string scratch_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+bool same_parameters(rn::Module& a, rn::Module& b) {
+  return rn::serialize_parameters(a) == rn::serialize_parameters(b);
+}
+
+}  // namespace
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const auto dir = scratch_dir("readys-ckpt-roundtrip");
+  Rng rng1(1);
+  Rng rng2(2);
+  rn::Mlp a({4, 8, 2}, rng1);
+  rn::Mlp b({4, 8, 2}, rng2);
+  ASSERT_FALSE(same_parameters(a, b));
+
+  rl::save_checkpoint(dir, a, {42, 7});
+  rl::CheckpointState st;
+  ASSERT_TRUE(rl::load_checkpoint(dir, b, st));
+  EXPECT_EQ(st.episode, 42);
+  EXPECT_EQ(st.updates, 7u);
+  EXPECT_TRUE(same_parameters(a, b));
+  // A successful save leaves no temporary behind.
+  EXPECT_FALSE(fs::exists(rl::checkpoint_path(dir) + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, MissingCheckpointReturnsFalseAndTouchesNothing) {
+  const auto dir = scratch_dir("readys-ckpt-missing");
+  Rng rng(3);
+  rn::Mlp m({3, 3}, rng);
+  const auto before = rn::serialize_parameters(m);
+  rl::CheckpointState st{5, 9};
+  EXPECT_FALSE(rl::load_checkpoint(dir, m, st));
+  EXPECT_EQ(st.episode, 5);
+  EXPECT_EQ(st.updates, 9u);
+  EXPECT_EQ(rn::serialize_parameters(m), before);
+}
+
+TEST(Checkpoint, PartialTmpFromKilledWriteIsIgnored) {
+  // Simulates a kill mid-checkpoint: the previous complete checkpoint is
+  // on disk and a torn .tmp sits next to it. Loading must restore the
+  // complete one and never look at the .tmp.
+  const auto dir = scratch_dir("readys-ckpt-killed");
+  Rng rng1(4);
+  Rng rng2(5);
+  rn::Mlp a({4, 6, 2}, rng1);
+  rn::Mlp b({4, 6, 2}, rng2);
+  rl::save_checkpoint(dir, a, {10, 3});
+  {
+    std::ofstream tmp(rl::checkpoint_path(dir) + ".tmp");
+    tmp << "readys-checkpoint v1\nepisode 99\nupd";  // torn mid-write
+  }
+  rl::CheckpointState st;
+  ASSERT_TRUE(rl::load_checkpoint(dir, b, st));
+  EXPECT_EQ(st.episode, 10);
+  EXPECT_EQ(st.updates, 3u);
+  EXPECT_TRUE(same_parameters(a, b));
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, OnlyTmpPresentCountsAsMissing) {
+  const auto dir = scratch_dir("readys-ckpt-only-tmp");
+  fs::create_directories(dir);
+  {
+    std::ofstream tmp(rl::checkpoint_path(dir) + ".tmp");
+    tmp << "garbage";
+  }
+  Rng rng(6);
+  rn::Mlp m({3, 3}, rng);
+  rl::CheckpointState st;
+  EXPECT_FALSE(rl::load_checkpoint(dir, m, st));
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, TornCheckpointFileThrows) {
+  const auto dir = scratch_dir("readys-ckpt-torn");
+  Rng rng1(7);
+  rn::Mlp a({4, 6, 2}, rng1);
+  rl::save_checkpoint(dir, a, {8, 2});
+  // Truncate the real file to simulate disk corruption (NOT a torn
+  // write — rename makes those impossible — but e.g. fs damage).
+  const auto path = rl::checkpoint_path(dir);
+  const auto full = fs::file_size(path);
+  fs::resize_file(path, full / 2);
+  Rng rng2(8);
+  rn::Mlp b({4, 6, 2}, rng2);
+  const auto before = rn::serialize_parameters(b);
+  rl::CheckpointState st;
+  EXPECT_THROW(rl::load_checkpoint(dir, b, st), std::runtime_error);
+  // A corrupt checkpoint must not half-overwrite the module.
+  EXPECT_EQ(rn::serialize_parameters(b), before);
+  fs::remove_all(dir);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  const auto dir = scratch_dir("readys-ckpt-magic");
+  fs::create_directories(dir);
+  {
+    std::ofstream out(rl::checkpoint_path(dir));
+    out << "not-a-checkpoint\n";
+  }
+  Rng rng(9);
+  rn::Mlp m({3, 3}, rng);
+  rl::CheckpointState st;
+  EXPECT_THROW(rl::load_checkpoint(dir, m, st), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+namespace {
+
+rl::AgentConfig tiny_config(std::uint64_t seed) {
+  rl::AgentConfig cfg;
+  cfg.hidden = 8;
+  cfg.window = 1;
+  cfg.gcn_layers = 1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Checkpoint, TrainerResumeContinuesFromLastCheckpoint) {
+  // End-to-end --resume: a 4-episode run checkpoints, a fresh agent with
+  // resume=true and an 8-episode budget trains only the remaining 4.
+  const auto dir = scratch_dir("readys-ckpt-resume");
+  const auto graph = rd::cholesky_graph(3);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(1, 1);
+
+  rl::TrainOptions first;
+  first.episodes = 4;
+  first.sigma = 0.0;
+  first.seed = 3;
+  first.checkpoint_dir = dir;
+  first.checkpoint_every = 2;
+  {
+    rl::ReadysAgent agent(graph.num_kernel_types(), tiny_config(1));
+    const auto report = agent.train(graph, platform, costs, first);
+    EXPECT_EQ(report.start_episode, 0);
+    EXPECT_EQ(report.episode_rewards.size(), 4u);
+  }
+
+  rl::TrainOptions second = first;
+  second.episodes = 8;
+  second.resume = true;
+  rl::ReadysAgent resumed(graph.num_kernel_types(), tiny_config(2));
+  const auto report = resumed.train(graph, platform, costs, second);
+  EXPECT_EQ(report.start_episode, 4);
+  EXPECT_EQ(report.episode_rewards.size(), 4u);
+
+  // Resuming a finished run trains zero episodes and changes nothing.
+  rl::ReadysAgent done(graph.num_kernel_types(), tiny_config(3));
+  const auto noop = done.train(graph, platform, costs, second);
+  EXPECT_EQ(noop.start_episode, 8);
+  EXPECT_TRUE(noop.episode_rewards.empty());
+  fs::remove_all(dir);
+}

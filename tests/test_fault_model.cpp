@@ -1,0 +1,368 @@
+// Fault-injection suite: the bit-exactness pin for FaultModel::none(),
+// the kill / re-execution semantics of outages and task failures, the
+// graceful degradation of every scheduler, and the liveness property
+// under the survivor guard.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dag/cholesky.hpp"
+#include "dag/lu.hpp"
+#include "sched/greedy_eft.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rx = readys::sched;
+namespace ru = readys::util;
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const rs::Trace& trace) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& e : trace.entries()) {
+    h = fnv1a(h, &e.task, sizeof(e.task));
+    h = fnv1a(h, &e.resource, sizeof(e.resource));
+    h = fnv1a(h, &e.start, sizeof(e.start));
+    h = fnv1a(h, &e.finish, sizeof(e.finish));
+  }
+  return h;
+}
+
+/// One task of 50 expected ms on every resource: long enough that a
+/// high-rate outage reliably interrupts it.
+rd::TaskGraph one_long_task() {
+  rd::TaskGraph g("single", {"K"});
+  g.add_task(0);
+  return g;
+}
+
+rs::CostModel flat_costs() { return rs::CostModel("flat", {{50.0, 50.0}}); }
+
+/// Greedy lockstep driver: first ready task onto first idle resource.
+/// Deterministic, so two engines that should be bit-exact produce the
+/// same trace through it.
+template <typename Engine>
+rs::Trace run_greedy(Engine&& engine) {
+  while (!engine.finished()) {
+    for (;;) {
+      const auto idle = engine.idle_resources();
+      if (idle.empty() || engine.ready().empty()) break;
+      engine.start(engine.ready().front(), idle.front());
+    }
+    if (engine.finished()) break;
+    EXPECT_TRUE(engine.advance());
+  }
+  return engine.trace();
+}
+
+}  // namespace
+
+// --- bit-exactness pin -----------------------------------------------
+
+TEST(FaultModel, NoneIsBitExactWithFaultFreeConstructor) {
+  const auto graph = rd::cholesky_graph(6);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(2, 2);
+  for (const double sigma : {0.0, 0.3}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+      rs::SimEngine plain(graph, platform, costs, sigma, seed);
+      rs::SimEngine with_none(graph, platform, costs,
+                              rs::FaultModel::none(), sigma, seed);
+      EXPECT_FALSE(with_none.fault_enabled());
+      const auto h1 = trace_hash(run_greedy(plain));
+      const auto h2 = trace_hash(run_greedy(with_none));
+      EXPECT_EQ(h1, h2) << "sigma=" << sigma << " seed=" << seed;
+    }
+  }
+}
+
+TEST(FaultModel, NoneIsBitExactThroughSimulator) {
+  const auto graph = rd::lu_graph(5);
+  const auto costs = rs::CostModel::lu();
+  const auto platform = rs::Platform::cpus(3);
+  rs::Simulator::Options base;
+  base.sigma = 0.2;
+  base.seed = 5;
+  rs::Simulator::Options with_none = base;
+  with_none.faults = rs::FaultModel::none();
+  for (const char* name : {"heft", "mct", "greedy"}) {
+    std::unique_ptr<rs::Scheduler> a, b;
+    if (std::string(name) == "heft") {
+      a = std::make_unique<rx::HeftScheduler>();
+      b = std::make_unique<rx::HeftScheduler>();
+    } else if (std::string(name) == "mct") {
+      a = std::make_unique<rx::MctScheduler>();
+      b = std::make_unique<rx::MctScheduler>();
+    } else {
+      a = std::make_unique<rx::GreedyEftScheduler>();
+      b = std::make_unique<rx::GreedyEftScheduler>();
+    }
+    rs::Simulator s1(graph, platform, costs, base);
+    rs::Simulator s2(graph, platform, costs, with_none);
+    EXPECT_EQ(trace_hash(s1.run(*a).trace), trace_hash(s2.run(*b).trace))
+        << name;
+  }
+}
+
+// --- model validation -------------------------------------------------
+
+TEST(FaultModel, ValidateRejectsNonsense) {
+  const auto bad = [](auto mutate) {
+    rs::FaultModel m;
+    mutate(m);
+    return m;
+  };
+  EXPECT_THROW(bad([](rs::FaultModel& m) { m.outage_rate = -1.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      bad([](rs::FaultModel& m) { m.slowdown_rate = -0.1; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bad([](rs::FaultModel& m) { m.task_failure_prob = 1.5; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bad([](rs::FaultModel& m) { m.task_failure_prob = -0.1; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bad([](rs::FaultModel& m) { m.slowdown_rate = 1.0; }).validate(),
+      std::invalid_argument);  // slowdowns without a mean duration
+  EXPECT_THROW(
+      bad([](rs::FaultModel& m) { m.slowdown_factor = 0.5; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      bad([](rs::FaultModel& m) { m.min_survivors_per_type = -1; }).validate(),
+      std::invalid_argument);
+  EXPECT_NO_THROW(rs::FaultModel::none().validate());
+  EXPECT_FALSE(rs::FaultModel::none().enabled());
+
+  ru::Rng rng(1);
+  EXPECT_GT(rs::FaultModel::sample_gap(2.0, rng), 0.0);
+  EXPECT_GT(rs::FaultModel::sample_duration(5.0, rng), 0.0);
+  EXPECT_THROW(rs::FaultModel::sample_gap(0.0, rng), std::invalid_argument);
+  EXPECT_THROW(rs::FaultModel::sample_duration(-1.0, rng),
+               std::invalid_argument);
+
+  rs::FaultModel invalid;
+  invalid.outage_rate = -1.0;
+  EXPECT_THROW(rs::SimEngine(rd::cholesky_graph(2), rs::Platform::cpus(2),
+                             rs::CostModel::cholesky(), invalid, 0.0, 1),
+               std::invalid_argument);
+}
+
+// --- outage semantics -------------------------------------------------
+
+TEST(FaultModel, OutageKillsRunningTaskAndItReenters) {
+  const auto graph = one_long_task();
+  const auto costs = flat_costs();
+  rs::FaultModel faults;
+  faults.outage_rate = 1.0;    // expected first arrival ~1 ms << 50 ms task
+  faults.mean_downtime = 5.0;  // recoverable
+  rs::SimEngine engine(graph, rs::Platform::cpus(2), costs, faults, 0.0, 3);
+  ASSERT_TRUE(engine.fault_enabled());
+  ASSERT_EQ(engine.ready_log().size(), 1);
+
+  engine.start(0, 0);
+  while (engine.num_lost_executions() == 0 && !engine.finished()) {
+    ASSERT_TRUE(engine.advance());
+  }
+  // The execution was lost, not completed.
+  ASSERT_FALSE(engine.finished());
+  EXPECT_GE(engine.num_outages(), 1);
+  EXPECT_EQ(engine.num_lost_executions(), 1);
+  EXPECT_FALSE(engine.any_running());
+  // The task is ready again and logged a second time.
+  EXPECT_TRUE(engine.is_ready(0));
+  EXPECT_EQ(engine.ready_log().size(), 2);
+  EXPECT_EQ(engine.ready_log()[1], 0);
+  // Its resource is down: not idle, infinite availability, start refused.
+  EXPECT_FALSE(engine.is_up(0));
+  EXPECT_EQ(engine.num_up(), 1);
+  EXPECT_FALSE(engine.is_idle(0));
+  EXPECT_EQ(engine.expected_available_at(0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_THROW(engine.start(0, 0), std::logic_error);
+
+  // Finish greedily; the trace must still be a valid schedule with the
+  // task appearing exactly once (only the successful execution counts).
+  const auto trace = run_greedy(engine);
+  EXPECT_TRUE(engine.finished());
+  EXPECT_EQ(trace.size(), 1);
+  EXPECT_EQ(trace.validate(graph, rs::Platform::cpus(2)), "");
+  EXPECT_GE(engine.num_recoveries(), 0);
+}
+
+TEST(FaultModel, SurvivorGuardKeepsOneResourcePerType) {
+  // Permanent outages at a rate that would take everything down; the
+  // default guard must keep >= 1 CPU and >= 1 GPU alive forever.
+  const auto graph = rd::cholesky_graph(4);
+  rs::FaultModel faults;
+  faults.outage_rate = 0.05;
+  faults.mean_downtime = 0.0;  // permanent
+  rs::SimEngine engine(graph, rs::Platform::hybrid(2, 2),
+                       rs::CostModel::cholesky(), faults, 0.0, 11);
+  const auto trace = run_greedy(engine);
+  EXPECT_TRUE(engine.finished());
+  EXPECT_GE(engine.num_up(), 2);
+  EXPECT_TRUE(engine.is_up(0) || engine.is_up(1));  // a CPU survives
+  EXPECT_TRUE(engine.is_up(2) || engine.is_up(3));  // a GPU survives
+  EXPECT_EQ(trace.validate(graph, rs::Platform::hybrid(2, 2)), "");
+}
+
+// --- slowdown semantics -----------------------------------------------
+
+TEST(FaultModel, SlowdownScalesExpectedDuration) {
+  const auto graph = one_long_task();
+  const auto costs = flat_costs();
+  rs::FaultModel faults;
+  faults.slowdown_rate = 0.5;
+  faults.mean_slowdown = 20.0;
+  faults.slowdown_factor = 3.0;
+  rs::SimEngine engine(graph, rs::Platform::cpus(2), costs, faults, 0.0, 5);
+  // Advance until some resource enters a degraded window (slowdown edges
+  // are observable events, so advance() returns at each one).
+  rs::ResourceId degraded = -1;
+  for (int i = 0; i < 64 && degraded < 0; ++i) {
+    ASSERT_TRUE(engine.advance());
+    for (rs::ResourceId r = 0; r < 2; ++r) {
+      if (engine.speed_factor(r) == 3.0) degraded = r;
+    }
+  }
+  ASSERT_GE(degraded, 0) << "no slowdown window within 64 events";
+  EXPECT_DOUBLE_EQ(engine.expected_duration(0, degraded), 150.0);
+  // Slowdowns degrade but never take a resource down.
+  EXPECT_TRUE(engine.is_up(degraded));
+  EXPECT_TRUE(engine.is_idle(degraded));
+  EXPECT_EQ(engine.num_up(), 2);
+}
+
+// --- task-failure semantics -------------------------------------------
+
+TEST(FaultModel, TaskFailuresForceReexecution) {
+  const auto graph = rd::cholesky_graph(4);
+  const auto platform = rs::Platform::hybrid(2, 2);
+  rs::FaultModel faults;
+  faults.task_failure_prob = 0.3;
+  rs::SimEngine engine(graph, platform, rs::CostModel::cholesky(), faults,
+                       0.0, 17);
+  const auto trace = run_greedy(engine);
+  EXPECT_TRUE(engine.finished());
+  // With p = 0.3 over 20 tasks, at least one failure is near-certain
+  // (and deterministic for this seed).
+  EXPECT_GT(engine.num_lost_executions(), 0);
+  EXPECT_EQ(engine.num_outages(), 0);  // failures never down the resource
+  EXPECT_EQ(engine.num_up(), 4);
+  // Every completion in the trace respects precedence even though some
+  // predecessors executed more than once.
+  EXPECT_EQ(trace.size(), graph.num_tasks());
+  EXPECT_EQ(trace.validate(graph, platform), "");
+}
+
+// --- scheduler graceful degradation -----------------------------------
+
+TEST(FaultSchedulers, EveryDagCompletesUnderRandomOutages) {
+  // Property: with the survivor guard at its default (>= 1 resource of
+  // each type stays up), every scheduler finishes every DAG under
+  // random recoverable AND permanent outage schedules, and the trace is
+  // a valid schedule.
+  struct Instance {
+    rd::TaskGraph graph;
+    rs::CostModel costs;
+    rs::Platform platform;
+  };
+  const Instance instances[] = {
+      {rd::cholesky_graph(5), rs::CostModel::cholesky(),
+       rs::Platform::hybrid(2, 2)},
+      {rd::lu_graph(4), rs::CostModel::lu(), rs::Platform::cpus(3)},
+  };
+  const auto factories = [] {
+    std::vector<std::unique_ptr<rs::Scheduler>> v;
+    v.push_back(std::make_unique<rx::HeftScheduler>());
+    v.push_back(std::make_unique<rx::MctScheduler>());
+    v.push_back(std::make_unique<rx::GreedyEftScheduler>());
+    return v;
+  };
+  for (const auto& inst : instances) {
+    for (const bool permanent : {false, true}) {
+      for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        rs::FaultModel faults;
+        faults.outage_rate = permanent ? 0.003 : 0.01;
+        faults.mean_downtime = permanent ? 0.0 : 80.0;
+        faults.task_failure_prob = 0.05;
+        rs::Simulator::Options options;
+        options.sigma = 0.2;
+        options.seed = 1000 + seed;
+        options.faults = faults;
+        for (auto& scheduler : factories()) {
+          rs::Simulator sim(inst.graph, inst.platform, inst.costs, options);
+          const auto result = sim.run(*scheduler);
+          EXPECT_TRUE(std::isfinite(result.makespan))
+              << scheduler->name() << " " << inst.graph.name();
+          EXPECT_EQ(result.trace.validate(inst.graph, inst.platform), "")
+              << scheduler->name() << " seed=" << seed
+              << " permanent=" << permanent;
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultSchedulers, FaultsDegradeButDoNotExplodeMakespan) {
+  // Sanity on the metric the fault_sweep bench reports: injected
+  // outages make every scheduler slower, not faster, and recoverable
+  // outages keep the slowdown bounded.
+  const auto graph = rd::cholesky_graph(6);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(2, 2);
+  rx::MctScheduler sched;
+  rs::Simulator::Options clean;
+  clean.sigma = 0.0;
+  clean.seed = 21;
+  const double base = rs::Simulator(graph, platform, costs, clean)
+                          .run(sched)
+                          .makespan;
+  rs::FaultModel faults;
+  faults.outage_rate = 0.005;
+  faults.mean_downtime = 100.0;
+  rs::Simulator::Options faulty = clean;
+  faulty.faults = faults;
+  const double hurt = rs::Simulator(graph, platform, costs, faulty)
+                          .run(sched)
+                          .makespan;
+  EXPECT_GE(hurt, base);
+  EXPECT_LT(hurt, base * 20.0);
+}
+
+TEST(FaultSchedulers, UnrecoverablePlatformThrows) {
+  // Guard disabled + permanent outages at a huge rate: everything dies
+  // with tasks remaining. The simulator must fail loudly, not spin.
+  const auto graph = one_long_task();
+  rs::FaultModel faults;
+  faults.outage_rate = 50.0;
+  faults.mean_downtime = 0.0;
+  faults.min_survivors_per_type = 0;
+  rs::Simulator::Options options;
+  options.seed = 2;
+  options.faults = faults;
+  rx::MctScheduler sched;
+  rs::Simulator sim(graph, rs::Platform::cpus(2), flat_costs(), options);
+  EXPECT_THROW(sim.run(sched), std::logic_error);
+}

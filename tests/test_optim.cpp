@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "nn/linear.hpp"
 #include "nn/optim.hpp"
@@ -88,6 +89,35 @@ TEST(Optimizer, ClipGradNorm) {
   const double norm2 = opt.clip_grad_norm(10.0);
   EXPECT_NEAR(norm2, 1.0, 1e-12);
   EXPECT_NEAR(w.grad().norm(), 1.0, 1e-12);
+}
+
+TEST(Optimizer, GradsFiniteDetectsPoisonedGradients) {
+  // The divergence guard in the trainers keys off these two signals:
+  // grads_finite() and a non-finite clip_grad_norm() return.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  rt::Var w(rt::Tensor(1, 2, 1.0), true);
+  rn::Sgd opt({w}, 0.1);
+
+  rt::sum_all(w).backward();
+  EXPECT_TRUE(opt.grads_finite());
+  EXPECT_TRUE(std::isfinite(opt.clip_grad_norm(1.0)));
+
+  opt.zero_grad();
+  rt::sum_all(rt::mul(w, rt::Var(rt::Tensor::from_rows({{inf, 1.0}}))))
+      .backward();
+  EXPECT_FALSE(opt.grads_finite());
+  EXPECT_FALSE(std::isfinite(opt.clip_grad_norm(1.0)));
+
+  opt.zero_grad();
+  rt::sum_all(rt::mul(w, rt::Var(rt::Tensor::from_rows({{nan, 1.0}}))))
+      .backward();
+  EXPECT_FALSE(opt.grads_finite());
+  EXPECT_FALSE(std::isfinite(opt.clip_grad_norm(1.0)));
+
+  // Dropping the poisoned batch restores health.
+  opt.zero_grad();
+  EXPECT_TRUE(opt.grads_finite());
 }
 
 TEST(Training, LinearLayerFitsLinearMap) {

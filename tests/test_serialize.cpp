@@ -76,3 +76,72 @@ TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(rn::save_parameters(a, "/nonexistent/readys.txt"),
                std::runtime_error);
 }
+
+TEST(Serialize, SaveIsAtomicAndLeavesNoTmp) {
+  Rng rng(8);
+  rn::Mlp a({3, 4, 1}, rng);
+  const auto path = temp_file("readys_test_atomic.txt");
+  const auto tmp = path.string() + ".tmp";
+  // Plant a pre-existing file so the rename provably replaces it whole.
+  rn::save_parameters(a, path.string());
+  rn::save_parameters(a, path.string());
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  rn::Mlp b({3, 4, 1}, rng);
+  rn::load_parameters(b, path.string());
+  EXPECT_EQ(rn::serialize_parameters(a), rn::serialize_parameters(b));
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, TruncatedDataErrorNamesParamShapeAndLine) {
+  Rng rng(9);
+  rn::Mlp m({2, 2}, rng);
+  // A 1x2 parameter with only one value on its data line (line 3).
+  const std::string blob = "readys-weights v1\nw 1 2\n0.5\n";
+  try {
+    rn::deserialize_parameters(m, blob);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'w'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("(1x2)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("found 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Serialize, ShapeMismatchErrorShowsExpectedVsFound) {
+  Rng rng(10);
+  rn::Mlp a({4, 8, 2}, rng);
+  rn::Mlp wrong({4, 9, 2}, rng);
+  try {
+    rn::deserialize_parameters(wrong, rn::serialize_parameters(a));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    // Names the parameter and both shapes.
+    EXPECT_NE(msg.find("shape mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("module expects"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("file has"), std::string::npos) << msg;
+    const auto named = wrong.named_parameters();
+    ASSERT_FALSE(named.empty());
+    bool names_some_param = false;
+    for (const auto& [pname, var] : named) {
+      names_some_param =
+          names_some_param || msg.find("'" + pname + "'") != std::string::npos;
+    }
+    EXPECT_TRUE(names_some_param) << msg;
+  }
+}
+
+TEST(Serialize, MalformedHeaderReportsLineNumber) {
+  Rng rng(11);
+  rn::Mlp m({2, 2}, rng);
+  const std::string blob = "readys-weights v1\nnot a header\n";
+  try {
+    rn::deserialize_parameters(m, blob);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+}
