@@ -36,6 +36,7 @@ double train_and_eval(int window, int gcn_layers, double entropy_beta,
 int main() {
   const Budget budget = Budget::from_env();
   util::ThreadPool pool;
+  BenchRun run("ablation_hyperparams", budget);
 
   std::printf("=== Ablation: window w x GCN depth g (Cholesky T=4, "
               "2CPU+2GPU) ===\n");
@@ -63,6 +64,7 @@ int main() {
     csv.row({"1", "2", fmt(beta, 4), fmt(r, 4)});
   }
   ent.print();
+  run.finish("ablation.csv");
   std::printf("\nseries written to ablation.csv\n");
   return 0;
 }

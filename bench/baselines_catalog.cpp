@@ -24,6 +24,9 @@ int main() {
   const int runs = util::env_int("READYS_EVAL_SEEDS", 5);
   const double sigma = util::env_double("READYS_TRAIN_SIGMA", 0.25);
   util::ThreadPool pool;
+  BenchRun run("baselines_catalog");
+  run.manifest.set("runs", runs);
+  run.manifest.set("sigma", sigma);
 
   const std::vector<std::pair<std::string, core::SchedulerFactory>> scheds{
       {"HEFT", core::heft_factory()},
@@ -80,6 +83,7 @@ int main() {
     std::printf("\n");
     std::fflush(stdout);
   }
+  run.finish("baselines.csv");
   std::printf("series written to baselines.csv (mean makespans, ms)\n");
   return 0;
 }

@@ -52,6 +52,43 @@ struct Budget {
   }
 };
 
+/// Telemetry + manifest scope for a bench main. Construction installs
+/// telemetry from READYS_METRICS_OUT / READYS_TRACE_OUT (a no-op when
+/// neither is set) and stamps the manifest start time; destruction
+/// finalizes telemetry (flushes the JSONL sink, writes the trace file).
+/// Call finish(artifact) after each artifact the bench writes to drop a
+/// "<artifact>.manifest.json" reproducibility record next to it.
+struct BenchRun {
+  obs::RunManifest manifest;
+
+  explicit BenchRun(const std::string& tool) : manifest(tool) {
+    obs::install_from_env();
+  }
+
+  BenchRun(const std::string& tool, const Budget& budget) : BenchRun(tool) {
+    manifest.set("train_episodes", budget.base_episodes);
+    manifest.set("eval_seeds", budget.eval_seeds);
+    manifest.set("hidden", budget.hidden);
+    manifest.set("train_seeds", budget.train_seeds);
+    if (!budget.checkpoint_dir.empty()) {
+      manifest.set("checkpoint_dir", budget.checkpoint_dir);
+    }
+    manifest.set("resume", budget.resume);
+  }
+
+  ~BenchRun() { obs::shutdown(); }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  /// Records `artifact` as an output and writes the manifest to its
+  /// conventional sibling path.
+  void finish(const std::string& artifact) {
+    manifest.add_output(artifact);
+    manifest.write(obs::RunManifest::sibling_path(artifact));
+  }
+};
+
 inline rl::AgentConfig default_agent_config(const Budget& b,
                                             std::uint64_t seed = 1) {
   rl::AgentConfig cfg;

@@ -15,6 +15,9 @@ int main() {
   const auto costs = core::make_costs(core::App::kCholesky);
   const auto platform = sim::Platform::hybrid(2, 2);
   util::ThreadPool pool;
+  BenchRun run("comm_sensitivity");
+  run.manifest.set("runs", runs);
+  run.manifest.set("sigma", sigma);
 
   std::printf("=== Communication sensitivity (Cholesky T=8, %s, "
               "sigma=%.2f) ===\n\n",
@@ -49,6 +52,7 @@ int main() {
              fmt(mct_comm, 2)});
   }
   table.print();
+  run.finish("comm_sensitivity.csv");
   std::printf("\nseries written to comm_sensitivity.csv\n");
   std::printf("(transfer cost applies per cross-domain input tile; 0 = the "
               "paper's assumption)\n");

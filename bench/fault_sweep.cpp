@@ -32,6 +32,10 @@ int main() {
   const auto costs = core::make_costs(core::App::kCholesky);
   const auto platform = sim::Platform::hybrid(2, 2);
   util::ThreadPool pool;
+  BenchRun run("fault_sweep", budget);
+  run.manifest.set("sigma", sigma);
+  run.manifest.set("downtime_ms", downtime);
+  run.manifest.set("task_failure_prob", task_fail);
 
   std::printf("=== Fault sweep (Cholesky T=8, %s, sigma=%.2f, mean "
               "downtime %.0f ms) ===\n\n",
@@ -79,6 +83,7 @@ int main() {
     }
   }
   table.print();
+  run.finish("fault_sweep.csv");
   std::printf("\nseries written to fault_sweep.csv\n");
   std::printf("(degradation = mean makespan / same scheduler's fault-free "
               "mean; rate 0 row is the baseline)\n");

@@ -23,6 +23,9 @@ int main() {
   const bool curriculum = util::env_int("READYS_CURRICULUM", 0) != 0;
   const auto platform = sim::Platform::hybrid(2, 2);
   util::ThreadPool pool;
+  BenchRun run("fig3_improvement", budget);
+  run.manifest.set("platform", platform.name());
+  run.manifest.set("curriculum", curriculum);
 
   std::printf("=== Figure 3: improvement over HEFT / MCT on %s ===\n",
               platform.name().c_str());
@@ -67,6 +70,7 @@ int main() {
       std::fflush(stdout);
     }
   }
+  run.finish("fig3.csv");
   std::printf("series written to fig3.csv\n");
   std::printf("expected shape (paper): vs HEFT ~1 at sigma=0, rising with "
               "sigma; vs MCT > 1 for trained sizes.\n");

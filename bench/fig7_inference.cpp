@@ -34,6 +34,10 @@ int main() {
   const int window = util::env_int("READYS_WINDOW", 2);
   const int episodes_per_size = util::env_int("READYS_EVAL_SEEDS", 3);
 
+  BenchRun run("fig7_inference", budget);
+  run.manifest.set("window", window);
+  run.manifest.set("episodes_per_size", episodes_per_size);
+
   rl::AgentConfig cfg = default_agent_config(budget);
   cfg.window = window;
   rl::PolicyNet net(rl::StateEncoder::node_feature_width(4),
@@ -106,6 +110,7 @@ int main() {
              fmt(s.ci99_half_width, 2), fmt(p95, 2)});
   }
   table.print();
+  run.finish("fig7.csv");
   std::printf("\nseries written to fig7.csv\n");
   std::printf("expected shape (paper): grows with window size, stays at "
               "millisecond scale or below.\n");

@@ -14,13 +14,18 @@
 //   READYS_BENCH_SIGMA     duration noise level (0.3)
 //   READYS_BENCH_EPISODES  fixed episode count per cell (0 = time-target);
 //                          makes mean_makespan comparable across engines
+//   READYS_BENCH_TELEMETRY_OVERHEAD=1
+//                          instead measure the telemetry subsystem's cost
+//                          on the MCT cells: disabled vs registry-only vs
+//                          full tracing, written to
+//                          BENCH_telemetry_overhead.json
 
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/readys.hpp"
+#include "bench_common.hpp"
 
 using namespace readys;
 
@@ -75,6 +80,99 @@ Cell run_cell(const std::string& name, const core::SchedulerFactory& factory,
   return cell;
 }
 
+/// Telemetry-overhead mode: times the MCT cells with (a) no telemetry
+/// installed — the shipping default, which must stay within noise of the
+/// PR1 baseline — (b) the registry active but no sink/tracing (counters
+/// only), and (c) full tracing + metrics sink. Overhead is reported
+/// relative to the disabled run of the same tile count.
+int run_overhead_mode(const std::vector<int>& tiles, double sigma,
+                      double min_seconds, int fixed_episodes,
+                      const sim::Platform& platform,
+                      const sim::CostModel& costs) {
+  struct Variant {
+    const char* mode;
+    bool install = false;
+    obs::TelemetryConfig cfg;
+  };
+  std::vector<Variant> variants(3);
+  variants[0].mode = "disabled";
+  variants[1].mode = "registry";
+  variants[1].install = true;
+  variants[2].mode = "tracing";
+  variants[2].install = true;
+  variants[2].cfg.metrics_path = "telemetry_overhead.metrics.jsonl";
+  variants[2].cfg.trace_path = "telemetry_overhead.trace.json";
+
+  struct Row {
+    std::string mode;
+    Cell cell;
+    double overhead_pct = 0.0;  ///< vs the disabled run, same tiles
+  };
+  std::vector<Row> rows;
+  for (const auto& v : variants) {
+    if (v.install) obs::install(v.cfg);
+    for (int t : tiles) {
+      const auto graph = dag::cholesky_graph(t);
+      rows.push_back({v.mode,
+                      run_cell("MCT", core::mct_factory(), graph, platform,
+                               costs, t, sigma, min_seconds, fixed_episodes),
+                      0.0});
+    }
+    if (v.install) obs::shutdown();
+  }
+  for (Row& r : rows) {
+    for (const Row& base : rows) {
+      if (base.mode == "disabled" && base.cell.tiles == r.cell.tiles) {
+        r.overhead_pct = 100.0 * (base.cell.decisions_per_s -
+                                  r.cell.decisions_per_s) /
+                         base.cell.decisions_per_s;
+      }
+    }
+  }
+
+  std::printf("=== Telemetry overhead (MCT / Cholesky, sigma=%.2f) ===\n\n",
+              sigma);
+  util::Table table(
+      {"mode", "T", "episodes", "decisions/s", "overhead vs off"});
+  for (const Row& r : rows) {
+    table.add_row({r.mode, std::to_string(r.cell.tiles),
+                   std::to_string(r.cell.episodes),
+                   util::Table::num(r.cell.decisions_per_s, 0),
+                   util::Table::num(r.overhead_pct, 2) + "%"});
+  }
+  table.print();
+
+  const char* path = "BENCH_telemetry_overhead.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror(path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"telemetry_overhead\",\n");
+  std::fprintf(f, "  \"platform\": \"%s\",\n  \"sigma\": %.3f,\n",
+               platform.name().c_str(), sigma);
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"tiles\": %d, \"episodes\": %d, "
+                 "\"decisions_per_s\": %.1f, \"overhead_pct\": %.3f}%s\n",
+                 r.mode.c_str(), r.cell.tiles, r.cell.episodes,
+                 r.cell.decisions_per_s, r.overhead_pct,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\noverhead series written to %s\n", path);
+
+  bench::BenchRun run("sim_throughput --telemetry-overhead");
+  run.manifest.set("sigma", sigma);
+  run.manifest.set("fixed_episodes", fixed_episodes);
+  run.manifest.set("platform", platform.name());
+  run.finish(path);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -84,6 +182,19 @@ int main() {
   const int fixed_episodes = util::env_int("READYS_BENCH_EPISODES", 0);
   const auto platform = sim::Platform::hybrid(2, 2);
   const auto costs = sim::CostModel::cholesky();
+
+  if (util::env_int("READYS_BENCH_TELEMETRY_OVERHEAD", 0) != 0) {
+    return run_overhead_mode(tiles, sigma, min_seconds, fixed_episodes,
+                             platform, costs);
+  }
+
+  // Honors READYS_METRICS_OUT / READYS_TRACE_OUT; leave both unset when
+  // measuring the headline throughput numbers.
+  bench::BenchRun run("sim_throughput");
+  run.manifest.set("sigma", sigma);
+  run.manifest.set("min_seconds", min_seconds);
+  run.manifest.set("fixed_episodes", fixed_episodes);
+  run.manifest.set("platform", platform.name());
 
   const std::vector<std::pair<std::string, core::SchedulerFactory>> scheds{
       {"MCT", core::mct_factory()},
@@ -136,5 +247,6 @@ int main() {
     std::perror("BENCH_sim_throughput.json");
     return 1;
   }
+  run.finish(path);
   return 0;
 }

@@ -20,6 +20,9 @@ inline int run_transfer_figure(const char* figure_name,
   const double train_sigma = util::env_double("READYS_TRAIN_SIGMA", 0.2);
   const auto costs = core::make_costs(core::App::kCholesky);
   util::ThreadPool pool;
+  BenchRun run(figure_name, budget);
+  run.manifest.set("platform", platform.name());
+  run.manifest.set("train_sigma", train_sigma);
 
   std::printf("=== %s: Cholesky transfer on %s ===\n", figure_name,
               platform.name().c_str());
@@ -65,6 +68,7 @@ inline int run_transfer_figure(const char* figure_name,
     std::printf("\n");
     std::fflush(stdout);
   }
+  run.finish(csv_name);
   std::printf("series written to %s\n", csv_name.c_str());
   std::printf("expected shape (paper): T=6/8 agents near HEFT at sigma=0 "
               "and ahead for sigma>0.2; T=4 weaker; vs MCT > 1 "

@@ -2,6 +2,8 @@
 //
 //   readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> <sigma> <out.weights>
 //                       [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
+//                       [--metrics-out <f.jsonl>] [--trace-out <f.json>]
+//                       [--manifest <f.json>]
 //   readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> <weights> [runs]
 //   readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]
 //   readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> [sigma]
@@ -29,6 +31,8 @@ int usage() {
       "<sigma> <out.weights>\n"
       "                      [--checkpoint-dir <dir>] [--checkpoint-every "
       "<n>] [--resume]\n"
+      "                      [--metrics-out <f.jsonl>] [--trace-out "
+      "<f.json>] [--manifest <f.json>]\n"
       "  readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> "
       "<weights> [runs]\n"
       "  readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]\n"
@@ -70,6 +74,8 @@ int cmd_train(int argc, char** argv) {
   opts.episodes = episodes;
   opts.sigma = sigma;
   opts.verbose = true;
+  obs::TelemetryConfig telemetry_cfg;
+  std::string manifest_path;
   for (int i = 9; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--checkpoint-dir" && i + 1 < argc) {
@@ -78,10 +84,35 @@ int cmd_train(int argc, char** argv) {
       opts.checkpoint_every = std::atoi(argv[++i]);
     } else if (flag == "--resume") {
       opts.resume = true;
+    } else if (flag == "--metrics-out" && i + 1 < argc) {
+      telemetry_cfg.metrics_path = argv[++i];
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      telemetry_cfg.trace_path = argv[++i];
+    } else if (flag == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown train option '%s'\n", flag.c_str());
       return usage();
     }
+  }
+  if (!telemetry_cfg.metrics_path.empty() ||
+      !telemetry_cfg.trace_path.empty()) {
+    obs::install(telemetry_cfg);
+  }
+
+  obs::RunManifest manifest("readys_cli train");
+  manifest.set("app", argv[2]);
+  manifest.set("tiles", std::atoi(argv[3]));
+  manifest.set("ncpu", std::atoi(argv[4]));
+  manifest.set("ngpu", std::atoi(argv[5]));
+  manifest.set("episodes", episodes);
+  manifest.set("sigma", sigma);
+  manifest.set("platform", platform.name());
+  manifest.set("graph", graph.name());
+  manifest.set("seed", static_cast<std::int64_t>(opts.seed));
+  manifest.set("resume", opts.resume);
+  if (!opts.checkpoint_dir.empty()) {
+    manifest.set("checkpoint_dir", opts.checkpoint_dir);
   }
 
   rl::ReadysAgent agent(graph.num_kernel_types(), rl::AgentConfig{});
@@ -90,6 +121,7 @@ int cmd_train(int argc, char** argv) {
               sigma);
   const auto report = agent.train(graph, platform, costs, opts);
   agent.save(argv[8]);
+  manifest.add_output(argv[8]);
   if (report.start_episode > 0) {
     std::printf("resumed at episode %d\n", report.start_episode);
   }
@@ -99,6 +131,28 @@ int cmd_train(int argc, char** argv) {
   }
   std::printf("best makespan %.1f ms; weights -> %s\n",
               report.best_makespan, argv[8]);
+
+  if (obs::Telemetry* t = obs::telemetry()) {
+    if (t->tracing()) {
+      // One greedy rollout of the trained policy under the simulator so
+      // the trace file shows the simulated schedule (pid 1) next to the
+      // wall-clock training spans (pid 2) in the same Perfetto view.
+      rl::ReadysScheduler policy(agent.net(), agent.config().window);
+      sim::Simulator sim(graph, platform, costs, {sigma, opts.seed});
+      const auto rollout = sim.run(policy);
+      t->add_trace_fragment(
+          sim::chrome_trace_events(rollout.trace, graph, platform));
+      std::printf("greedy rollout makespan %.1f ms -> %s\n",
+                  rollout.makespan, t->config().trace_path.c_str());
+    }
+    if (t->sink() != nullptr) manifest.add_output(t->config().metrics_path);
+    if (t->tracing()) manifest.add_output(t->config().trace_path);
+  }
+  obs::shutdown();
+  if (!manifest_path.empty()) {
+    manifest.write(manifest_path);
+    std::printf("manifest -> %s\n", manifest_path.c_str());
+  }
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "core/evaluation.hpp"
 
+#include "obs/obs.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/greedy_eft.hpp"
 #include "sched/heft.hpp"
@@ -25,6 +26,10 @@ std::vector<double> evaluate_makespans(
     const sim::CostModel& costs, const SchedulerFactory& factory,
     const sim::Simulator::Options& base, int runs,
     util::ThreadPool* pool) {
+  obs::Span span("core/evaluate_makespans", "eval");
+  if (obs::Telemetry* t = obs::telemetry()) {
+    t->eval_runs.add(static_cast<std::uint64_t>(runs));
+  }
   std::vector<double> out(static_cast<std::size_t>(runs), 0.0);
   auto run_one = [&](std::size_t i) {
     sim::Simulator::Options options = base;

@@ -30,6 +30,7 @@
 #include "dag/task_graph.hpp"
 #include "dag/window.hpp"
 #include "nn/gcn.hpp"
+#include "obs/obs.hpp"
 #include "nn/linear.hpp"
 #include "nn/mlp.hpp"
 #include "nn/optim.hpp"

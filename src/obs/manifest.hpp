@@ -1,0 +1,54 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace readys::obs {
+
+/// Reproducibility record written next to every artifact a run produces:
+/// the full configuration that generated it, the seeds, the (simulated)
+/// platform spec, the build flags, and wall-clock start/end times.
+/// Schema documented in docs/observability.md ("readys-manifest/1").
+///
+/// Construction stamps the start time; write() stamps the end time, so
+/// one manifest object should live for the duration of the run.
+class RunManifest {
+ public:
+  explicit RunManifest(std::string tool);
+
+  /// Adds one config entry (last set for a key wins at write time is NOT
+  /// implemented — keys are emitted in insertion order, so set each key
+  /// once).
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+  /// Adds a pre-rendered JSON value (array/object) under `key`.
+  void set_raw(const std::string& key, const std::string& raw_json);
+
+  /// Records an artifact path this run produced.
+  void add_output(const std::string& path);
+
+  /// Renders the manifest (with the end time = now) as one JSON object.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws std::runtime_error on failure.
+  void write(const std::string& path) const;
+
+  /// Conventional manifest location for an artifact:
+  /// "results.csv" -> "results.csv.manifest.json".
+  static std::string sibling_path(const std::string& artifact_path);
+
+ private:
+  std::string tool_;
+  std::chrono::system_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> config_;  // key -> raw JSON
+  std::vector<std::string> outputs_;
+};
+
+}  // namespace readys::obs

@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace readys::obs {
+
+namespace detail {
+
+std::size_t thread_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = latency_us_bounds();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bucket bounds must be sorted");
+  }
+  const std::size_t n = bounds_.size() + 1;  // + overflow
+  for (auto& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<double> Histogram::latency_us_bounds() {
+  return {1,    2,    5,    10,    20,    50,    100,    200,    500,
+          1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000};
+}
+
+void Histogram::observe(double v) noexcept {
+  // lower_bound: first edge >= v, so an observation equal to an edge
+  // lands in that edge's bucket (inclusive upper edges).
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[detail::thread_index() % kShards];
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double old = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(old, old + v,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) {
+    sum += s.count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double Histogram::sum() const noexcept {
+  double sum = 0.0;
+  for (const auto& s : shards_) sum += s.sum.load(std::memory_order_relaxed);
+  return sum;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->total());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->get());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramView view;
+    view.name = name;
+    view.bounds = h->bounds();
+    view.counts = h->counts();
+    view.count = h->count();
+    view.sum = h->sum();
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+namespace {
+
+void append_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";  // bare NaN/Inf is invalid JSON
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << counters[i].first << "\":" << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << gauges[i].first << "\":";
+    append_number(os, gauges[i].second);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i) os << ",";
+    os << "\"" << h.name << "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) os << ",";
+      append_number(os, h.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) os << ",";
+      os << h.counts[b];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":";
+    append_number(os, h.sum);
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace readys::obs

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace readys::obs {
+
+namespace detail {
+
+/// Small dense id for the calling thread, assigned on first use and
+/// stable for the thread's lifetime. Shared by the metric shards (modulo
+/// kShards) and the trace collector (Chrome `tid`).
+std::size_t thread_index() noexcept;
+
+}  // namespace detail
+
+/// Number of independent slots a hot-path instrument is striped over.
+/// Threads map onto slots by thread_index() % kShards, so increments
+/// from different threads (almost) never touch the same cache line;
+/// snapshot() sums the stripes. Power of two.
+inline constexpr std::size_t kShards = 16;
+
+/// Monotonically increasing event count. add() is wait-free (one relaxed
+/// fetch_add on the caller's stripe); total() is a snapshot-time sum and
+/// may miss increments that race with it, which is fine for telemetry.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_index() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, learning rate, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double get() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper edges of the
+/// finite buckets; one overflow bucket is always appended, so counts()
+/// has bounds.size() + 1 entries. observe() touches only the caller's
+/// stripe (relaxed atomics); merging happens in snapshot accessors.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Merged per-bucket counts (last entry = overflow bucket).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+
+  /// Default edges for microsecond latency histograms.
+  static std::vector<double> latency_us_bounds();
+
+ private:
+  struct alignas(64) Shard {
+    // Flat [bucket] atomics, sized at construction; sum accumulated via
+    // CAS (atomic<double>::fetch_add is not guaranteed lock-free
+    // everywhere).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// One merged, point-in-time view of a registry, in deterministic
+/// (name-sorted) order. Two snapshots taken with no writes in between
+/// render to identical JSON.
+struct MetricsSnapshot {
+  struct HistogramView {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramView> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+};
+
+/// Thread-safe name -> instrument registry. Instruments are created on
+/// first lookup and never destroyed before the registry, so call sites
+/// may cache the returned references. Lookups take a mutex — resolve
+/// handles once, outside hot loops.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is honored on the creating call only; empty uses
+  /// Histogram::latency_us_bounds().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: sorted iteration gives deterministic snapshots, node-based
+  // storage gives stable addresses for the unique_ptr payloads.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace readys::obs

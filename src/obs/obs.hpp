@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file obs.hpp
+/// Umbrella header for the telemetry subsystem: a process-wide metrics
+/// registry (counters / gauges / fixed-bucket histograms, striped over
+/// per-thread shards), RAII wall-clock spans rendered as Chrome trace
+/// events, a JSONL metrics sink, and run manifests.
+///
+/// Lifecycle:
+/// \code
+///   obs::TelemetryConfig cfg;
+///   cfg.metrics_path = "train.metrics.jsonl";
+///   cfg.trace_path = "train.trace.json";
+///   obs::install(cfg);          // or obs::install_from_env()
+///   ...                         // instrumented code runs
+///   obs::shutdown();            // flush sink, write merged trace
+/// \endcode
+///
+/// Instrumentation pattern (≈zero-cost when disabled — one atomic load
+/// and a branch):
+/// \code
+///   if (obs::Telemetry* t = obs::telemetry()) t->env_steps.add();
+///   obs::Span span("rl/policy_forward");   // no-op unless tracing
+/// \endcode
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace readys::obs {
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Minimal builder for one flat JSON object. Doubles render as `null`
+/// when non-finite (bare NaN/Inf is invalid JSON).
+class JsonObject {
+ public:
+  JsonObject() { os_.precision(15); }
+
+  JsonObject& field(const std::string& key, const std::string& v);
+  JsonObject& field(const std::string& key, const char* v);
+  JsonObject& field(const std::string& key, double v);
+  JsonObject& field(const std::string& key, std::int64_t v);
+  JsonObject& field(const std::string& key, std::uint64_t v);
+  JsonObject& field(const std::string& key, int v);
+  JsonObject& field(const std::string& key, bool v);
+  /// Splices `raw_json` in verbatim (for nested objects/arrays).
+  JsonObject& raw(const std::string& key, const std::string& raw_json);
+
+  std::string str() const;  ///< "{...}"
+
+ private:
+  std::ostringstream& key(const std::string& k);
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+/// Line-oriented JSON sink: one object per line, buffered, flushed to
+/// disk every `flush_every` rows and on destruction. write() is
+/// thread-safe; rows from concurrent writers interleave whole-line.
+class JsonlSink {
+ public:
+  /// Throws std::runtime_error if `path` cannot be opened.
+  explicit JsonlSink(std::string path, int flush_every = 32);
+  ~JsonlSink();
+
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+
+  /// Appends one line; `json_object` must be a complete JSON value.
+  void write(const std::string& json_object);
+  void flush();
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t rows() const noexcept;
+
+ private:
+  std::string path_;
+  int flush_every_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  int since_flush_ = 0;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace readys::obs

@@ -1,0 +1,113 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+
+namespace readys::obs {
+
+TraceCollector::TraceCollector(std::size_t max_events)
+    : start_(std::chrono::steady_clock::now()), max_events_(max_events) {}
+
+double TraceCollector::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void TraceCollector::record(const char* name, const char* cat, double ts_us,
+                            double dur_us) {
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(TraceEvent{
+      name, cat, ts_us, dur_us,
+      static_cast<std::uint32_t>(detail::thread_index())});
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceCollector::events_json() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard lock(mutex_);
+    events = events_;
+  }
+  if (events.empty()) return {};
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+
+  std::ostringstream os;
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"args\":{\"name\":\"training (wall clock)\"}}";
+  for (std::uint32_t tid : tids) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"thread " << tid << "\"}}";
+  }
+  for (const auto& e : events) {
+    os << ",{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+       << "\",\"ph\":\"X\",\"pid\":2,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+       << ",\"dur\":" << e.dur_us << "}";
+  }
+  return os.str();
+}
+
+Span::Span(const char* name, const char* cat, Histogram* latency) noexcept {
+  Telemetry* t = telemetry();
+  if (t == nullptr) return;
+  if (t->tracing()) collector_ = &t->tracer();
+  latency_ = latency;
+  if (collector_ == nullptr && latency_ == nullptr) return;
+  name_ = name;
+  cat_ = cat;
+  t0_ = std::chrono::steady_clock::now();
+  if (collector_ != nullptr) start_us_ = collector_->now_us();
+}
+
+Span::~Span() {
+  if (collector_ == nullptr && latency_ == nullptr) return;
+  const double dur_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0_)
+                            .count();
+  if (latency_ != nullptr) latency_->observe(dur_us);
+  if (collector_ != nullptr) {
+    collector_->record(name_, cat_, start_us_, dur_us);
+  }
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<std::string>& fragments) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+  }
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& f : fragments) {
+    if (f.empty()) continue;
+    if (!first) out << ",";
+    first = false;
+    out << f;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("write_chrome_trace_file: write failed for " +
+                             path);
+  }
+}
+
+}  // namespace readys::obs

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace readys::obs {
+
+/// One completed ("X") Chrome trace event on the wall-clock timeline.
+struct TraceEvent {
+  const char* name = "";  ///< static string (span call sites use literals)
+  const char* cat = "";
+  double ts_us = 0.0;   ///< microseconds since collector construction
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Collects wall-clock spans from the training/inference stack and
+/// renders them as a Chrome trace-event fragment under pid 2, so a
+/// single Perfetto load shows them above the simulated schedule (pid 1,
+/// sim::to_chrome_trace). Bounded: beyond `max_events` new spans are
+/// counted as dropped instead of stored.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::size_t max_events = 1u << 20);
+
+  /// Microseconds of steady-clock time since construction.
+  double now_us() const noexcept;
+
+  void record(const char* name, const char* cat, double ts_us,
+              double dur_us);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Comma-joined event fragment (no enclosing array): process/thread
+  /// metadata first, then the spans sorted by start time. Empty string
+  /// when nothing was recorded.
+  std::string events_json() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::size_t max_events_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII wall-clock span: emits one trace event into the installed
+/// telemetry's collector (when tracing is on) and/or one observation
+/// into `latency` (when non-null). When telemetry is disabled the
+/// constructor is a single atomic load and a branch.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "train",
+                Histogram* latency = nullptr) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceCollector* collector_ = nullptr;  ///< null: no event to emit
+  Histogram* latency_ = nullptr;
+  const char* name_ = "";
+  const char* cat_ = "";
+  double start_us_ = 0.0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Writes a Chrome trace JSON file composed of the given event
+/// fragments (each a comma-joined event list, empty fragments skipped).
+/// Throws std::runtime_error on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<std::string>& fragments);
+
+}  // namespace readys::obs

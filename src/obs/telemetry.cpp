@@ -1,0 +1,102 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace readys::obs {
+
+namespace detail {
+std::atomic<Telemetry*> g_telemetry{nullptr};
+}
+
+namespace {
+
+// Guards install/shutdown transitions (not the hot path).
+std::mutex g_lifecycle_mutex;
+std::unique_ptr<Telemetry> g_owned;
+
+}  // namespace
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(std::move(config)),
+      tracer_(config_.max_trace_events),
+      sim_tasks_started(registry_.counter("sim.tasks_started")),
+      sim_events(registry_.counter("sim.events")),
+      sim_episodes(registry_.counter("sim.episodes")),
+      env_steps(registry_.counter("rl.env_steps")),
+      env_resets(registry_.counter("rl.env_resets")),
+      policy_forwards(registry_.counter("rl.policy_forwards")),
+      optim_updates(registry_.counter("rl.optimizer_updates")),
+      optim_skipped(registry_.counter("rl.skipped_updates")),
+      checkpoint_writes(registry_.counter("rl.checkpoint_writes")),
+      sched_decisions(registry_.counter("sched.decisions")),
+      pool_tasks(registry_.counter("util.pool_tasks")),
+      eval_runs(registry_.counter("core.eval_runs")),
+      pool_queue_depth(registry_.gauge("util.pool_queue_depth")),
+      env_step_us(registry_.histogram("rl.env_step_us")),
+      policy_forward_us(registry_.histogram("rl.policy_forward_us")),
+      update_us(registry_.histogram("rl.update_us")) {
+  if (!config_.metrics_path.empty()) {
+    sink_ = std::make_unique<JsonlSink>(config_.metrics_path,
+                                        config_.flush_every);
+  }
+  tracing_ = !config_.trace_path.empty();
+}
+
+void Telemetry::add_trace_fragment(std::string fragment) {
+  extra_fragments_.push_back(std::move(fragment));
+}
+
+void Telemetry::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  if (sink_) {
+    JsonObject row;
+    row.field("row", "metrics_snapshot")
+        .raw("metrics", registry_.snapshot().to_json())
+        .field("trace_events", static_cast<std::uint64_t>(tracer_.size()))
+        .field("trace_events_dropped", tracer_.dropped());
+    sink_->write(row.str());
+    sink_->flush();
+  }
+  if (!config_.trace_path.empty()) {
+    std::vector<std::string> fragments = extra_fragments_;
+    fragments.push_back(tracer_.events_json());
+    write_chrome_trace_file(config_.trace_path, fragments);
+  }
+}
+
+bool install(TelemetryConfig config) {
+  std::lock_guard lock(g_lifecycle_mutex);
+  if (g_owned) return false;
+  g_owned = std::make_unique<Telemetry>(std::move(config));
+  detail::g_telemetry.store(g_owned.get(), std::memory_order_release);
+  return true;
+}
+
+void shutdown() {
+  std::lock_guard lock(g_lifecycle_mutex);
+  if (!g_owned) return;
+  // Unpublish first so instrumentation on other threads stops observing
+  // before the instance is finalized and destroyed. (Racing threads must
+  // not hold a Telemetry* across shutdown — in practice install/shutdown
+  // bracket the whole run.)
+  detail::g_telemetry.store(nullptr, std::memory_order_release);
+  g_owned->finalize();
+  g_owned.reset();
+}
+
+bool install_from_env() {
+  const char* metrics = std::getenv("READYS_METRICS_OUT");
+  const char* trace = std::getenv("READYS_TRACE_OUT");
+  if ((metrics == nullptr || *metrics == '\0') &&
+      (trace == nullptr || *trace == '\0')) {
+    return false;
+  }
+  TelemetryConfig cfg;
+  if (metrics != nullptr) cfg.metrics_path = metrics;
+  if (trace != nullptr) cfg.trace_path = trace;
+  return install(std::move(cfg));
+}
+
+}  // namespace readys::obs

@@ -1,11 +1,13 @@
 #include "rl/a2c.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "obs/obs.hpp"
 #include "rl/checkpoint.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
@@ -59,6 +61,9 @@ std::size_t A2CTrainer::select_action(const PolicyNet::Output& out,
 bool A2CTrainer::update(const std::vector<StepRecord>& batch,
                         double bootstrap) {
   if (batch.empty()) return true;
+  readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+  readys::obs::Span span("rl/a2c_update", "train",
+                         t_obs ? &t_obs->update_us : nullptr);
   // n-step discounted returns, resetting at episode boundaries.
   std::vector<double> returns(batch.size());
   double running = bootstrap;
@@ -108,12 +113,16 @@ bool A2CTrainer::update(const std::vector<StepRecord>& batch,
   // then every subsequent update; drop the batch instead. The norm is
   // non-finite iff any gradient entry is, so this one check covers the
   // whole parameter list.
+  last_loss_ = loss.value().item();
+  last_grad_norm_ = grad_norm;
   if (!std::isfinite(loss.value().item()) || !std::isfinite(grad_norm)) {
     optimizer_.zero_grad();
+    if (t_obs) t_obs->optim_skipped.add();
     return false;
   }
   optimizer_.step();
   ++updates_;
+  if (t_obs) t_obs->optim_updates.add();
   return true;
 }
 
@@ -165,7 +174,10 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
     }
   };
 
+  using obs_clock = std::chrono::steady_clock;
   for (int ep = start_ep; ep < opts.episodes; ++ep) {
+    readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+    const auto ep_t0 = t_obs ? obs_clock::now() : obs_clock::time_point{};
     entropy_scale_ =
         cfg_.entropy_decay
             ? 1.0 - static_cast<double>(ep) /
@@ -205,6 +217,26 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
     report.episode_rewards.push_back(episode_reward);
     report.episode_makespans.push_back(env.makespan());
     report.best_makespan = std::min(report.best_makespan, env.makespan());
+    if (t_obs != nullptr && t_obs->sink() != nullptr) {
+      const double wall_s =
+          std::chrono::duration<double>(obs_clock::now() - ep_t0).count();
+      const auto decisions = env.decisions_this_episode();
+      readys::obs::JsonObject row;
+      row.field("row", "episode")
+          .field("trainer", "a2c")
+          .field("episode", ep + 1)
+          .field("reward", episode_reward)
+          .field("makespan_ms", env.makespan())
+          .field("loss", last_loss_)
+          .field("grad_norm", last_grad_norm_)
+          .field("decisions", static_cast<std::uint64_t>(decisions))
+          .field("steps_per_s",
+                 wall_s > 0.0 ? static_cast<double>(decisions) / wall_s : 0.0)
+          .field("skipped_updates",
+                 static_cast<std::uint64_t>(report.skipped_updates))
+          .field("rollbacks", static_cast<std::uint64_t>(report.rollbacks));
+      t_obs->sink()->write(row.str());
+    }
     if ((ep + 1) % every == 0) {
       last_good = nn::serialize_parameters(*net_);
       if (!opts.checkpoint_dir.empty()) {

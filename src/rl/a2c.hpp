@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,10 @@ class A2CTrainer {
   util::Rng sample_rng_;
   std::size_t updates_ = 0;
   double entropy_scale_ = 1.0;  ///< annealing factor (see entropy_decay)
+  // Last applied update, for the telemetry episode rows (NaN until the
+  // first update; a skipped update records what was rejected).
+  double last_loss_ = std::numeric_limits<double>::quiet_NaN();
+  double last_grad_norm_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace readys::rl

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
+#include "obs/obs.hpp"
 
 namespace readys::rl {
 
@@ -21,6 +22,8 @@ std::string checkpoint_path(const std::string& dir) {
 
 void save_checkpoint(const std::string& dir, const nn::Module& module,
                      const CheckpointState& state) {
+  obs::Span span("rl/checkpoint_save", "train");
+  if (obs::Telemetry* t = obs::telemetry()) t->checkpoint_writes.add();
   std::filesystem::create_directories(dir);
   const std::string path = checkpoint_path(dir);
   const std::string tmp = path + ".tmp";

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "sched/heft.hpp"
 
 namespace readys::rl {
@@ -19,6 +20,8 @@ SchedulingEnv::SchedulingEnv(const dag::TaskGraph& graph,
 }
 
 const Observation& SchedulingEnv::reset(std::uint64_t seed) {
+  obs::Span span("rl/env_reset", "train");
+  if (obs::Telemetry* t = obs::telemetry()) t->env_resets.add();
   engine_.reset(seed);
   action_rng_ = util::Rng(seed ^ 0xD1B54A32D192ED03ULL);
   declined_.clear();
@@ -48,7 +51,10 @@ void SchedulingEnv::advance_to_decision() {
         // ∅ is legal unless declining would deadlock: nothing running and
         // this is the last idle resource that could take the work.
         const bool allow_idle = engine_.any_running() || cands.size() > 1;
-        obs_ = encoder_.encode(engine_, current, allow_idle);
+        {
+          obs::Span encode_span("rl/state_encode", "train");
+          obs_ = encoder_.encode(engine_, current, allow_idle);
+        }
         return;
       }
     }
@@ -70,6 +76,9 @@ void SchedulingEnv::advance_to_decision() {
 }
 
 SchedulingEnv::StepResult SchedulingEnv::step(std::size_t a) {
+  obs::Telemetry* t = obs::telemetry();
+  obs::Span span("rl/env_step", "train", t ? &t->env_step_us : nullptr);
+  if (t) t->env_steps.add();
   if (engine_.finished()) {
     throw std::logic_error("SchedulingEnv::step: episode already done");
   }

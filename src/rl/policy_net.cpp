@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 
 namespace readys::rl {
@@ -34,6 +35,8 @@ PolicyNet::PolicyNet(int node_features, int resource_features,
 }
 
 Var PolicyNet::embed(const Observation& obs) const {
+  // `obs` the parameter shadows `obs` the namespace — qualify via readys::.
+  readys::obs::Span span("nn/gcn_embed", "train");
   Var h{obs.features};
   const Var ahat{obs.ahat};
   for (std::size_t l = 0; l < gcn_.size(); ++l) {
@@ -44,6 +47,10 @@ Var PolicyNet::embed(const Observation& obs) const {
 }
 
 PolicyNet::Output PolicyNet::forward(const Observation& obs) const {
+  readys::obs::Telemetry* t = readys::obs::telemetry();
+  readys::obs::Span span("rl/policy_forward", "train",
+                         t ? &t->policy_forward_us : nullptr);
+  if (t) t->policy_forwards.add();
   if (obs.ready_tasks.empty()) {
     throw std::invalid_argument("PolicyNet::forward: no ready task");
   }

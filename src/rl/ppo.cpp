@@ -1,10 +1,12 @@
 #include "rl/ppo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "nn/serialize.hpp"
+#include "obs/obs.hpp"
 #include "rl/checkpoint.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
@@ -39,6 +41,9 @@ void PpoTrainer::rollback(const std::string& last_good) {
 void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
                           const std::string& last_good, int patience,
                           int& divergent_streak) {
+  readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+  readys::obs::Span round_span("rl/ppo_optimize", "train",
+                               t_obs ? &t_obs->update_us : nullptr);
   for (int epoch = 0; epoch < ppo_.epochs; ++epoch) {
     rng_.shuffle(steps);
     for (std::size_t begin = 0; begin < steps.size();
@@ -90,12 +95,15 @@ void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
       optimizer_.zero_grad();
       loss.backward();
       const double grad_norm = optimizer_.clip_grad_norm(cfg_.grad_clip);
+      last_loss_ = loss.value().item();
+      last_grad_norm_ = grad_norm;
       if (!std::isfinite(loss.value().item()) ||
           !std::isfinite(grad_norm)) {
         // Poisoned minibatch: skip it before step() bakes NaN/Inf into
         // the weights and the Adam moments.
         optimizer_.zero_grad();
         ++report.skipped_updates;
+        if (t_obs) t_obs->optim_skipped.add();
         if (++divergent_streak >= patience) {
           rollback(last_good);
           ++report.rollbacks;
@@ -105,6 +113,7 @@ void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
       }
       divergent_streak = 0;
       optimizer_.step();
+      if (t_obs) t_obs->optim_updates.add();
     }
   }
 }
@@ -138,6 +147,9 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
     const int round = std::min(ppo_.rollout_episodes,
                                opts.episodes - episode);
     for (int e = 0; e < round; ++e, ++episode) {
+      using obs_clock = std::chrono::steady_clock;
+      readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+      const auto ep_t0 = t_obs ? obs_clock::now() : obs_clock::time_point{};
       env.reset(opts.seed + static_cast<std::uint64_t>(episode));
       std::vector<Step> episode_steps;
       bool done = env.done();
@@ -166,6 +178,28 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
       report.episode_makespans.push_back(env.makespan());
       report.best_makespan =
           std::min(report.best_makespan, env.makespan());
+      if (t_obs != nullptr && t_obs->sink() != nullptr) {
+        const double wall_s =
+            std::chrono::duration<double>(obs_clock::now() - ep_t0).count();
+        const auto decisions = env.decisions_this_episode();
+        readys::obs::JsonObject row;
+        row.field("row", "episode")
+            .field("trainer", "ppo")
+            .field("episode", episode + 1)
+            .field("reward", reward)
+            .field("makespan_ms", env.makespan())
+            .field("loss", last_loss_)
+            .field("grad_norm", last_grad_norm_)
+            .field("decisions", static_cast<std::uint64_t>(decisions))
+            .field("steps_per_s", wall_s > 0.0
+                                      ? static_cast<double>(decisions) / wall_s
+                                      : 0.0)
+            .field("skipped_updates",
+                   static_cast<std::uint64_t>(report.skipped_updates))
+            .field("rollbacks",
+                   static_cast<std::uint64_t>(report.rollbacks));
+        t_obs->sink()->write(row.str());
+      }
       steps.insert(steps.end(),
                    std::make_move_iterator(episode_steps.begin()),
                    std::make_move_iterator(episode_steps.end()));

@@ -57,6 +57,10 @@ class PpoTrainer {
   PpoConfig ppo_;
   nn::Adam optimizer_;
   util::Rng rng_;
+  // Last minibatch update, for the telemetry episode rows (NaN until the
+  // first update; a skipped update records what was rejected).
+  double last_loss_ = std::numeric_limits<double>::quiet_NaN();
+  double last_grad_norm_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace readys::rl

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/telemetry.hpp"
+
 namespace readys::sched {
 
 namespace {
@@ -168,6 +170,9 @@ std::vector<sim::Assignment> HeftScheduler::decide(
       }
     }
     for (const auto& info : engine.running()) running_now_[info.task] = 0;
+  }
+  if (!out.empty()) {
+    if (obs::Telemetry* t = obs::telemetry()) t->sched_decisions.add(out.size());
   }
   return out;
 }

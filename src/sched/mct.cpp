@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/telemetry.hpp"
+
 namespace readys::sched {
 
 MctScheduler::MctScheduler(bool comm_aware) : comm_aware_(comm_aware) {}
@@ -105,6 +107,9 @@ std::vector<sim::Assignment> MctScheduler::decide(
       q.pop_front();
       if (q.empty()) tail_[static_cast<std::size_t>(r)] = 0.0;
     }
+  }
+  if (!out.empty()) {
+    if (obs::Telemetry* t = obs::telemetry()) t->sched_decisions.add(out.size());
   }
   return out;
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace readys::sim {
 
 namespace {
@@ -80,6 +82,7 @@ SimEngine::SimEngine(const dag::TaskGraph& graph, const Platform& platform,
 }
 
 void SimEngine::reset(std::uint64_t seed) {
+  if (obs::Telemetry* t_obs = obs::telemetry()) t_obs->sim_episodes.add();
   rng_ = util::Rng(seed);
   now_ = 0.0;
   completed_ = 0;
@@ -224,6 +227,7 @@ void SimEngine::start(dag::TaskId t, ResourceId r) {
   resource_expected_finish_[static_cast<std::size_t>(r)] =
       info.expected_finish;
   ++started_;
+  if (obs::Telemetry* t_obs = obs::telemetry()) t_obs->sim_tasks_started.add();
 }
 
 void SimEngine::complete(const RunningInfo& info) {
@@ -354,6 +358,7 @@ void SimEngine::dispatch(const Event& ev, bool& observable) {
 }
 
 bool SimEngine::advance() {
+  if (obs::Telemetry* t_obs = obs::telemetry()) t_obs->sim_events.add();
   const auto later = [](const Event& a, const Event& b) {
     return event_after(a.time, a.seq, b.time, b.seq);
   };

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace readys::sim {
 
 Simulator::Simulator(const dag::TaskGraph& graph, const Platform& platform,
@@ -12,6 +14,7 @@ Simulator::Simulator(const dag::TaskGraph& graph, const Platform& platform,
       options_(options) {}
 
 SimResult Simulator::run(Scheduler& scheduler) {
+  obs::Span span("sim/episode", "sim");
   const CommModel comm =
       options_.comm.has_value() ? *options_.comm : CommModel::free();
   const FaultModel faults =

@@ -16,10 +16,10 @@ std::string resource_label(const Platform& platform, ResourceId r) {
 
 }  // namespace
 
-std::string to_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
-                            const Platform& platform) {
+std::string chrome_trace_events(const Trace& trace,
+                                const dag::TaskGraph& graph,
+                                const Platform& platform) {
   std::ostringstream os;
-  os << "{\"traceEvents\":[";
   bool first = true;
   for (ResourceId r = 0; r < platform.size(); ++r) {
     if (!first) os << ",";
@@ -34,8 +34,13 @@ std::string to_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
        << "\"tid\":" << e.resource << ",\"ts\":" << e.start
        << ",\"dur\":" << (e.finish - e.start) << "}";
   }
-  os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();
+}
+
+std::string to_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
+                            const Platform& platform) {
+  return "{\"traceEvents\":[" + chrome_trace_events(trace, graph, platform) +
+         "],\"displayTimeUnit\":\"ms\"}";
 }
 
 void write_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,

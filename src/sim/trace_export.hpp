@@ -13,6 +13,16 @@ namespace readys::sim {
 std::string to_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,
                             const Platform& platform);
 
+/// The comma-joined event list inside to_chrome_trace's "traceEvents"
+/// array, without the enclosing JSON wrapper. This is the fragment the
+/// telemetry layer (obs::write_chrome_trace_file) merges with wall-clock
+/// training spans so one Perfetto load shows both timelines.
+/// to_chrome_trace is exactly this fragment wrapped in
+/// {"traceEvents":[...],"displayTimeUnit":"ms"} — byte-stable.
+std::string chrome_trace_events(const Trace& trace,
+                                const dag::TaskGraph& graph,
+                                const Platform& platform);
+
 /// Writes to_chrome_trace to `path`; throws std::runtime_error on I/O
 /// failure.
 void write_chrome_trace(const Trace& trace, const dag::TaskGraph& graph,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -18,17 +19,28 @@ namespace detail {
 
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_(level) {}
-  ~LogStream() { log_line(level_, os_.str()); }
+  /// The threshold is checked here, once: a stream below it never
+  /// formats anything (no ostringstream is even constructed), so dropped
+  /// log_debug() in hot loops costs one comparison, not a string build.
+  explicit LogStream(LogLevel level)
+      : level_(level),
+        active_(static_cast<int>(level) >= static_cast<int>(log_level())) {}
+  ~LogStream() {
+    if (active_) log_line(level_, os_ ? os_->str() : std::string());
+  }
   template <typename T>
   LogStream& operator<<(const T& v) {
-    os_ << v;
+    if (active_) {
+      if (!os_) os_.emplace();
+      *os_ << v;
+    }
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream os_;
+  bool active_;
+  std::optional<std::ostringstream> os_;
 };
 
 }  // namespace detail

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/telemetry.hpp"
+
 namespace readys::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -28,12 +30,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
+    }
+    if (obs::Telemetry* t = obs::telemetry()) {
+      t->pool_tasks.add();
+      t->pool_queue_depth.set(static_cast<double>(depth));
     }
     task();
   }

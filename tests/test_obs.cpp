@@ -1,0 +1,525 @@
+// Telemetry subsystem (src/obs): registry semantics, multi-threaded
+// instrument hammering (the interesting part under tsan), span
+// collection, JSONL sink, run manifests, and the merged Chrome trace —
+// including the byte-stability contract between sim::to_chrome_trace and
+// the chrome_trace_events fragment it now wraps.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dag/cholesky.hpp"
+#include "obs/obs.hpp"
+#include "sched/mct.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_export.hpp"
+
+namespace ro = readys::obs;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string scratch_file(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / name;
+  fs::remove(p);
+  return p.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Minimal recursive-descent JSON validator: enough to assert that the
+/// files the subsystem emits are well-formed without a JSON dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Every obs test that installs telemetry must tear it down, or the
+/// global pointer leaks into the next test of the same binary run.
+struct TelemetryGuard {
+  ~TelemetryGuard() { ro::shutdown(); }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Counters / gauges / histograms
+// ---------------------------------------------------------------------
+
+TEST(Counter, AddAndTotal) {
+  ro::Counter c;
+  EXPECT_EQ(c.total(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.total(), 42u);
+}
+
+TEST(Counter, SumsAcrossThreads) {
+  ro::Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.total(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins) {
+  ro::Gauge g;
+  EXPECT_EQ(g.get(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.get(), -1.25);
+}
+
+TEST(Histogram, InclusiveUpperEdgesAndOverflow) {
+  ro::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (edges are inclusive)
+  h.observe(1.5);    // bucket 1
+  h.observe(10.0);   // bucket 1
+  h.observe(99.9);   // bucket 2
+  h.observe(1000.0); // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 10.0 + 99.9 + 1000.0, 1e-9);
+}
+
+// The tsan workhorse: concurrent observers on every stripe while a
+// reader keeps merging snapshots.
+TEST(Histogram, MultithreadHammer) {
+  ro::Histogram h({1.0, 2.0, 4.0, 8.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)h.counts();
+      (void)h.count();
+      (void)h.sum();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>((t + i) % 10));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto counts = h.counts();
+  std::uint64_t bucket_total = 0;
+  for (const auto c : counts) bucket_total += c;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(bucket_total, expected);
+  EXPECT_EQ(h.count(), expected);
+}
+
+// ---------------------------------------------------------------------
+// Registry + snapshot
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, ReturnsSameInstancePerName) {
+  ro::MetricsRegistry reg;
+  ro::Counter& a = reg.counter("x");
+  ro::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.total(), 3u);
+  ro::Histogram& h1 = reg.histogram("lat", {5.0, 50.0});
+  ro::Histogram& h2 = reg.histogram("lat", {1.0});  // bounds ignored here
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{5.0, 50.0}));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDeterministic) {
+  ro::MetricsRegistry reg;
+  reg.counter("zebra").add(1);
+  reg.counter("alpha").add(2);
+  reg.gauge("mid").set(7.0);
+  reg.histogram("h", {1.0}).observe(0.5);
+  const auto s1 = reg.snapshot();
+  const auto s2 = reg.snapshot();
+  ASSERT_EQ(s1.counters.size(), 2u);
+  EXPECT_EQ(s1.counters[0].first, "alpha");
+  EXPECT_EQ(s1.counters[1].first, "zebra");
+  EXPECT_EQ(s1.to_json(), s2.to_json());
+  EXPECT_TRUE(JsonValidator(s1.to_json()).valid()) << s1.to_json();
+}
+
+TEST(MetricsRegistry, SnapshotJsonCarriesValues) {
+  ro::MetricsRegistry reg;
+  reg.counter("events").add(12);
+  reg.gauge("depth").set(3.0);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"events\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":3"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------
+// Spans + trace collector
+// ---------------------------------------------------------------------
+
+TEST(Span, NoopWhenTelemetryDisabled) {
+  ASSERT_EQ(ro::telemetry(), nullptr);
+  ro::Histogram h({1.0});
+  {
+    ro::Span span("test/span", "test", &h);
+  }
+  // Disabled telemetry short-circuits even an explicit latency sink.
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Span, RecordsIntoCollectorWhenTracing) {
+  TelemetryGuard guard;
+  ro::TelemetryConfig cfg;
+  cfg.trace_path = scratch_file("readys_obs_span.trace.json");
+  ASSERT_TRUE(ro::install(cfg));
+  ro::Telemetry* t = ro::telemetry();
+  ASSERT_NE(t, nullptr);
+  {
+    ro::Span span("test/outer", "test");
+    ro::Span inner("test/inner", "test");
+  }
+  EXPECT_EQ(t->tracer().size(), 2u);
+  const std::string fragment = t->tracer().events_json();
+  EXPECT_NE(fragment.find("test/outer"), std::string::npos);
+  EXPECT_NE(fragment.find("test/inner"), std::string::npos);
+  EXPECT_NE(fragment.find("\"pid\":2"), std::string::npos);
+  // A fragment is not a complete JSON document; wrapped it must be.
+  EXPECT_TRUE(JsonValidator("[" + fragment + "]").valid());
+  fs::remove(cfg.trace_path);
+}
+
+TEST(TraceCollector, BoundedWithDroppedCount) {
+  ro::TraceCollector collector(/*max_events=*/4);
+  for (int i = 0; i < 10; ++i) {
+    collector.record("e", "test", static_cast<double>(i), 1.0);
+  }
+  EXPECT_EQ(collector.size(), 4u);
+  EXPECT_EQ(collector.dropped(), 6u);
+}
+
+TEST(Span, ObservesLatencyHistogramWhenInstalled) {
+  TelemetryGuard guard;
+  ASSERT_TRUE(ro::install(ro::TelemetryConfig{}));
+  ro::Histogram& h = ro::telemetry()->registry().histogram("lat_us");
+  {
+    ro::Span span("test/latency", "test", &h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// JSON sink + escaping
+// ---------------------------------------------------------------------
+
+TEST(JsonEscape, HandlesSpecialsAndControlChars) {
+  EXPECT_EQ(ro::json_escape("plain"), "plain");
+  EXPECT_EQ(ro::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(ro::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(ro::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(ro::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonObject, RendersTypedFieldsAndNullsNonFinite) {
+  ro::JsonObject o;
+  o.field("s", "v").field("i", 7).field("d", 2.5).field("b", true).field(
+      "nan", std::numeric_limits<double>::quiet_NaN());
+  const std::string json = o.str();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"s\":\"v\""), std::string::npos);
+  EXPECT_NE(json.find("\"i\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"d\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\":null"), std::string::npos);
+}
+
+TEST(JsonlSink, OneValidObjectPerLine) {
+  const std::string path = scratch_file("readys_obs_sink.metrics.jsonl");
+  {
+    ro::JsonlSink sink(path, /*flush_every=*/2);
+    for (int i = 0; i < 3; ++i) {
+      sink.write(ro::JsonObject().field("row", i).str());
+    }
+    EXPECT_EQ(sink.rows(), 3u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Run manifests
+// ---------------------------------------------------------------------
+
+TEST(RunManifest, SiblingPathConvention) {
+  EXPECT_EQ(ro::RunManifest::sibling_path("results.csv"),
+            "results.csv.manifest.json");
+  EXPECT_EQ(ro::RunManifest::sibling_path("out/fig3.csv"),
+            "out/fig3.csv.manifest.json");
+}
+
+TEST(RunManifest, WritesValidJsonWithConfigAndOutputs) {
+  ro::RunManifest m("test_tool");
+  m.set("app", "cholesky");
+  m.set("tiles", 8);
+  m.set("sigma", 0.25);
+  m.set("resume", false);
+  m.add_output("fig.csv");
+  const std::string path = scratch_file("readys_obs.manifest.json");
+  m.write(path);
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"schema\":\"readys-manifest/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"test_tool\""), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"cholesky\""), std::string::npos);
+  EXPECT_NE(json.find("\"outputs\":[\"fig.csv\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"start_time\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle + end-to-end trace/metrics files
+// ---------------------------------------------------------------------
+
+TEST(Telemetry, InstallIsExclusiveAndShutdownUninstalls) {
+  TelemetryGuard guard;
+  EXPECT_EQ(ro::telemetry(), nullptr);
+  EXPECT_FALSE(ro::enabled());
+  ASSERT_TRUE(ro::install(ro::TelemetryConfig{}));
+  EXPECT_TRUE(ro::enabled());
+  EXPECT_FALSE(ro::install(ro::TelemetryConfig{}));  // already installed
+  ro::shutdown();
+  EXPECT_EQ(ro::telemetry(), nullptr);
+  ro::shutdown();  // idempotent
+}
+
+TEST(Telemetry, WellKnownCountersLandInSnapshot) {
+  TelemetryGuard guard;
+  ASSERT_TRUE(ro::install(ro::TelemetryConfig{}));
+  ro::Telemetry* t = ro::telemetry();
+  t->sim_events.add(5);
+  t->sched_decisions.add(2);
+  const std::string json = t->registry().snapshot().to_json();
+  EXPECT_NE(json.find("\"sim.events\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sched.decisions\":2"), std::string::npos) << json;
+}
+
+TEST(Telemetry, FinalizeWritesMetricsSnapshotRow) {
+  TelemetryGuard guard;
+  ro::TelemetryConfig cfg;
+  cfg.metrics_path = scratch_file("readys_obs_final.metrics.jsonl");
+  ASSERT_TRUE(ro::install(cfg));
+  ro::telemetry()->env_steps.add(3);
+  ro::shutdown();
+  const std::string contents = slurp(cfg.metrics_path);
+  EXPECT_NE(contents.find("\"row\":\"metrics_snapshot\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"rl.env_steps\":3"), std::string::npos);
+  // Every line must be a standalone JSON object.
+  std::istringstream in(contents);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonValidator(line).valid()) << line;
+  }
+  fs::remove(cfg.metrics_path);
+}
+
+// ---------------------------------------------------------------------
+// Merged Chrome trace: simulated schedule (pid 1) + wall-clock (pid 2)
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct Executed {
+  readys::dag::TaskGraph graph = readys::dag::cholesky_graph(3);
+  readys::sim::Platform platform = readys::sim::Platform::hybrid(1, 1);
+  readys::sim::CostModel costs = readys::sim::CostModel::cholesky();
+  readys::sim::Trace trace;
+
+  Executed() {
+    readys::sched::MctScheduler mct;
+    readys::sim::Simulator sim(graph, platform, costs, {0.0, 1});
+    trace = sim.run(mct).trace;
+  }
+};
+
+}  // namespace
+
+// The 144 golden traces in test_sim_equivalence depend on this equality:
+// the refactor that exposed chrome_trace_events() must not move a byte
+// of the to_chrome_trace output.
+TEST(MergedTrace, ToChromeTraceIsExactlyWrappedFragment) {
+  Executed fx;
+  const std::string fragment =
+      readys::sim::chrome_trace_events(fx.trace, fx.graph, fx.platform);
+  EXPECT_EQ(readys::sim::to_chrome_trace(fx.trace, fx.graph, fx.platform),
+            "{\"traceEvents\":[" + fragment + "],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(MergedTrace, FileShowsBothSimulatedAndWallClockTimelines) {
+  TelemetryGuard guard;
+  Executed fx;
+  ro::TelemetryConfig cfg;
+  cfg.trace_path = scratch_file("readys_obs_merged.trace.json");
+  ASSERT_TRUE(ro::install(cfg));
+  {
+    ro::Span span("train/step", "train");
+  }
+  ro::telemetry()->add_trace_fragment(
+      readys::sim::chrome_trace_events(fx.trace, fx.graph, fx.platform));
+  ro::shutdown();
+
+  const std::string json = slurp(cfg.trace_path);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);  // sim schedule
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);  // wall clock
+  EXPECT_NE(json.find("POTRF"), std::string::npos);
+  EXPECT_NE(json.find("train/step"), std::string::npos);
+  fs::remove(cfg.trace_path);
+}
+
+TEST(MergedTrace, EmptyFragmentsAreSkipped) {
+  const std::string path = scratch_file("readys_obs_empty.trace.json");
+  ro::write_chrome_trace_file(path, {"", "{\"ph\":\"M\",\"pid\":9,"
+                                         "\"name\":\"process_name\","
+                                         "\"args\":{\"name\":\"x\"}}",
+                                     ""});
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // No dangling commas from the empty fragments.
+  EXPECT_EQ(json.find(",,"), std::string::npos);
+  EXPECT_EQ(json.find("[,"), std::string::npos);
+  fs::remove(path);
+}

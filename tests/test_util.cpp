@@ -9,6 +9,7 @@
 
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -171,4 +172,42 @@ TEST(Table, AlignedRendering) {
   EXPECT_NE(s.find("1.23"), std::string::npos);
   EXPECT_NE(s.find("longer-name"), std::string::npos);
   EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+namespace {
+
+/// Stream insertion with a visible side effect, to prove dropped log
+/// messages never pay for formatting.
+struct CountingFormat {
+  static inline int formats = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const CountingFormat&) {
+  ++CountingFormat::formats;
+  return os << "formatted";
+}
+
+}  // namespace
+
+TEST(Logging, DroppedMessagesSkipFormatting) {
+  const ru::LogLevel prev = ru::log_level();
+  ru::set_log_level(ru::LogLevel::kWarn);
+  CountingFormat::formats = 0;
+  ru::log_debug() << CountingFormat{} << 123;
+  ru::log_info() << CountingFormat{};
+  EXPECT_EQ(CountingFormat::formats, 0);
+  ru::log_warn() << CountingFormat{};
+  EXPECT_EQ(CountingFormat::formats, 1);
+  ru::set_log_level(prev);
+}
+
+TEST(Logging, LevelThresholdIsInclusive) {
+  const ru::LogLevel prev = ru::log_level();
+  ru::set_log_level(ru::LogLevel::kError);
+  // Only the message at (or above) the threshold formats.
+  CountingFormat::formats = 0;
+  ru::log_warn() << CountingFormat{};
+  ru::log_error() << CountingFormat{};
+  EXPECT_EQ(CountingFormat::formats, 1);
+  ru::set_log_level(prev);
 }
