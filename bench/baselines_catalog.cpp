@@ -6,19 +6,8 @@
 
 #include "bench_common.hpp"
 #include "dag/synthetic.hpp"
-#include "sched/batch_mode.hpp"
 
 using namespace bench;
-
-namespace {
-
-core::SchedulerFactory batch_factory(sched::BatchModeScheduler::Rule rule) {
-  return [rule](std::uint64_t) {
-    return std::make_unique<sched::BatchModeScheduler>(rule);
-  };
-}
-
-}  // namespace
 
 int main() {
   const int runs = util::env_int("READYS_EVAL_SEEDS", 5);
@@ -28,18 +17,13 @@ int main() {
   run.manifest.set("runs", runs);
   run.manifest.set("sigma", sigma);
 
-  const std::vector<std::pair<std::string, core::SchedulerFactory>> scheds{
-      {"HEFT", core::heft_factory()},
-      {"MCT", core::mct_factory()},
-      {"CP-DYN", core::critical_path_factory()},
-      {"GREEDY-EFT", core::greedy_eft_factory()},
-      {"MIN-MIN", batch_factory(sched::BatchModeScheduler::Rule::kMinMin)},
-      {"MAX-MIN", batch_factory(sched::BatchModeScheduler::Rule::kMaxMin)},
-      {"SUFFERAGE",
-       batch_factory(sched::BatchModeScheduler::Rule::kSufferage)},
-      {"OLB", batch_factory(sched::BatchModeScheduler::Rule::kOlb)},
-      {"RANDOM", core::random_factory()},
-  };
+  // Every scheduler the registry knows, under its registry name — the
+  // catalog can never silently drift from what the library ships.
+  std::vector<std::pair<std::string, core::SchedulerFactory>> scheds;
+  for (const std::string& name : sched::registry().names()) {
+    scheds.emplace_back(name, core::registry_factory(name));
+  }
+  run.set_schedulers(sched::registry().names());
 
   struct Workload {
     std::string name;

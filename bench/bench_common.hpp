@@ -87,6 +87,18 @@ struct BenchRun {
     manifest.add_output(artifact);
     manifest.write(obs::RunManifest::sibling_path(artifact));
   }
+
+  /// Records which schedulers the bench exercised, by registry name, as
+  /// a JSON array under "schedulers".
+  void set_schedulers(const std::vector<std::string>& names) {
+    std::string arr = "[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) arr += ",";
+      arr += "\"" + obs::json_escape(names[i]) + "\"";
+    }
+    arr += "]";
+    manifest.set_raw("schedulers", arr);
+  }
 };
 
 inline rl::AgentConfig default_agent_config(const Budget& b,

@@ -43,9 +43,7 @@ int main() {
     };
     const double heft = eval(core::heft_factory());
     const double mct = eval(core::mct_factory());
-    const double mct_comm = eval([](std::uint64_t) {
-      return std::make_unique<sched::MctScheduler>(/*comm_aware=*/true);
-    });
+    const double mct_comm = eval(core::registry_factory("mct-comm"));
     table.add_row({fmt(transfer_ms, 1), fmt(heft, 0), fmt(mct, 0),
                    fmt(mct_comm, 0), fmt(mct / mct_comm)});
     csv.row({fmt(transfer_ms, 2), fmt(heft, 2), fmt(mct, 2),

@@ -169,6 +169,7 @@ int run_overhead_mode(const std::vector<int>& tiles, double sigma,
   run.manifest.set("sigma", sigma);
   run.manifest.set("fixed_episodes", fixed_episodes);
   run.manifest.set("platform", platform.name());
+  run.set_schedulers({"mct"});
   run.finish(path);
   return 0;
 }
@@ -195,11 +196,14 @@ int main() {
   run.manifest.set("min_seconds", min_seconds);
   run.manifest.set("fixed_episodes", fixed_episodes);
   run.manifest.set("platform", platform.name());
+  run.set_schedulers({"mct", "heft", "random"});
 
+  // Display names stay uppercase so the committed BENCH series is
+  // comparable across PRs; construction goes through the registry.
   const std::vector<std::pair<std::string, core::SchedulerFactory>> scheds{
-      {"MCT", core::mct_factory()},
-      {"HEFT", core::heft_factory()},
-      {"RANDOM", core::random_factory()},
+      {"MCT", core::registry_factory("mct")},
+      {"HEFT", core::registry_factory("heft")},
+      {"RANDOM", core::registry_factory("random")},
   };
 
   std::printf("=== Simulator throughput on %s, sigma=%.2f ===\n\n",

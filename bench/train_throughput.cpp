@@ -1,0 +1,179 @@
+// Training-throughput baseline: episodes/sec and optimizer-steps/sec of
+// the sequential trainer vs the vectorized (VecEnv + batched-forward)
+// rollout engine at N = 1/4/8, on one small instance. On a single core
+// the speedup comes from amortizing per-op autograd dispatch over the
+// batch, not from threads — which is exactly the regime RL training
+// lives in (many tiny forwards). Numbers land in
+// BENCH_train_throughput.json so successive PRs can track them.
+//
+//   READYS_BENCH_EPISODES  episodes per mode (default 192)
+//   READYS_BENCH_TILES     Cholesky tile count (default 4)
+//   READYS_BENCH_SIGMA     duration noise level (default 0.3)
+//   READYS_BENCH_TRAINER   a2c | ppo (default a2c)
+//   READYS_HIDDEN          embedding width (default 32)
+//
+// The vec N=1 cell doubles as a live bit-exactness probe: its final
+// mean reward must equal the sequential cell's.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace readys;
+
+namespace {
+
+struct Cell {
+  std::string mode;  ///< "sequential" or "vec"
+  int num_envs = 1;
+  int episodes = 0;
+  std::size_t updates = 0;
+  double wall_s = 0.0;
+  double episodes_per_s = 0.0;
+  double updates_per_s = 0.0;
+  double final_mean_reward = 0.0;  ///< fingerprint (seq == vec N=1)
+};
+
+Cell run_mode(const core::RunConfig& cfg, const dag::TaskGraph& graph,
+              const sim::Platform& platform, const sim::CostModel& costs,
+              const std::string& mode, int num_envs) {
+  using clock = std::chrono::steady_clock;
+  Cell cell;
+  cell.mode = mode;
+  cell.num_envs = num_envs;
+  cell.episodes = cfg.episodes;
+
+  // A fresh net per mode, identical init seed: every cell trains the
+  // same model on the same episode seeds.
+  rl::PolicyNet net(
+      rl::StateEncoder::node_feature_width(graph.num_kernel_types()),
+      rl::StateEncoder::kResourceFeatureWidth, cfg.agent);
+  const rl::TrainOptions opts = cfg.train_options();
+  rl::TrainReport report;
+  const auto t0 = clock::now();
+  if (mode == "sequential") {
+    rl::SchedulingEnv env(graph, platform, costs, cfg.env_config());
+    if (cfg.trainer == "ppo") {
+      rl::PpoTrainer trainer(net, cfg.agent);
+      report = trainer.train(env, opts);
+    } else {
+      rl::A2CTrainer trainer(net, cfg.agent);
+      report = trainer.train(env, opts);
+    }
+  } else {
+    rl::VecEnv envs(graph, platform, costs, cfg.env_config(),
+                    static_cast<std::size_t>(num_envs));
+    if (cfg.trainer == "ppo") {
+      rl::PpoTrainer trainer(net, cfg.agent);
+      report = trainer.train(envs, opts);
+    } else {
+      rl::A2CTrainer trainer(net, cfg.agent);
+      report = trainer.train(envs, opts);
+    }
+  }
+  cell.wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  cell.updates = report.updates;
+  cell.episodes_per_s =
+      cell.wall_s > 0.0 ? static_cast<double>(cfg.episodes) / cell.wall_s : 0.0;
+  cell.updates_per_s =
+      cell.wall_s > 0.0 ? static_cast<double>(report.updates) / cell.wall_s
+                        : 0.0;
+  cell.final_mean_reward = report.final_mean_reward;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  core::RunConfig cfg;
+  cfg.tiles = util::env_int("READYS_BENCH_TILES", 4);
+  cfg.sigma = util::env_double("READYS_BENCH_SIGMA", 0.3);
+  cfg.episodes = util::env_int("READYS_BENCH_EPISODES", 192);
+  cfg.trainer = util::env_string("READYS_BENCH_TRAINER", "a2c");
+  cfg.agent.hidden = util::env_int("READYS_HIDDEN", 32);
+  cfg.validate();
+
+  const auto graph = cfg.make_graph();
+  const auto platform = cfg.make_platform();
+  const auto costs = cfg.make_costs();
+
+  bench::BenchRun run("train_throughput");
+  run.manifest.set_raw("run_config", cfg.to_json());
+  run.manifest.set("platform", platform.name());
+  run.manifest.set("graph", graph.name());
+
+  std::printf(
+      "=== Training throughput (%s / %s / %s, %d episodes/mode, "
+      "sigma=%.2f) ===\n\n",
+      cfg.trainer.c_str(), graph.name().c_str(), platform.name().c_str(),
+      cfg.episodes, cfg.sigma);
+
+  struct ModeSpec {
+    const char* mode;
+    int num_envs;
+  };
+  const std::vector<ModeSpec> modes{
+      {"sequential", 1}, {"vec", 1}, {"vec", 4}, {"vec", 8}};
+  std::vector<Cell> cells;
+  for (const auto& m : modes) {
+    cells.push_back(
+        run_mode(cfg, graph, platform, costs, m.mode, m.num_envs));
+    std::fflush(stdout);
+  }
+
+  util::Table table({"mode", "envs", "episodes", "updates", "wall (s)",
+                     "episodes/s", "updates/s", "final reward"});
+  for (const Cell& c : cells) {
+    table.add_row({c.mode, std::to_string(c.num_envs),
+                   std::to_string(c.episodes), std::to_string(c.updates),
+                   util::Table::num(c.wall_s, 2),
+                   util::Table::num(c.episodes_per_s, 2),
+                   util::Table::num(c.updates_per_s, 2),
+                   util::Table::num(c.final_mean_reward, 4)});
+  }
+  table.print();
+
+  const Cell& seq = cells[0];
+  const Cell& vec8 = cells.back();
+  const double speedup =
+      seq.episodes_per_s > 0.0 ? vec8.episodes_per_s / seq.episodes_per_s
+                               : 0.0;
+  std::printf("\nvec N=%d vs sequential: %.2fx episodes/s\n", vec8.num_envs,
+              speedup);
+
+  const char* path = "BENCH_train_throughput.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"benchmark\": \"train_throughput\",\n");
+    std::fprintf(f,
+                 "  \"trainer\": \"%s\",\n  \"app\": \"%s\",\n  \"tiles\": "
+                 "%d,\n  \"hidden\": %d,\n  \"sigma\": %.3f,\n"
+                 "  \"episodes_per_mode\": %d,\n  \"platform\": \"%s\",\n",
+                 cfg.trainer.c_str(), cfg.app.c_str(), cfg.tiles,
+                 cfg.agent.hidden, cfg.sigma, cfg.episodes,
+                 platform.name().c_str());
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(f,
+                   "    {\"mode\": \"%s\", \"num_envs\": %d, \"episodes\": "
+                   "%d, \"updates\": %zu, \"wall_s\": %.3f, "
+                   "\"episodes_per_s\": %.2f, \"updates_per_s\": %.2f, "
+                   "\"final_mean_reward\": %.6f}%s\n",
+                   c.mode.c_str(), c.num_envs, c.episodes, c.updates,
+                   c.wall_s, c.episodes_per_s, c.updates_per_s,
+                   c.final_mean_reward, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_n%d\": %.3f\n}\n", vec8.num_envs, speedup);
+    std::fclose(f);
+    std::printf("baseline written to %s\n", path);
+  } else {
+    std::perror(path);
+    return 1;
+  }
+  run.finish(path);
+  return 0;
+}

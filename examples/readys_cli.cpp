@@ -1,16 +1,21 @@
 // readys_cli — command-line front end over the library.
 //
 //   readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> <sigma> <out.weights>
-//                       [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
-//                       [--metrics-out <f.jsonl>] [--trace-out <f.json>]
-//                       [--manifest <f.json>]
+//                       [train flags]
+//   readys_cli train    --config <run.json> <out.weights> [train flags]
 //   readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> <weights> [runs]
 //   readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]
 //   readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> [sigma]
 //   readys_cli dot      <app> <tiles> <out.dot>
 //
-// <app> ∈ {cholesky, lu, qr}; <scheduler> ∈ {heft, mct, greedy, cp,
-// minmin, maxmin, sufferage, olb, random}.
+// train flags: [--trainer a2c|ppo] [--num-envs <n>]
+//              [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
+//              [--metrics-out <f.jsonl>] [--trace-out <f.json>]
+//              [--manifest <f.json>]
+//
+// <app> ∈ {cholesky, lu, qr}; <scheduler> is any sched::registry() name
+// (run an unknown one to get the list). <run.json> is a "readys-run/1"
+// document (see docs/api.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,11 +33,14 @@ int usage() {
       stderr,
       "usage:\n"
       "  readys_cli train    <app> <tiles> <ncpu> <ngpu> <episodes> "
-      "<sigma> <out.weights>\n"
-      "                      [--checkpoint-dir <dir>] [--checkpoint-every "
-      "<n>] [--resume]\n"
-      "                      [--metrics-out <f.jsonl>] [--trace-out "
-      "<f.json>] [--manifest <f.json>]\n"
+      "<sigma> <out.weights> [train flags]\n"
+      "  readys_cli train    --config <run.json> <out.weights> [train "
+      "flags]\n"
+      "    train flags: [--trainer a2c|ppo] [--num-envs <n>]\n"
+      "                 [--checkpoint-dir <dir>] [--checkpoint-every <n>] "
+      "[--resume]\n"
+      "                 [--metrics-out <f.jsonl>] [--trace-out <f.json>] "
+      "[--manifest <f.json>]\n"
       "  readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> "
       "<weights> [runs]\n"
       "  readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]\n"
@@ -42,48 +50,41 @@ int usage() {
   return 2;
 }
 
-std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
-  using Rule = sched::BatchModeScheduler::Rule;
-  if (name == "heft") return std::make_unique<sched::HeftScheduler>();
-  if (name == "mct") return std::make_unique<sched::MctScheduler>();
-  if (name == "greedy") return std::make_unique<sched::GreedyEftScheduler>();
-  if (name == "cp") return std::make_unique<sched::CriticalPathScheduler>();
-  if (name == "minmin")
-    return std::make_unique<sched::BatchModeScheduler>(Rule::kMinMin);
-  if (name == "maxmin")
-    return std::make_unique<sched::BatchModeScheduler>(Rule::kMaxMin);
-  if (name == "sufferage")
-    return std::make_unique<sched::BatchModeScheduler>(Rule::kSufferage);
-  if (name == "olb")
-    return std::make_unique<sched::BatchModeScheduler>(Rule::kOlb);
-  if (name == "random") return std::make_unique<sched::RandomScheduler>();
-  return nullptr;
-}
-
 int cmd_train(int argc, char** argv) {
-  if (argc < 9) return usage();
-  const auto app = core::parse_app(argv[2]);
-  const auto graph = core::make_graph(app, std::atoi(argv[3]));
-  const auto platform =
-      sim::Platform::hybrid(std::atoi(argv[4]), std::atoi(argv[5]));
-  const auto costs = core::make_costs(app);
-  const int episodes = std::atoi(argv[6]);
-  const double sigma = std::atof(argv[7]);
+  core::RunConfig cfg;
+  const char* out_path = nullptr;
+  int flag_start = 0;
+  if (argc >= 4 && std::strcmp(argv[2], "--config") == 0) {
+    cfg = core::RunConfig::from_file(argv[3]);
+    if (argc < 5) return usage();
+    out_path = argv[4];
+    flag_start = 5;
+  } else {
+    if (argc < 9) return usage();
+    cfg.app = argv[2];
+    cfg.tiles = std::atoi(argv[3]);
+    cfg.ncpu = std::atoi(argv[4]);
+    cfg.ngpu = std::atoi(argv[5]);
+    cfg.episodes = std::atoi(argv[6]);
+    cfg.sigma = std::atof(argv[7]);
+    out_path = argv[8];
+    flag_start = 9;
+  }
 
-  rl::TrainOptions opts;
-  opts.episodes = episodes;
-  opts.sigma = sigma;
-  opts.verbose = true;
   obs::TelemetryConfig telemetry_cfg;
   std::string manifest_path;
-  for (int i = 9; i < argc; ++i) {
+  for (int i = flag_start; i < argc; ++i) {
     const std::string flag = argv[i];
-    if (flag == "--checkpoint-dir" && i + 1 < argc) {
-      opts.checkpoint_dir = argv[++i];
+    if (flag == "--trainer" && i + 1 < argc) {
+      cfg.trainer = argv[++i];
+    } else if (flag == "--num-envs" && i + 1 < argc) {
+      cfg.num_envs = std::atoi(argv[++i]);
+    } else if (flag == "--checkpoint-dir" && i + 1 < argc) {
+      cfg.checkpoint_dir = argv[++i];
     } else if (flag == "--checkpoint-every" && i + 1 < argc) {
-      opts.checkpoint_every = std::atoi(argv[++i]);
+      cfg.checkpoint_every = std::atoi(argv[++i]);
     } else if (flag == "--resume") {
-      opts.resume = true;
+      cfg.resume = true;
     } else if (flag == "--metrics-out" && i + 1 < argc) {
       telemetry_cfg.metrics_path = argv[++i];
     } else if (flag == "--trace-out" && i + 1 < argc) {
@@ -95,33 +96,54 @@ int cmd_train(int argc, char** argv) {
       return usage();
     }
   }
+  cfg.validate();
   if (!telemetry_cfg.metrics_path.empty() ||
       !telemetry_cfg.trace_path.empty()) {
     obs::install(telemetry_cfg);
   }
 
+  const auto graph = cfg.make_graph();
+  const auto platform = cfg.make_platform();
+  const auto costs = cfg.make_costs();
+  rl::TrainOptions opts = cfg.train_options();
+  opts.verbose = true;
+
   obs::RunManifest manifest("readys_cli train");
-  manifest.set("app", argv[2]);
-  manifest.set("tiles", std::atoi(argv[3]));
-  manifest.set("ncpu", std::atoi(argv[4]));
-  manifest.set("ngpu", std::atoi(argv[5]));
-  manifest.set("episodes", episodes);
-  manifest.set("sigma", sigma);
+  // The whole config document, verbatim: a manifest names exactly the
+  // run it describes.
+  manifest.set_raw("run_config", cfg.to_json());
   manifest.set("platform", platform.name());
   manifest.set("graph", graph.name());
-  manifest.set("seed", static_cast<std::int64_t>(opts.seed));
-  manifest.set("resume", opts.resume);
-  if (!opts.checkpoint_dir.empty()) {
-    manifest.set("checkpoint_dir", opts.checkpoint_dir);
-  }
 
-  rl::ReadysAgent agent(graph.num_kernel_types(), rl::AgentConfig{});
-  std::printf("training %s on %s, %d episodes, sigma=%.2f...\n",
-              graph.name().c_str(), platform.name().c_str(), episodes,
-              sigma);
-  const auto report = agent.train(graph, platform, costs, opts);
-  agent.save(argv[8]);
-  manifest.add_output(argv[8]);
+  rl::ReadysAgent agent(graph.num_kernel_types(), cfg.agent);
+  std::printf("training %s on %s, %d episodes, sigma=%.2f, trainer=%s, "
+              "envs=%d...\n",
+              graph.name().c_str(), platform.name().c_str(), cfg.episodes,
+              cfg.sigma, cfg.trainer.c_str(), cfg.num_envs);
+  rl::TrainReport report;
+  if (cfg.num_envs > 1) {
+    util::ThreadPool pool;
+    rl::VecEnv envs(graph, platform, costs, cfg.env_config(),
+                    static_cast<std::size_t>(cfg.num_envs), &pool);
+    if (cfg.trainer == "ppo") {
+      rl::PpoTrainer trainer(agent.net(), cfg.agent);
+      report = trainer.train(envs, opts);
+    } else {
+      rl::A2CTrainer trainer(agent.net(), cfg.agent);
+      report = trainer.train(envs, opts);
+    }
+  } else {
+    rl::SchedulingEnv env(graph, platform, costs, cfg.env_config());
+    if (cfg.trainer == "ppo") {
+      rl::PpoTrainer trainer(agent.net(), cfg.agent);
+      report = trainer.train(env, opts);
+    } else {
+      rl::A2CTrainer trainer(agent.net(), cfg.agent);
+      report = trainer.train(env, opts);
+    }
+  }
+  agent.save(out_path);
+  manifest.add_output(out_path);
   if (report.start_episode > 0) {
     std::printf("resumed at episode %d\n", report.start_episode);
   }
@@ -130,7 +152,7 @@ int cmd_train(int argc, char** argv) {
                 report.skipped_updates, report.rollbacks);
   }
   std::printf("best makespan %.1f ms; weights -> %s\n",
-              report.best_makespan, argv[8]);
+              report.best_makespan, out_path);
 
   if (obs::Telemetry* t = obs::telemetry()) {
     if (t->tracing()) {
@@ -138,7 +160,7 @@ int cmd_train(int argc, char** argv) {
       // the trace file shows the simulated schedule (pid 1) next to the
       // wall-clock training spans (pid 2) in the same Perfetto view.
       rl::ReadysScheduler policy(agent.net(), agent.config().window);
-      sim::Simulator sim(graph, platform, costs, {sigma, opts.seed});
+      sim::Simulator sim(graph, platform, costs, {cfg.sigma, opts.seed});
       const auto rollout = sim.run(policy);
       t->add_trace_fragment(
           sim::chrome_trace_events(rollout.trace, graph, platform));
@@ -190,16 +212,10 @@ int cmd_compare(int argc, char** argv) {
 
   util::ThreadPool pool;
   util::Table table({"scheduler", "mean (ms)", "ci95", "min", "max"});
-  for (const char* name : {"heft", "mct", "greedy", "cp", "minmin",
-                           "maxmin", "sufferage", "olb", "random"}) {
+  for (const std::string& name : sched::registry().names()) {
     const auto mks = core::evaluate_makespans(
-        graph, platform, costs,
-        [name](std::uint64_t seed) {
-          auto s = make_scheduler(name);
-          (void)seed;
-          return s;
-        },
-        sigma, runs, 77, &pool);
+        graph, platform, costs, core::registry_factory(name), sigma, runs,
+        77, &pool);
     const auto s = util::summarize(mks);
     table.add_row({name, util::Table::num(s.mean, 1),
                    util::Table::num(s.ci95_half_width, 1),
@@ -218,8 +234,8 @@ int cmd_gantt(int argc, char** argv) {
   const auto platform =
       sim::Platform::hybrid(std::atoi(argv[4]), std::atoi(argv[5]));
   const auto costs = core::make_costs(app);
-  auto scheduler = make_scheduler(argv[6]);
-  if (!scheduler) return usage();
+  // Throws with the list of registered names on an unknown scheduler.
+  auto scheduler = sched::make_scheduler(argv[6]);
   const double sigma = argc > 7 ? std::atof(argv[7]) : 0.0;
 
   sim::Simulator sim(graph, platform, costs, {sigma, 42});

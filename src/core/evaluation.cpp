@@ -1,11 +1,7 @@
 #include "core/evaluation.hpp"
 
 #include "obs/obs.hpp"
-#include "sched/critical_path.hpp"
-#include "sched/greedy_eft.hpp"
-#include "sched/heft.hpp"
-#include "sched/mct.hpp"
-#include "sched/random_sched.hpp"
+#include "sched/scheduler.hpp"
 
 namespace readys::core {
 
@@ -63,30 +59,22 @@ ImprovementResult improvement_over(
   return result;
 }
 
-SchedulerFactory heft_factory() {
-  return [](std::uint64_t) { return std::make_unique<sched::HeftScheduler>(); };
-}
-
-SchedulerFactory mct_factory() {
-  return [](std::uint64_t) { return std::make_unique<sched::MctScheduler>(); };
-}
-
-SchedulerFactory random_factory() {
-  return [](std::uint64_t seed) {
-    return std::make_unique<sched::RandomScheduler>(seed);
+SchedulerFactory registry_factory(const std::string& name) {
+  return [name](std::uint64_t seed) {
+    sched::SchedulerConfig cfg;
+    cfg.seed = seed;
+    return sched::make_scheduler(name, cfg);
   };
 }
 
-SchedulerFactory greedy_eft_factory() {
-  return [](std::uint64_t) {
-    return std::make_unique<sched::GreedyEftScheduler>();
-  };
-}
+SchedulerFactory heft_factory() { return registry_factory("heft"); }
 
-SchedulerFactory critical_path_factory() {
-  return [](std::uint64_t) {
-    return std::make_unique<sched::CriticalPathScheduler>();
-  };
-}
+SchedulerFactory mct_factory() { return registry_factory("mct"); }
+
+SchedulerFactory random_factory() { return registry_factory("random"); }
+
+SchedulerFactory greedy_eft_factory() { return registry_factory("greedy"); }
+
+SchedulerFactory critical_path_factory() { return registry_factory("cp"); }
 
 }  // namespace readys::core

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -50,7 +51,12 @@ ImprovementResult improvement_over(
     const SchedulerFactory& b, double sigma, int runs,
     std::uint64_t seed_base, util::ThreadPool* pool = nullptr);
 
-/// Factories for the library's reference schedulers.
+/// Evaluation factory for any sched::registry() name: run i's seed goes
+/// into SchedulerConfig::seed. Throws (at call time) on unknown names.
+SchedulerFactory registry_factory(const std::string& name);
+
+/// Factories for the library's reference schedulers; shorthands for
+/// registry_factory("heft") etc.
 SchedulerFactory heft_factory();
 SchedulerFactory mct_factory();
 SchedulerFactory random_factory();

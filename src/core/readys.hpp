@@ -20,6 +20,7 @@
 
 #include "core/apps.hpp"
 #include "core/evaluation.hpp"
+#include "core/run_config.hpp"
 #include "dag/cholesky.hpp"
 #include "dag/dot_export.hpp"
 #include "dag/features.hpp"
@@ -44,12 +45,14 @@
 #include "rl/policy_net.hpp"
 #include "rl/readys_scheduler.hpp"
 #include "rl/state_encoder.hpp"
+#include "rl/vec_env.hpp"
 #include "sched/batch_mode.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/greedy_eft.hpp"
 #include "sched/heft.hpp"
 #include "sched/mct.hpp"
 #include "sched/random_sched.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/apps.hpp"
+#include "rl/config.hpp"
+#include "rl/env.hpp"
+#include "sim/platform.hpp"
+
+namespace readys::core {
+
+/// One experiment, one document. RunConfig folds the knobs that used to
+/// be scattered across rl::AgentConfig, rl::TrainOptions,
+/// SchedulingEnv::Config, ad-hoc CLI positionals and READYS_* env
+/// variables into a single struct with a strict JSON round-trip
+/// (schema "readys-run/1", see docs/api.md). The CLI accepts it via
+/// `--config run.json` and every manifest embeds it verbatim, so a run
+/// is reproducible from its manifest alone.
+struct RunConfig {
+  // --- instance ---
+  std::string app = "cholesky";  ///< cholesky | lu | qr
+  int tiles = 8;
+  int ncpu = 2;
+  int ngpu = 2;
+
+  // --- environment ---
+  double sigma = 0.0;
+  bool random_offer = false;
+
+  // --- run ---
+  std::string scheduler = "mct";  ///< a sched::registry() name
+  std::string trainer = "a2c";    ///< a2c | ppo
+  int episodes = 200;
+  int num_envs = 1;  ///< VecEnv width; 1 trains sequentially
+  std::uint64_t seed = 1;
+  std::string checkpoint_dir;
+  int checkpoint_every = 50;
+  bool resume = false;
+  int divergence_patience = 3;
+
+  rl::AgentConfig agent;
+
+  /// Serializes to a single-line JSON object, "config":"readys-run/1"
+  /// first, fields in declaration order, the agent nested under
+  /// "agent". Doubles carry 15 significant digits, so
+  /// from_json(to_json()) is the identity for round-trippable values.
+  std::string to_json() const;
+
+  /// Strict parse of a "readys-run/1" document: unknown keys, type
+  /// mismatches, malformed JSON, and trailing garbage all throw
+  /// std::invalid_argument. Missing keys keep their defaults, so a
+  /// config file states only what it overrides.
+  static RunConfig from_json(const std::string& json);
+
+  /// from_json over a file's contents; throws std::runtime_error when
+  /// the file cannot be read.
+  static RunConfig from_file(const std::string& path);
+
+  /// Defaults overlaid with the legacy READYS_* environment variables
+  /// (READYS_APP, READYS_TILES, READYS_NCPU, READYS_NGPU, READYS_SIGMA,
+  /// READYS_TRAIN_EPISODES, READYS_HIDDEN, READYS_NUM_ENVS,
+  /// READYS_SEED), so benches stay tunable without a config file.
+  static RunConfig from_env();
+
+  /// Sanity-checks the cross-field constraints (known app/trainer,
+  /// positive sizes, finite non-negative sigma...); throws
+  /// std::invalid_argument with the offending field named.
+  void validate() const;
+
+  // --- derived builders ---
+  App parsed_app() const { return parse_app(app); }
+  dag::TaskGraph make_graph() const { return core::make_graph(parsed_app(), tiles); }
+  sim::CostModel make_costs() const { return core::make_costs(parsed_app()); }
+  sim::Platform make_platform() const { return sim::Platform::hybrid(ncpu, ngpu); }
+  rl::SchedulingEnv::Config env_config() const;
+  rl::TrainOptions train_options() const;
+};
+
+}  // namespace readys::core

@@ -19,6 +19,13 @@ Var GCNLayer::forward(const Var& ahat, const Var& h) const {
                      bias_);
 }
 
+Var GCNLayer::forward_packed(
+    const std::shared_ptr<const std::vector<Tensor>>& blocks,
+    const Var& h) const {
+  return tensor::add(
+      tensor::block_diag_matmul(blocks, tensor::matmul(h, weight_)), bias_);
+}
+
 Tensor normalized_adjacency(
     std::size_t n,
     const std::vector<std::pair<std::size_t, std::size_t>>& edges) {

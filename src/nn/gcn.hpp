@@ -1,5 +1,8 @@
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "nn/module.hpp"
 
 namespace readys::nn {
@@ -16,6 +19,15 @@ class GCNLayer : public Module {
   /// `ahat` is the (N x N) normalized adjacency as a constant Var; `h` is
   /// the (N x in) node feature matrix.
   Var forward(const Var& ahat, const Var& h) const;
+
+  /// Batched forward over several graphs at once: `blocks` holds the
+  /// per-graph Ahat matrices and `h` their row-concatenated features
+  /// (the implied adjacency is block-diagonal). Each graph's rows come
+  /// out bit-identical to forward(Var{blocks[g]}, h_g) on that graph
+  /// alone — see tensor::block_diag_matmul.
+  Var forward_packed(
+      const std::shared_ptr<const std::vector<Tensor>>& blocks,
+      const Var& h) const;
 
   std::size_t in_features() const noexcept { return in_; }
   std::size_t out_features() const noexcept { return out_; }

@@ -25,6 +25,7 @@ Telemetry::Telemetry(TelemetryConfig config)
       sim_episodes(registry_.counter("sim.episodes")),
       env_steps(registry_.counter("rl.env_steps")),
       env_resets(registry_.counter("rl.env_resets")),
+      vec_steps(registry_.counter("rl.vec_steps")),
       policy_forwards(registry_.counter("rl.policy_forwards")),
       optim_updates(registry_.counter("rl.optimizer_updates")),
       optim_skipped(registry_.counter("rl.skipped_updates")),
@@ -33,7 +34,9 @@ Telemetry::Telemetry(TelemetryConfig config)
       pool_tasks(registry_.counter("util.pool_tasks")),
       eval_runs(registry_.counter("core.eval_runs")),
       pool_queue_depth(registry_.gauge("util.pool_queue_depth")),
+      train_envs(registry_.gauge("train.envs")),
       env_step_us(registry_.histogram("rl.env_step_us")),
+      vec_step_us(registry_.histogram("rl.vec_step_us")),
       policy_forward_us(registry_.histogram("rl.policy_forward_us")),
       update_us(registry_.histogram("rl.update_us")) {
   if (!config_.metrics_path.empty()) {

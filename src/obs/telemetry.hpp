@@ -72,6 +72,7 @@ class Telemetry {
   Counter& sim_episodes;        ///< sim.episodes (engine resets)
   Counter& env_steps;           ///< rl.env_steps
   Counter& env_resets;          ///< rl.env_resets
+  Counter& vec_steps;           ///< rl.vec_steps (batched VecEnv::step calls)
   Counter& policy_forwards;     ///< rl.policy_forwards
   Counter& optim_updates;       ///< rl.optimizer_updates
   Counter& optim_skipped;       ///< rl.skipped_updates
@@ -80,7 +81,9 @@ class Telemetry {
   Counter& pool_tasks;          ///< util.pool_tasks
   Counter& eval_runs;           ///< core.eval_runs
   Gauge& pool_queue_depth;      ///< util.pool_queue_depth
+  Gauge& train_envs;            ///< train.envs (width of the vector env)
   Histogram& env_step_us;       ///< rl.env_step_us
+  Histogram& vec_step_us;       ///< rl.vec_step_us (whole-batch latency)
   Histogram& policy_forward_us; ///< rl.policy_forward_us
   Histogram& update_us;         ///< rl.update_us
 };

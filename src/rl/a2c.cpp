@@ -105,7 +105,65 @@ bool A2CTrainer::update(const std::vector<StepRecord>& batch,
     first = false;
   }
   loss = tensor::scale(loss, 1.0 / static_cast<double>(batch.size()));
+  return apply_loss(loss);
+}
 
+bool A2CTrainer::update_batched(const std::vector<StepRecord>& batch) {
+  if (batch.empty()) return true;
+  readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+  readys::obs::Span span("rl/a2c_update", "train",
+                         t_obs ? &t_obs->update_us : nullptr);
+  // Same returns/advantages as update() (whole episodes, bootstrap 0).
+  const std::size_t n = batch.size();
+  std::vector<double> returns(n);
+  double running = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    running = batch[i].done ? batch[i].reward
+                            : batch[i].reward + cfg_.gamma * running;
+    returns[i] = running;
+  }
+  std::vector<double> advantages(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    advantages[i] = returns[i] - batch[i].value.value().item();
+  }
+  if (cfg_.normalize_advantage && n > 1) {
+    const auto s = util::summarize(advantages);
+    const double scale = s.stddev > 1e-8 ? s.stddev : 1.0;
+    for (double& a : advantages) a = (a - s.mean) / scale;
+  }
+
+  // Stack the per-step scalars into (n x 1) columns; the loss becomes a
+  // handful of column ops instead of ~8 graph nodes per step.
+  std::vector<tensor::Var> lps, vals, ents;
+  lps.reserve(n);
+  vals.reserve(n);
+  ents.reserve(n);
+  tensor::Tensor neg_adv(n, 1);
+  tensor::Tensor rets(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    lps.push_back(batch[i].log_prob);
+    vals.push_back(batch[i].value);
+    ents.push_back(batch[i].entropy);
+    neg_adv.at(i, 0) = -advantages[i];
+    rets.at(i, 0) = returns[i];
+  }
+  const tensor::Var pg = tensor::sum_all(
+      tensor::mul(tensor::concat_rows(lps), tensor::Var(std::move(neg_adv))));
+  const tensor::Var critic = tensor::scale(
+      tensor::sum_all(tensor::square(tensor::sub(
+          tensor::concat_rows(vals), tensor::Var(std::move(rets))))),
+      cfg_.value_coef);
+  const tensor::Var entropy =
+      tensor::scale(tensor::sum_all(tensor::concat_rows(ents)),
+                    cfg_.entropy_beta * entropy_scale_);
+  const tensor::Var loss =
+      tensor::scale(tensor::add(pg, tensor::sub(critic, entropy)),
+                    1.0 / static_cast<double>(n));
+  return apply_loss(loss);
+}
+
+bool A2CTrainer::apply_loss(const tensor::Var& loss) {
+  readys::obs::Telemetry* t_obs = readys::obs::telemetry();
   optimizer_.zero_grad();
   loss.backward();
   const double grad_norm = optimizer_.clip_grad_norm(cfg_.grad_clip);
@@ -262,6 +320,187 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   report.updates = updates_;
   if (!report.episode_rewards.empty()) {
     // Empty when --resume found a run that already finished.
+    const std::size_t tail = std::max<std::size_t>(
+        1, report.episode_rewards.size() / 5);
+    report.final_mean_reward = util::mean(
+        {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+         tail});
+  }
+  return report;
+}
+
+TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
+  if (cfg_.unroll > 0) {
+    throw std::invalid_argument(
+        "A2CTrainer: vectorized training requires unroll == 0 (mid-episode "
+        "unrolls would interleave partial episodes across envs)");
+  }
+  TrainReport report;
+  report.best_makespan = std::numeric_limits<double>::infinity();
+  const std::size_t width = envs.size();
+
+  int start_ep = 0;
+  if (opts.resume && !opts.checkpoint_dir.empty()) {
+    CheckpointState st;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
+      start_ep = std::min(st.episode, opts.episodes);
+      updates_ = st.updates;
+      if (opts.verbose) {
+        util::log_info() << "resumed from " << checkpoint_path(
+                                opts.checkpoint_dir)
+                         << " at episode " << st.episode;
+      }
+    }
+  }
+  report.start_episode = start_ep;
+
+  std::string last_good = nn::serialize_parameters(*net_);
+  const int patience = std::max(1, opts.divergence_patience);
+  const int every = std::max(1, opts.checkpoint_every);
+  const int log_every = std::max(1, opts.log_every);
+  int divergent_streak = 0;
+  const auto guarded = [&](bool applied) {
+    if (applied) {
+      divergent_streak = 0;
+      return;
+    }
+    ++report.skipped_updates;
+    if (++divergent_streak >= patience) {
+      rollback(last_good);
+      ++report.rollbacks;
+      divergent_streak = 0;
+    }
+  };
+
+  std::vector<std::vector<StepRecord>> records(width);
+  std::vector<double> ep_reward(width, 0.0);
+  std::vector<StepRecord> batch;
+
+  using obs_clock = std::chrono::steady_clock;
+  int ep = start_ep;
+  while (ep < opts.episodes) {
+    const int round =
+        std::min(static_cast<int>(width), opts.episodes - ep);
+    readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+    const auto round_t0 = t_obs ? obs_clock::now() : obs_clock::time_point{};
+    // The annealing factor is frozen at the round's first episode index;
+    // with one env per round this is exactly the sequential schedule.
+    entropy_scale_ =
+        cfg_.entropy_decay
+            ? 1.0 - static_cast<double>(ep) /
+                        static_cast<double>(std::max(1, opts.episodes))
+            : 1.0;
+    std::vector<std::size_t> active;
+    active.reserve(static_cast<std::size_t>(round));
+    for (int e = 0; e < round; ++e) {
+      envs.reset_one(static_cast<std::size_t>(e),
+                     opts.seed + static_cast<std::uint64_t>(ep + e));
+      records[static_cast<std::size_t>(e)].clear();
+      ep_reward[static_cast<std::size_t>(e)] = 0.0;
+      active.push_back(static_cast<std::size_t>(e));
+    }
+    // Lockstep rollout: one batched forward per round-step, actions
+    // sampled in ascending env order from the shared stream, envs
+    // dropping out of `active` as their episodes finish.
+    while (!active.empty()) {
+      const auto obs_batch = envs.observations(active);
+      const auto outs = net_->forward_batched(obs_batch);
+      std::vector<std::size_t> acts(active.size());
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        acts[k] = select_action(outs[k], /*greedy=*/false, sample_rng_);
+        StepRecord rec;
+        rec.log_prob = tensor::pick(outs[k].log_probs, 0, acts[k]);
+        rec.value = outs[k].value;
+        rec.entropy = tensor::entropy_row(outs[k].probs);
+        records[active[k]].push_back(std::move(rec));
+      }
+      const auto results = envs.step(active, acts);
+      std::vector<std::size_t> next;
+      next.reserve(active.size());
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        StepRecord& rec = records[active[k]].back();
+        rec.reward = shape_reward(results[k].reward);
+        rec.done = results[k].done;
+        ep_reward[active[k]] += results[k].reward;
+        if (!results[k].done) next.push_back(active[k]);
+      }
+      active = std::move(next);
+    }
+    // One update over the round, env-major so the concatenation equals
+    // episode order (update() resets its return at each `done`).
+    batch.clear();
+    for (int e = 0; e < round; ++e) {
+      auto& recs = records[static_cast<std::size_t>(e)];
+      for (StepRecord& rec : recs) batch.push_back(std::move(rec));
+      recs.clear();
+    }
+    // Rounds of one episode keep the sequential update (bit-exact
+    // num_envs == 1 contract); wider rounds take the batched-loss form.
+    guarded(round > 1 ? update_batched(batch) : update(batch, 0.0));
+    batch.clear();
+
+    std::size_t round_decisions = 0;
+    for (int e = 0; e < round; ++e) {
+      const auto& env = envs.env(static_cast<std::size_t>(e));
+      report.episode_rewards.push_back(
+          ep_reward[static_cast<std::size_t>(e)]);
+      report.episode_makespans.push_back(env.makespan());
+      report.best_makespan = std::min(report.best_makespan, env.makespan());
+      round_decisions += env.decisions_this_episode();
+    }
+    if (t_obs != nullptr && t_obs->sink() != nullptr) {
+      const double wall_s =
+          std::chrono::duration<double>(obs_clock::now() - round_t0).count();
+      const double rate =
+          wall_s > 0.0 ? static_cast<double>(round_decisions) / wall_s : 0.0;
+      for (int e = 0; e < round; ++e) {
+        const auto& env = envs.env(static_cast<std::size_t>(e));
+        readys::obs::JsonObject row;
+        row.field("row", "episode")
+            .field("trainer", "a2c")
+            .field("envs", static_cast<std::uint64_t>(width))
+            .field("episode", ep + e + 1)
+            .field("reward", ep_reward[static_cast<std::size_t>(e)])
+            .field("makespan_ms", env.makespan())
+            .field("loss", last_loss_)
+            .field("grad_norm", last_grad_norm_)
+            .field("decisions",
+                   static_cast<std::uint64_t>(env.decisions_this_episode()))
+            .field("steps_per_s", rate)
+            .field("skipped_updates",
+                   static_cast<std::uint64_t>(report.skipped_updates))
+            .field("rollbacks", static_cast<std::uint64_t>(report.rollbacks));
+        t_obs->sink()->write(row.str());
+      }
+    }
+    const int prev = ep;
+    ep += round;
+    if (ep / every != prev / every) {
+      last_good = nn::serialize_parameters(*net_);
+      if (!opts.checkpoint_dir.empty()) {
+        save_checkpoint(opts.checkpoint_dir, *net_, {ep, updates_});
+      }
+    }
+    if (opts.verbose && ep / log_every != prev / log_every) {
+      const std::size_t tail =
+          std::min<std::size_t>(report.episode_rewards.size(),
+                                static_cast<std::size_t>(log_every));
+      const double recent = util::mean(
+          {report.episode_rewards.data() + report.episode_rewards.size() -
+               tail,
+           tail});
+      util::log_info() << "episode " << ep << "/" << opts.episodes
+                       << " reward(avg " << tail << ")=" << recent
+                       << " makespan="
+                       << envs.env(static_cast<std::size_t>(round - 1))
+                              .makespan();
+    }
+  }
+  if (!opts.checkpoint_dir.empty()) {
+    save_checkpoint(opts.checkpoint_dir, *net_, {opts.episodes, updates_});
+  }
+  report.updates = updates_;
+  if (!report.episode_rewards.empty()) {
     const std::size_t tail = std::max<std::size_t>(
         1, report.episode_rewards.size() / 5);
     report.final_mean_reward = util::mean(

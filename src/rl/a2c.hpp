@@ -8,6 +8,7 @@
 #include "rl/config.hpp"
 #include "rl/env.hpp"
 #include "rl/policy_net.hpp"
+#include "rl/vec_env.hpp"
 
 namespace readys::rl {
 
@@ -48,6 +49,16 @@ class A2CTrainer {
   /// Trains in-place on `env` for opts.episodes episodes.
   TrainReport train(SchedulingEnv& env, const TrainOptions& opts);
 
+  /// Vectorized training: rounds of up to envs.size() episodes run in
+  /// lockstep (episode ep + e on env e, seeded opts.seed + ep + e), each
+  /// round's forwards batched through PolicyNet::forward_batched and its
+  /// transitions folded into one update. With envs.size() == 1 this
+  /// reproduces the sequential train() bit-for-bit (same rewards,
+  /// makespans, and final weights under equal seeds). Requires
+  /// cfg.unroll == 0 — mid-episode unrolls would interleave gradients
+  /// across envs — and throws std::invalid_argument otherwise.
+  TrainReport train(VecEnv& envs, const TrainOptions& opts);
+
   /// Rolls out the current policy without learning; returns makespans.
   /// `greedy` picks argmax actions, otherwise samples from π.
   std::vector<double> evaluate(SchedulingEnv& env, int episodes,
@@ -74,6 +85,18 @@ class A2CTrainer {
   /// update was skipped because the loss or gradients were non-finite
   /// (the weights are left untouched).
   bool update(const std::vector<StepRecord>& batch, double bootstrap);
+
+  /// update() with the per-step loss terms stacked into (batch x 1)
+  /// columns (concat_rows), so the loss graph is O(1) nodes instead of
+  /// O(batch) — the assembly chain dominates update cost on multi-env
+  /// rounds. Identical returns/advantage semantics; gradients match
+  /// update() only up to floating-point regrouping, so the single-env
+  /// paths (which promise bit-exactness) never use it.
+  bool update_batched(const std::vector<StepRecord>& batch);
+
+  /// Shared tail of the update variants: backward, gradient clipping,
+  /// the divergence guard, and the optimizer step.
+  bool apply_loss(const tensor::Var& loss);
 
   /// Restores `last_good` into the net and resets the optimizer (Adam
   /// moments may reference the divergent trajectory).

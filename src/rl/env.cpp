@@ -19,11 +19,12 @@ SchedulingEnv::SchedulingEnv(const dag::TaskGraph& graph,
   reset(config.seed);
 }
 
-const Observation& SchedulingEnv::reset(std::uint64_t seed) {
+const Observation& SchedulingEnv::reset(std::optional<std::uint64_t> seed) {
   obs::Span span("rl/env_reset", "train");
   if (obs::Telemetry* t = obs::telemetry()) t->env_resets.add();
-  engine_.reset(seed);
-  action_rng_ = util::Rng(seed ^ 0xD1B54A32D192ED03ULL);
+  const std::uint64_t s = seed.value_or(config_.seed);
+  engine_.reset(s);
+  action_rng_ = util::Rng(s ^ 0xD1B54A32D192ED03ULL);
   declined_.clear();
   decisions_ = 0;
   advance_to_decision();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_set>
 
 #include "rl/state_encoder.hpp"
@@ -48,8 +49,12 @@ class SchedulingEnv {
   SchedulingEnv(const dag::TaskGraph& graph, const sim::Platform& platform,
                 const sim::CostModel& costs, Config config);
 
-  /// Starts a new episode; returns the first observation.
-  const Observation& reset(std::uint64_t seed);
+  /// Starts a new episode and returns the first observation (the same
+  /// object observation() refers to, so the old reset-then-observe()
+  /// two-call sequence keeps working). Passing a seed reseeds every
+  /// stream (noise, faults, processor draw); omitting it replays the
+  /// configured seed — reset() is deterministic and idempotent.
+  const Observation& reset(std::optional<std::uint64_t> seed = std::nullopt);
 
   /// Applies action `a` (index into observation().num_actions(): the
   /// ready tasks in order, then ∅ if allowed) and advances to the next

@@ -81,4 +81,106 @@ PolicyNet::Output PolicyNet::forward(const Observation& obs) const {
   return out;
 }
 
+std::vector<PolicyNet::Output> PolicyNet::forward_batched(
+    const std::vector<const Observation*>& batch) const {
+  if (batch.empty()) {
+    throw std::invalid_argument("PolicyNet::forward_batched: empty batch");
+  }
+  if (batch.size() == 1) {
+    // Delegating keeps single-env training structurally identical to the
+    // sequential path: same graph shape, same backward accumulation
+    // order, hence bit-exact trajectories.
+    return {forward(*batch.front())};
+  }
+  readys::obs::Telemetry* t = readys::obs::telemetry();
+  readys::obs::Span span("rl/policy_forward_batched", "train",
+                         t ? &t->policy_forward_us : nullptr);
+  if (t) t->policy_forwards.add(batch.size());
+
+  const std::size_t n_envs = batch.size();
+  std::vector<std::size_t> offsets(n_envs + 1, 0);
+  std::size_t n_ready = 0;
+  for (std::size_t g = 0; g < n_envs; ++g) {
+    const Observation& o = *batch[g];
+    if (o.ready_tasks.empty()) {
+      throw std::invalid_argument(
+          "PolicyNet::forward_batched: no ready task");
+    }
+    if (o.features.cols() != static_cast<std::size_t>(node_features_)) {
+      throw std::invalid_argument(
+          "PolicyNet::forward_batched: feature width mismatch");
+    }
+    offsets[g + 1] = offsets[g] + o.features.rows();
+    n_ready += o.ready_tasks.size();
+  }
+
+  // Pack node features and resource rows; collect the adjacency blocks.
+  tensor::Tensor feats(offsets.back(),
+                       static_cast<std::size_t>(node_features_));
+  tensor::Tensor res(n_envs, batch.front()->resource_state.cols());
+  auto blocks = std::make_shared<std::vector<tensor::Tensor>>();
+  blocks->reserve(n_envs);
+  for (std::size_t g = 0; g < n_envs; ++g) {
+    const Observation& o = *batch[g];
+    for (std::size_t r = 0; r < o.features.rows(); ++r) {
+      for (std::size_t c = 0; c < o.features.cols(); ++c) {
+        feats.at(offsets[g] + r, c) = o.features.at(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < o.resource_state.cols(); ++c) {
+      res.at(g, c) = o.resource_state.at(0, c);
+    }
+    blocks->push_back(o.ahat);
+  }
+
+  Var h{std::move(feats)};
+  {
+    readys::obs::Span embed_span("nn/gcn_embed", "train");
+    for (std::size_t l = 0; l < gcn_.size(); ++l) {
+      h = gcn_[l]->forward_packed(blocks, h);
+      if (l + 1 < gcn_.size()) h = tensor::relu(h);
+    }
+  }
+  const Var rstate = tensor::relu(res_proj_->forward(Var{std::move(res)}));
+
+  // Critic over per-graph mean pools, one packed head projection.
+  const Var pooled = tensor::segment_mean_rows(h, offsets);
+  const Var values = value_head_->forward(
+      critic_sees_resources_ ? tensor::concat_cols(pooled, rstate) : pooled);
+
+  // Actor scores for every ready row of every graph in one gather.
+  std::vector<std::size_t> ready_rows;
+  ready_rows.reserve(n_ready);
+  std::vector<std::size_t> ready_begin(n_envs, 0);
+  for (std::size_t g = 0; g < n_envs; ++g) {
+    ready_begin[g] = ready_rows.size();
+    for (std::size_t p : batch[g]->ready_positions) {
+      ready_rows.push_back(offsets[g] + p);
+    }
+  }
+  const Var scores =
+      actor_head_->forward(tensor::gather_rows(h, ready_rows));
+
+  // ∅ scores for every graph. Rows of graphs that disallow idling never
+  // reach a loss, so their gradient contribution is exactly zero.
+  const Var idle_scores = idle_head_->forward(
+      tensor::concat_cols(rstate, tensor::segment_max_rows(h, offsets)));
+
+  std::vector<Output> outs(n_envs);
+  for (std::size_t g = 0; g < n_envs; ++g) {
+    const Observation& o = *batch[g];
+    const std::size_t k = o.ready_tasks.size();
+    Var logits = tensor::reshape(
+        tensor::slice_rows(scores, ready_begin[g], k), 1, k);
+    if (o.allow_idle) {
+      logits = tensor::concat_cols(logits,
+                                   tensor::slice_rows(idle_scores, g, 1));
+    }
+    outs[g].probs = tensor::softmax_row(logits);
+    outs[g].log_probs = tensor::log_softmax_row(logits);
+    outs[g].value = tensor::slice_rows(values, g, 1);
+  }
+  return outs;
+}
+
 }  // namespace readys::rl

@@ -33,6 +33,18 @@ class PolicyNet : public nn::Module {
   /// task (decision instants always have one by construction).
   Output forward(const Observation& obs) const;
 
+  /// Batched forward over N observations (possibly from different
+  /// graphs, as long as the feature width matches): the N window
+  /// sub-DAGs run through the GCN trunk as one block-diagonal pass and
+  /// the heads as packed matrices; softmax/value stay per-observation.
+  /// outs[g] matches forward(*batch[g]) bit-for-bit in value (the ops
+  /// replicate the per-graph arithmetic exactly); gradients agree to
+  /// floating-point accumulation order (≤1e-10 in practice). A batch of
+  /// one delegates to forward(), so single-env training is structurally
+  /// identical to the sequential path, backward included.
+  std::vector<Output> forward_batched(
+      const std::vector<const Observation*>& batch) const;
+
   int node_features() const noexcept { return node_features_; }
   int hidden() const noexcept { return hidden_; }
   int num_gcn_layers() const noexcept {

@@ -26,6 +26,16 @@ class PpoTrainer {
   /// A2CTrainer::train.
   TrainReport train(SchedulingEnv& env, const TrainOptions& opts);
 
+  /// Vectorized training: each rollout round collects its episodes in
+  /// waves of up to envs.size() lockstep episodes (episode i runs with
+  /// seed opts.seed + i, as in the sequential path), batching the
+  /// collection forwards through PolicyNet::forward_batched; with more
+  /// than one env the optimization epochs batch their minibatch forwards
+  /// too. With envs.size() == 1 this reproduces the sequential train()
+  /// bit-for-bit (same rewards, makespans, and final weights under equal
+  /// seeds).
+  TrainReport train(VecEnv& envs, const TrainOptions& opts);
+
   /// Greedy / sampled evaluation (same semantics as A2CTrainer).
   std::vector<double> evaluate(SchedulingEnv& env, int episodes,
                                std::uint64_t seed_base, bool greedy);
@@ -43,9 +53,13 @@ class PpoTrainer {
   /// whose loss or gradients go NaN/Inf are skipped (counted in
   /// `report.skipped_updates`); after `patience` consecutive skips the
   /// weights roll back to `last_good` and the optimizer is reset.
+  /// `batched` runs each minibatch's re-forwards through
+  /// forward_batched; it changes the gradient accumulation order (one
+  /// packed trunk instead of per-step graphs), so the single-env paths
+  /// keep it off to stay bit-exact.
   void optimize(std::vector<Step>& steps, TrainReport& report,
                 const std::string& last_good, int patience,
-                int& divergent_streak);
+                int& divergent_streak, bool batched = false);
 
   /// Restores `last_good` into the net and resets the optimizer.
   void rollback(const std::string& last_good);

@@ -69,4 +69,14 @@ std::vector<sim::Assignment> ReadysScheduler::decide(
   return {};
 }
 
+void register_readys_scheduler(const PolicyNet& net, int window,
+                               bool random_offer) {
+  sched::registry().add(
+      "readys", [&net, window, random_offer](const sched::SchedulerConfig& cfg)
+                    -> std::unique_ptr<sim::Scheduler> {
+        return std::make_unique<ReadysScheduler>(net, window, cfg.greedy,
+                                                 cfg.seed, random_offer);
+      });
+}
+
 }  // namespace readys::rl

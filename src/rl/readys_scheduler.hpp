@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "rl/policy_net.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace readys::rl {
@@ -37,5 +38,13 @@ class ReadysScheduler : public sim::Scheduler {
   std::unordered_set<int> declined_;
   double last_instant_ = -1.0;
 };
+
+/// Registers (or re-registers) the trained policy in sched::registry()
+/// under the name "readys", so bench/CLI code can construct it like any
+/// heuristic: make_scheduler("readys", {.seed = 3, .greedy = false}).
+/// The net must outlive every scheduler the registry hands out. Lives
+/// here — not in sched — because sched cannot depend on rl.
+void register_readys_scheduler(const PolicyNet& net, int window,
+                               bool random_offer = false);
 
 }  // namespace readys::rl

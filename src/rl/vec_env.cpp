@@ -1,0 +1,85 @@
+#include "rl/vec_env.hpp"
+
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+
+namespace readys::rl {
+
+VecEnv::VecEnv(std::vector<std::unique_ptr<SchedulingEnv>> envs,
+               util::ThreadPool* pool)
+    : envs_(std::move(envs)), pool_(pool) {
+  if (envs_.empty()) throw std::invalid_argument("VecEnv: no envs");
+  for (const auto& e : envs_) {
+    if (e == nullptr) throw std::invalid_argument("VecEnv: null env");
+  }
+  if (obs::Telemetry* t = obs::telemetry()) {
+    t->train_envs.set(static_cast<double>(envs_.size()));
+  }
+}
+
+VecEnv::VecEnv(const dag::TaskGraph& graph, const sim::Platform& platform,
+               const sim::CostModel& costs, SchedulingEnv::Config base,
+               std::size_t n, util::ThreadPool* pool)
+    : pool_(pool) {
+  if (n == 0) throw std::invalid_argument("VecEnv: need >= 1 env");
+  envs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SchedulingEnv::Config cfg = base;
+    cfg.seed = base.seed + i;
+    envs_.push_back(
+        std::make_unique<SchedulingEnv>(graph, platform, costs, cfg));
+  }
+  if (obs::Telemetry* t = obs::telemetry()) {
+    t->train_envs.set(static_cast<double>(n));
+  }
+}
+
+const Observation& VecEnv::reset_one(std::size_t i, std::uint64_t seed) {
+  return envs_.at(i)->reset(seed);
+}
+
+std::vector<const Observation*> VecEnv::reset(
+    const std::vector<std::uint64_t>& seeds) {
+  if (seeds.size() != envs_.size()) {
+    throw std::invalid_argument("VecEnv::reset: seed count mismatch");
+  }
+  std::vector<const Observation*> out(envs_.size());
+  for (std::size_t i = 0; i < envs_.size(); ++i) {
+    out[i] = &envs_[i]->reset(seeds[i]);
+  }
+  return out;
+}
+
+std::vector<VecEnv::StepResult> VecEnv::step(
+    const std::vector<std::size_t>& ids,
+    const std::vector<std::size_t>& actions) {
+  if (ids.size() != actions.size()) {
+    throw std::invalid_argument("VecEnv::step: ids/actions mismatch");
+  }
+  obs::Telemetry* t = obs::telemetry();
+  obs::Span span("rl/vec_step", "train", t ? &t->vec_step_us : nullptr);
+  if (t) t->vec_steps.add();
+  std::vector<StepResult> out(ids.size());
+  auto step_one = [&](std::size_t k) {
+    const auto r = envs_.at(ids[k])->step(actions[k]);
+    out[k] = {r.reward, r.done};
+  };
+  if (pool_ != nullptr && ids.size() > 1) {
+    pool_->parallel_for(ids.size(), step_one);
+  } else {
+    for (std::size_t k = 0; k < ids.size(); ++k) step_one(k);
+  }
+  return out;
+}
+
+std::vector<const Observation*> VecEnv::observations(
+    const std::vector<std::size_t>& ids) const {
+  std::vector<const Observation*> out(ids.size());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    out[k] = &envs_.at(ids[k])->observation();
+  }
+  return out;
+}
+
+}  // namespace readys::rl

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rl/env.hpp"
+#include "util/thread_pool.hpp"
+
+namespace readys::rl {
+
+/// N independent SchedulingEnv instances behind batched reset()/step().
+///
+/// Each env owns its engine and RNG streams, so stepping different envs
+/// commutes: results are bit-identical with and without a thread pool,
+/// for any pool size. The envs may be built over different graphs (the
+/// graphs must outlive the VecEnv, as with SchedulingEnv itself); the
+/// only requirement for batched forwards downstream is a common
+/// kernel-type count, i.e. feature width.
+///
+/// Lifecycle: construct → reset (all, or reset_one per env) →
+/// observations()/step() until each env reports done → reset again.
+/// Trainers typically step a shrinking `ids` subset as episodes finish
+/// at different lengths.
+class VecEnv {
+ public:
+  struct StepResult {
+    double reward = 0.0;
+    bool done = false;
+  };
+
+  /// Wraps externally-built envs (all non-null). Use this form for
+  /// heterogeneous instances (e.g. distinct DAG sizes per env).
+  explicit VecEnv(std::vector<std::unique_ptr<SchedulingEnv>> envs,
+                  util::ThreadPool* pool = nullptr);
+
+  /// n homogeneous envs over one instance; env i seeds its streams with
+  /// base.seed + i. When `pool` is non-null, step() distributes env
+  /// stepping over its workers.
+  VecEnv(const dag::TaskGraph& graph, const sim::Platform& platform,
+         const sim::CostModel& costs, SchedulingEnv::Config base,
+         std::size_t n, util::ThreadPool* pool = nullptr);
+
+  std::size_t size() const noexcept { return envs_.size(); }
+  SchedulingEnv& env(std::size_t i) { return *envs_[i]; }
+  const SchedulingEnv& env(std::size_t i) const { return *envs_[i]; }
+
+  /// Restarts env i and returns its first observation.
+  const Observation& reset_one(std::size_t i, std::uint64_t seed);
+
+  /// Restarts every env (seeds[i] -> env i) and returns the batch of
+  /// initial observations, aligned with the env index.
+  std::vector<const Observation*> reset(
+      const std::vector<std::uint64_t>& seeds);
+
+  /// Applies actions[k] to env ids[k] for every k; results align with
+  /// `ids`. Runs on the pool when one was provided and the batch has
+  /// more than one env, serially otherwise — identical results either
+  /// way. Exceptions from any env propagate.
+  std::vector<StepResult> step(const std::vector<std::size_t>& ids,
+                               const std::vector<std::size_t>& actions);
+
+  /// Current observations of the selected envs, aligned with `ids`.
+  /// Pointers are invalidated by the next step()/reset() of that env.
+  std::vector<const Observation*> observations(
+      const std::vector<std::size_t>& ids) const;
+
+ private:
+  std::vector<std::unique_ptr<SchedulingEnv>> envs_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace readys::rl

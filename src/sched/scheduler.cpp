@@ -1,0 +1,113 @@
+#include "sched/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sched/batch_mode.hpp"
+#include "sched/critical_path.hpp"
+#include "sched/greedy_eft.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sched/random_sched.hpp"
+
+namespace readys::sched {
+
+void Registry::add(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<sim::Scheduler> Registry::make(
+    const std::string& name, const SchedulerConfig& cfg) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [n, f] : factories_) {
+        (void)f;
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw std::invalid_argument("unknown scheduler \"" + name +
+                                  "\" (known: " + known + ")");
+    }
+    factory = it->second;
+  }
+  // Invoke outside the lock: a factory may recurse into the registry.
+  return factory(cfg);
+}
+
+std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) {
+    (void)f;
+    out.push_back(n);  // std::map iterates sorted
+  }
+  return out;
+}
+
+namespace {
+
+void add_builtins(Registry& r) {
+  r.add("heft", [](const SchedulerConfig&) {
+    return std::make_unique<HeftScheduler>();
+  });
+  r.add("mct", [](const SchedulerConfig&) {
+    return std::make_unique<MctScheduler>();
+  });
+  r.add("mct-comm", [](const SchedulerConfig&) {
+    return std::make_unique<MctScheduler>(/*comm_aware=*/true);
+  });
+  r.add("greedy", [](const SchedulerConfig&) {
+    return std::make_unique<GreedyEftScheduler>();
+  });
+  r.add("cp", [](const SchedulerConfig&) {
+    return std::make_unique<CriticalPathScheduler>();
+  });
+  r.add("olb", [](const SchedulerConfig&) {
+    return std::make_unique<BatchModeScheduler>(
+        BatchModeScheduler::Rule::kOlb);
+  });
+  r.add("minmin", [](const SchedulerConfig&) {
+    return std::make_unique<BatchModeScheduler>(
+        BatchModeScheduler::Rule::kMinMin);
+  });
+  r.add("maxmin", [](const SchedulerConfig&) {
+    return std::make_unique<BatchModeScheduler>(
+        BatchModeScheduler::Rule::kMaxMin);
+  });
+  r.add("sufferage", [](const SchedulerConfig&) {
+    return std::make_unique<BatchModeScheduler>(
+        BatchModeScheduler::Rule::kSufferage);
+  });
+  r.add("random", [](const SchedulerConfig& cfg) {
+    return std::make_unique<RandomScheduler>(cfg.seed);
+  });
+}
+
+}  // namespace
+
+Registry& registry() {
+  // Two thread-safe static initializations: the table exists before the
+  // builtins go in, and both happen exactly once.
+  static Registry instance;
+  static const bool seeded = (add_builtins(instance), true);
+  (void)seeded;
+  return instance;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name,
+                                               const SchedulerConfig& cfg) {
+  return registry().make(name, cfg);
+}
+
+}  // namespace readys::sched

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+/// The scheduling-policy interface every heuristic (and the trained
+/// READYS policy) implements. It is the simulator's Scheduler contract:
+/// the registry exists so callers construct policies by name instead of
+/// hard-coding a dispatch chain per binary.
+using Scheduler = sim::Scheduler;
+
+/// Construction-time knobs shared by every registered scheduler. Fields
+/// a given scheduler does not use are ignored (HEFT has no seed, the
+/// READYS policy ignores nothing).
+struct SchedulerConfig {
+  std::uint64_t seed = 7;  ///< RNG seed for stochastic schedulers
+  bool greedy = true;      ///< argmax vs sampled actions (learned policies)
+};
+
+/// Name -> factory table for schedulers. Thread-safe; one process-wide
+/// instance lives behind registry(). The built-in heuristics register
+/// themselves on first access; the learned policy joins via
+/// rl::register_readys_scheduler (the net lives in rl, which links
+/// against this library, not the other way around).
+class Registry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<sim::Scheduler>(const SchedulerConfig&)>;
+
+  /// Adds (or replaces) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Constructs a fresh scheduler. Throws std::invalid_argument for an
+  /// unknown name, listing the registered ones.
+  std::unique_ptr<sim::Scheduler> make(const std::string& name,
+                                       const SchedulerConfig& cfg = {}) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// The process-wide registry, pre-seeded with the built-in heuristics:
+/// heft, mct, mct-comm, greedy, cp, minmin, maxmin, sufferage, olb,
+/// random.
+Registry& registry();
+
+/// Shorthand for registry().make(name, cfg).
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name,
+                                               const SchedulerConfig& cfg = {});
+
+}  // namespace readys::sched

@@ -526,4 +526,140 @@ Var entropy_row(const Var& p, double eps) {
   return neg(sum_all(mul(p, log_op(p, eps))));
 }
 
+namespace {
+
+void require_offsets(const std::vector<std::size_t>& offsets,
+                     std::size_t rows, const char* op) {
+  require(offsets.size() >= 2 && offsets.front() == 0 &&
+              offsets.back() == rows,
+          "segment op: offsets must start at 0 and end at a.rows()");
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    if (offsets[s] >= offsets[s + 1]) {
+      throw std::invalid_argument(std::string(op) + ": empty segment");
+    }
+  }
+}
+
+}  // namespace
+
+Var block_diag_matmul(
+    const std::shared_ptr<const std::vector<Tensor>>& blocks, const Var& h) {
+  require(blocks != nullptr && !blocks->empty(),
+          "block_diag_matmul: no blocks");
+  std::size_t n_total = 0;
+  for (const Tensor& b : *blocks) {
+    require(b.rows() == b.cols(), "block_diag_matmul: blocks must be square");
+    n_total += b.rows();
+  }
+  require(n_total == h.rows(), "block_diag_matmul: row count mismatch");
+  const Tensor& hv = h.value();
+  Tensor out(n_total, hv.cols());
+  std::size_t r0 = 0;
+  for (const Tensor& b : *blocks) {
+    // The i-k-j kernel of matmul_value, shifted into the block's rows, so
+    // each segment comes out bit-identical to matmul(block, h_segment).
+    const std::size_t n = b.rows();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = b.at(i, k);
+        if (aik == 0.0) continue;
+        const double* hrow = hv.data() + (r0 + k) * hv.cols();
+        double* orow = out.data() + (r0 + i) * out.cols();
+        for (std::size_t j = 0; j < hv.cols(); ++j) orow[j] += aik * hrow[j];
+      }
+    }
+    r0 += n;
+  }
+  auto ph = h.node();
+  return Var::make_op(std::move(out), {h}, [ph, blocks](Node& self) {
+    if (!ph->requires_grad) return;
+    // dH = block^T * G per segment — matmul's dB kernel with A = block.
+    Tensor& gh = ph->ensure_grad();
+    const Tensor& g = self.grad;
+    std::size_t r0 = 0;
+    for (const Tensor& b : *blocks) {
+      const std::size_t n = b.rows();
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < g.cols(); ++j) {
+          double acc = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            acc += b.at(i, k) * g.at(r0 + i, j);
+          }
+          gh.at(r0 + k, j) += acc;
+        }
+      }
+      r0 += n;
+    }
+  });
+}
+
+Var segment_mean_rows(const Var& a,
+                      const std::vector<std::size_t>& offsets) {
+  require_offsets(offsets, a.rows(), "segment_mean_rows");
+  const std::size_t segs = offsets.size() - 1;
+  const Tensor& x = a.value();
+  Tensor out(segs, x.cols());
+  std::vector<double> inv(segs);
+  for (std::size_t s = 0; s < segs; ++s) {
+    inv[s] = 1.0 / static_cast<double>(offsets[s + 1] - offsets[s]);
+    // Sum first, multiply after — mean_rows is scale(sum_rows, 1/n).
+    for (std::size_t r = offsets[s]; r < offsets[s + 1]; ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        out.at(s, c) += x.at(r, c);
+      }
+    }
+    for (std::size_t c = 0; c < x.cols(); ++c) out.at(s, c) *= inv[s];
+  }
+  auto pa = a.node();
+  return Var::make_op(
+      std::move(out), {a},
+      [pa, offsets, inv = std::move(inv)](Node& self) {
+        if (!pa->requires_grad) return;
+        Tensor& g = pa->ensure_grad();
+        for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+          for (std::size_t r = offsets[s]; r < offsets[s + 1]; ++r) {
+            for (std::size_t c = 0; c < g.cols(); ++c) {
+              g.at(r, c) += self.grad.at(s, c) * inv[s];
+            }
+          }
+        }
+      });
+}
+
+Var segment_max_rows(const Var& a,
+                     const std::vector<std::size_t>& offsets) {
+  require_offsets(offsets, a.rows(), "segment_max_rows");
+  const std::size_t segs = offsets.size() - 1;
+  const Tensor& x = a.value();
+  Tensor out(segs, x.cols());
+  std::vector<std::size_t> argmax(segs * x.cols(), 0);
+  for (std::size_t s = 0; s < segs; ++s) {
+    // max_rows' scan: start from the segment's first row, strict >.
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      double best = x.at(offsets[s], c);
+      std::size_t arg = offsets[s];
+      for (std::size_t r = offsets[s] + 1; r < offsets[s + 1]; ++r) {
+        if (x.at(r, c) > best) {
+          best = x.at(r, c);
+          arg = r;
+        }
+      }
+      out.at(s, c) = best;
+      argmax[s * x.cols() + c] = arg;
+    }
+  }
+  auto pa = a.node();
+  return Var::make_op(
+      std::move(out), {a},
+      [pa, segs, argmax = std::move(argmax)](Node& self) {
+        if (!pa->requires_grad) return;
+        Tensor& g = pa->ensure_grad();
+        for (std::size_t s = 0; s < segs; ++s) {
+          for (std::size_t c = 0; c < g.cols(); ++c) {
+            g.at(argmax[s * g.cols() + c], c) += self.grad.at(s, c);
+          }
+        }
+      });
+}
+
 }  // namespace readys::tensor

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "tensor/autograd.hpp"
@@ -83,5 +84,30 @@ Var mse(const Var& a, const Var& b);
 /// Entropy of a probability row p (1 x N): -sum p*log(p). Gradient flows
 /// into p.
 Var entropy_row(const Var& p, double eps = 1e-12);
+
+// --- segment ops (batched multi-graph forwards) -----------------------
+//
+// These three ops are what lets N small graphs run through the network
+// as one packed matrix: rows are grouped into consecutive segments
+// (graph g owns rows [offsets[g], offsets[g+1]); offsets has N+1 entries
+// starting at 0 and ending at the row count). Each op applies exactly
+// the same arithmetic, in the same order, as its per-graph equivalent
+// applied to the segment alone, so packed results are bit-identical to
+// the per-graph loop.
+
+/// Block-diagonal matrix product: rows [offsets[g], offsets[g+1]) of the
+/// result are blocks[g] * (the same rows of h). Each block must be
+/// square and their sizes must sum to h.rows(). The blocks are constants
+/// (no gradient); the gradient w.r.t. h is blocks[g]^T * G per segment.
+Var block_diag_matmul(const std::shared_ptr<const std::vector<Tensor>>& blocks,
+                      const Var& h);
+
+/// Per-segment mean_rows: (R x C) -> (N x C), row g = mean over the rows
+/// of segment g. Segments must be non-empty.
+Var segment_mean_rows(const Var& a, const std::vector<std::size_t>& offsets);
+
+/// Per-segment max_rows: (R x C) -> (N x C); gradients route to each
+/// segment's per-column argmax row. Segments must be non-empty.
+Var segment_max_rows(const Var& a, const std::vector<std::size_t>& offsets);
 
 }  // namespace readys::tensor
