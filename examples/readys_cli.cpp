@@ -9,7 +9,8 @@
 //   readys_cli dot      <app> <tiles> <out.dot>
 //
 // train flags: [--trainer a2c|ppo] [--num-envs <n>]
-//              [--checkpoint-dir <dir>] [--checkpoint-every <n>] [--resume]
+//              [--checkpoint-dir <dir>] [--checkpoint-every <n>]
+//              [--checkpoint-retain <k>] [--resume]
 //              [--metrics-out <f.jsonl>] [--trace-out <f.json>]
 //              [--manifest <f.json>]
 //
@@ -37,8 +38,8 @@ int usage() {
       "  readys_cli train    --config <run.json> <out.weights> [train "
       "flags]\n"
       "    train flags: [--trainer a2c|ppo] [--num-envs <n>]\n"
-      "                 [--checkpoint-dir <dir>] [--checkpoint-every <n>] "
-      "[--resume]\n"
+      "                 [--checkpoint-dir <dir>] [--checkpoint-every <n>]\n"
+      "                 [--checkpoint-retain <k>] [--resume]\n"
       "                 [--metrics-out <f.jsonl>] [--trace-out <f.json>] "
       "[--manifest <f.json>]\n"
       "  readys_cli evaluate <app> <tiles> <ncpu> <ngpu> <sigma> "
@@ -83,6 +84,8 @@ int cmd_train(int argc, char** argv) {
       cfg.checkpoint_dir = argv[++i];
     } else if (flag == "--checkpoint-every" && i + 1 < argc) {
       cfg.checkpoint_every = std::atoi(argv[++i]);
+    } else if (flag == "--checkpoint-retain" && i + 1 < argc) {
+      cfg.checkpoint_retain = std::atoi(argv[++i]);
     } else if (flag == "--resume") {
       cfg.resume = true;
     } else if (flag == "--metrics-out" && i + 1 < argc) {

@@ -222,6 +222,7 @@ std::string RunConfig::to_json() const {
       .field("seed", seed)
       .field("checkpoint_dir", checkpoint_dir)
       .field("checkpoint_every", checkpoint_every)
+      .field("checkpoint_retain", checkpoint_retain)
       .field("resume", resume)
       .field("divergence_patience", divergence_patience)
       .raw("agent", agent_json.str());
@@ -250,6 +251,7 @@ RunConfig RunConfig::from_json(const std::string& json) {
     else if (key == "seed") cfg.seed = r.parse_uint64();
     else if (key == "checkpoint_dir") cfg.checkpoint_dir = r.parse_string();
     else if (key == "checkpoint_every") cfg.checkpoint_every = parse_int_field(r);
+    else if (key == "checkpoint_retain") cfg.checkpoint_retain = parse_int_field(r);
     else if (key == "resume") cfg.resume = r.parse_bool();
     else if (key == "divergence_patience") cfg.divergence_patience = parse_int_field(r);
     else if (key == "agent") parse_agent(r, cfg.agent);
@@ -309,6 +311,9 @@ void RunConfig::validate() const {
   if (checkpoint_every < 1) {
     throw std::invalid_argument("RunConfig: checkpoint_every must be >= 1");
   }
+  if (checkpoint_retain < 1) {
+    throw std::invalid_argument("RunConfig: checkpoint_retain must be >= 1");
+  }
   if (agent.window < 1 || agent.gcn_layers < 1 || agent.hidden < 1) {
     throw std::invalid_argument(
         "RunConfig: agent window/gcn_layers/hidden must be >= 1");
@@ -331,6 +336,7 @@ rl::TrainOptions RunConfig::train_options() const {
   opts.seed = seed;
   opts.checkpoint_dir = checkpoint_dir;
   opts.checkpoint_every = checkpoint_every;
+  opts.checkpoint_retain = checkpoint_retain;
   opts.resume = resume;
   opts.divergence_patience = divergence_patience;
   return opts;

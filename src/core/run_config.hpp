@@ -36,6 +36,7 @@ struct RunConfig {
   std::uint64_t seed = 1;
   std::string checkpoint_dir;
   int checkpoint_every = 50;
+  int checkpoint_retain = 3;
   bool resume = false;
   int divergence_patience = 3;
 

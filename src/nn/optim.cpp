@@ -1,8 +1,64 @@
 #include "nn/optim.hpp"
 
 #include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
 
 namespace readys::nn {
+
+namespace {
+
+[[noreturn]] void state_fail(const std::string& what) {
+  throw std::runtime_error("Optimizer::load_state_rows: " + what);
+}
+
+std::string tensor_row(const char* tag, std::size_t k, const Tensor& t) {
+  std::ostringstream os;
+  os << std::setprecision(17) << tag << ' ' << k << ' ' << t.rows() << ' '
+     << t.cols();
+  for (std::size_t i = 0; i < t.size(); ++i) os << ' ' << t[i];
+  return os.str();
+}
+
+/// Parses "<tag> <k> <rows> <cols> <values...>" into `out`, which must
+/// already have the expected shape (checked against the row header).
+void parse_tensor_row(const std::string& row, const char* tag,
+                      std::size_t expect_k, Tensor& out) {
+  std::istringstream is(row);
+  std::string got_tag;
+  std::size_t k = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(is >> got_tag >> k >> rows >> cols)) {
+    state_fail("malformed row '" + row + "'");
+  }
+  if (got_tag != tag || k != expect_k) {
+    state_fail("expected row '" + std::string(tag) + " " +
+               std::to_string(expect_k) + " ...', found '" + row + "'");
+  }
+  if (rows != out.rows() || cols != out.cols()) {
+    state_fail("shape mismatch for " + std::string(tag) + "[" +
+               std::to_string(k) + "]: optimizer expects " +
+               std::to_string(out.rows()) + "x" + std::to_string(out.cols()) +
+               ", row has " + std::to_string(rows) + "x" +
+               std::to_string(cols));
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!(is >> out[i])) {
+      state_fail("truncated values in row '" + std::string(tag) + " " +
+                 std::to_string(k) + "': expected " +
+                 std::to_string(out.size()) + ", found " + std::to_string(i));
+    }
+  }
+  double extra = 0.0;
+  if (is >> extra) {
+    state_fail("trailing values in row '" + std::string(tag) + " " +
+               std::to_string(k) + "'");
+  }
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
 
@@ -18,6 +74,13 @@ bool Optimizer::grads_finite() const {
     }
   }
   return true;
+}
+
+void Optimizer::load_state_rows(const std::vector<std::string>& rows) {
+  if (!rows.empty()) {
+    state_fail("this optimizer is stateless but " +
+               std::to_string(rows.size()) + " state rows were provided");
+  }
 }
 
 double Optimizer::clip_grad_norm(double max_norm) {
@@ -58,6 +121,30 @@ void Sgd::step() {
   }
 }
 
+std::vector<std::string> Sgd::state_rows() const {
+  std::vector<std::string> rows;
+  rows.reserve(1 + velocity_.size());
+  rows.push_back("sgd " + std::to_string(velocity_.size()));
+  for (std::size_t k = 0; k < velocity_.size(); ++k) {
+    rows.push_back(tensor_row("vel", k, velocity_[k]));
+  }
+  return rows;
+}
+
+void Sgd::load_state_rows(const std::vector<std::string>& rows) {
+  if (rows.size() != 1 + velocity_.size() ||
+      rows[0] != "sgd " + std::to_string(velocity_.size())) {
+    state_fail("expected header 'sgd " + std::to_string(velocity_.size()) +
+               "' and one vel row per parameter, got " +
+               std::to_string(rows.size()) + " rows");
+  }
+  std::vector<Tensor> vel = velocity_;  // validate into a copy, then swap
+  for (std::size_t k = 0; k < vel.size(); ++k) {
+    parse_tensor_row(rows[1 + k], "vel", k, vel[k]);
+  }
+  velocity_ = std::move(vel);
+}
+
 Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
            double eps)
     : Optimizer(std::move(params)),
@@ -71,6 +158,45 @@ Adam::Adam(std::vector<Var> params, double lr, double beta1, double beta2,
     m_.push_back(Tensor::zeros(p.rows(), p.cols()));
     v_.push_back(Tensor::zeros(p.rows(), p.cols()));
   }
+}
+
+std::vector<std::string> Adam::state_rows() const {
+  std::vector<std::string> rows;
+  rows.reserve(1 + 2 * m_.size());
+  rows.push_back("adam " + std::to_string(t_) + " " +
+                 std::to_string(m_.size()));
+  for (std::size_t k = 0; k < m_.size(); ++k) {
+    rows.push_back(tensor_row("m", k, m_[k]));
+    rows.push_back(tensor_row("v", k, v_[k]));
+  }
+  return rows;
+}
+
+void Adam::load_state_rows(const std::vector<std::string>& rows) {
+  if (rows.empty()) state_fail("adam state requires a header row");
+  std::istringstream header(rows[0]);
+  std::string tag;
+  long t = 0;
+  std::size_t n = 0;
+  if (!(header >> tag >> t >> n) || tag != "adam" || t < 0) {
+    state_fail("malformed adam header '" + rows[0] + "'");
+  }
+  if (n != m_.size() || rows.size() != 1 + 2 * n) {
+    state_fail("adam state for " + std::to_string(n) + " parameters (" +
+               std::to_string(rows.size()) + " rows), optimizer has " +
+               std::to_string(m_.size()));
+  }
+  // Validate into copies, then apply: a bad row must not leave the
+  // moments half-overwritten.
+  std::vector<Tensor> m = m_;
+  std::vector<Tensor> v = v_;
+  for (std::size_t k = 0; k < n; ++k) {
+    parse_tensor_row(rows[1 + 2 * k], "m", k, m[k]);
+    parse_tensor_row(rows[2 + 2 * k], "v", k, v[k]);
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 void Adam::step() {

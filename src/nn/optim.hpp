@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "tensor/autograd.hpp"
@@ -33,6 +34,20 @@ class Optimizer {
   /// return) and skip the update instead.
   bool grads_finite() const;
 
+  /// The optimizer's internal state (moment estimates, step count) as
+  /// text rows, so checkpoints can capture it and a resumed run steps
+  /// exactly like the uninterrupted one — resuming Adam without its
+  /// moments silently diverges. Doubles carry 17 significant digits
+  /// (exact round trip). The base implementation is stateless and
+  /// returns no rows.
+  virtual std::vector<std::string> state_rows() const { return {}; }
+
+  /// Restores rows produced by state_rows() on an identically-shaped
+  /// optimizer. Malformed rows, a parameter-count or shape mismatch all
+  /// throw std::runtime_error and leave the optimizer untouched (the
+  /// rows are fully validated before any state is applied).
+  virtual void load_state_rows(const std::vector<std::string>& rows);
+
  protected:
   std::vector<Var> params_;
 };
@@ -42,6 +57,8 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<Var> params, double lr, double momentum = 0.0);
   void step() override;
+  std::vector<std::string> state_rows() const override;
+  void load_state_rows(const std::vector<std::string>& rows) override;
 
  private:
   double lr_;
@@ -56,6 +73,9 @@ class Adam : public Optimizer {
   Adam(std::vector<Var> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   void step() override;
+  /// First/second moments plus the bias-correction step count t.
+  std::vector<std::string> state_rows() const override;
+  void load_state_rows(const std::vector<std::string>& rows) override;
 
  private:
   double lr_;

@@ -29,6 +29,7 @@ std::string serialize_parameters(const Module& module) {
   std::ostringstream os;
   os << kMagic << '\n';
   os << std::setprecision(17);
+  std::size_t count = 0;
   for (const auto& [name, var] : module.named_parameters()) {
     const Tensor& t = var.value();
     os << name << ' ' << t.rows() << ' ' << t.cols() << '\n';
@@ -36,7 +37,9 @@ std::string serialize_parameters(const Module& module) {
       os << t[i] << (i + 1 == t.size() ? '\n' : ' ');
     }
     if (t.size() == 0) os << '\n';
+    ++count;
   }
+  os << "end " << count << '\n';
   return os.str();
 }
 
@@ -50,13 +53,44 @@ void deserialize_parameters(Module& module, const std::string& blob) {
     return true;
   };
 
+  // A blob not ending in '\n' is a torn tail: getline would happily
+  // return the partial last line (e.g. "0.12" cut from "0.12345"), so
+  // without this check some truncation offsets would parse "cleanly"
+  // into wrong weights.
+  if (blob.empty() || blob.back() != '\n') {
+    fail(1, "missing final newline (truncated file?)");
+  }
   if (!next_line(line) || line != kMagic) {
     fail(line_no == 0 ? 1 : line_no,
          "bad header '" + line + "' (expected '" + std::string(kMagic) + "')");
   }
   std::unordered_map<std::string, Tensor> entries;
+  bool saw_end = false;
   while (next_line(line)) {
     if (line.empty()) continue;  // tolerate trailing blank lines
+    if (line.rfind("end", 0) == 0 &&
+        (line.size() == 3 || line[3] == ' ')) {
+      std::istringstream trailer(line);
+      std::string tag;
+      std::size_t n = 0;
+      std::string extra;
+      if (!(trailer >> tag >> n) || (trailer >> extra)) {
+        fail(line_no, "malformed 'end' trailer '" + line + "'");
+      }
+      if (n != entries.size()) {
+        fail(line_no, "'end' trailer says " + std::to_string(n) +
+                          " parameters, file carries " +
+                          std::to_string(entries.size()) +
+                          " (truncated file?)");
+      }
+      saw_end = true;
+      while (next_line(line)) {
+        if (!line.empty()) {
+          fail(line_no, "content after 'end' trailer: '" + line + "'");
+        }
+      }
+      break;
+    }
     std::istringstream header(line);
     std::string name;
     std::size_t rows = 0;
@@ -88,6 +122,9 @@ void deserialize_parameters(Module& module, const std::string& blob) {
       next_line(line);  // consume the empty data line, if present
     }
     entries.emplace(name, std::move(t));
+  }
+  if (!saw_end) {
+    fail(line_no, "missing 'end' trailer (truncated file?)");
   }
 
   auto named = module.named_parameters();

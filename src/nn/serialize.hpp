@@ -10,6 +10,10 @@ namespace readys::nn {
 ///   readys-weights v1
 ///   <name> <rows> <cols>
 ///   v v v ...
+///   end <num-parameters>
+/// The `end` trailer (and the required final newline) makes truncation
+/// at ANY byte offset detectable: a prefix of a valid file either ends
+/// mid-line, lacks the trailer, or carries the wrong parameter count.
 /// Used by the transfer-learning experiments (train on T, reuse on T')
 /// and by training checkpoints. Crash-safe: the payload is written to
 /// `<path>.tmp` and atomically renamed over `<path>`, so a crash

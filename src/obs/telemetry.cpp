@@ -30,7 +30,9 @@ Telemetry::Telemetry(TelemetryConfig config)
       optim_updates(registry_.counter("rl.optimizer_updates")),
       optim_skipped(registry_.counter("rl.skipped_updates")),
       checkpoint_writes(registry_.counter("rl.checkpoint_writes")),
+      ckpt_fallbacks(registry_.counter("ckpt.fallbacks")),
       sched_decisions(registry_.counter("sched.decisions")),
+      sched_fallbacks(registry_.counter("sched.fallback_decisions")),
       pool_tasks(registry_.counter("util.pool_tasks")),
       eval_runs(registry_.counter("core.eval_runs")),
       pool_queue_depth(registry_.gauge("util.pool_queue_depth")),

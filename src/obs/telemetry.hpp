@@ -77,7 +77,9 @@ class Telemetry {
   Counter& optim_updates;       ///< rl.optimizer_updates
   Counter& optim_skipped;       ///< rl.skipped_updates
   Counter& checkpoint_writes;   ///< rl.checkpoint_writes
+  Counter& ckpt_fallbacks;      ///< ckpt.fallbacks (corrupt files skipped)
   Counter& sched_decisions;     ///< sched.decisions (assignments bound)
+  Counter& sched_fallbacks;     ///< sched.fallback_decisions (guard trips)
   Counter& pool_tasks;          ///< util.pool_tasks
   Counter& eval_runs;           ///< core.eval_runs
   Gauge& pool_queue_depth;      ///< util.pool_queue_depth

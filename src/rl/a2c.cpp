@@ -198,15 +198,20 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   batch.reserve(static_cast<std::size_t>(cfg_.unroll));
 
   int start_ep = 0;
+  int divergent_streak = 0;
   if (opts.resume && !opts.checkpoint_dir.empty()) {
-    CheckpointState st;
-    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
-      start_ep = std::min(st.episode, opts.episodes);
-      updates_ = st.updates;
+    CheckpointData ck;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, ck)) {
+      apply_checkpoint_to_trainer(ck, "a2c", opts.seed, 1, optimizer_,
+                                  sample_rng_);
+      start_ep = std::min(ck.progress.episode, opts.episodes);
+      updates_ = ck.progress.updates;
+      report.skipped_updates = ck.progress.skipped_updates;
+      report.rollbacks = ck.progress.rollbacks;
+      divergent_streak = ck.progress.divergent_streak;
       if (opts.verbose) {
-        util::log_info() << "resumed from " << checkpoint_path(
-                                opts.checkpoint_dir)
-                         << " at episode " << st.episode;
+        util::log_info() << "resumed from " << opts.checkpoint_dir
+                         << " at episode " << ck.progress.episode;
       }
     }
   }
@@ -218,7 +223,18 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   std::string last_good = nn::serialize_parameters(*net_);
   const int patience = std::max(1, opts.divergence_patience);
   const int every = std::max(1, opts.checkpoint_every);
-  int divergent_streak = 0;
+  const CheckpointOptions ck_opts{opts.checkpoint_retain};
+  const auto make_ckpt = [&](int episode) {
+    CheckpointData d;
+    d.progress = {episode, updates_, report.skipped_updates, report.rollbacks,
+                  divergent_streak};
+    d.trainer = "a2c";
+    d.env_seed = opts.seed;
+    d.num_envs = 1;
+    d.rngs = {{"sample", sample_rng_.state()}};
+    d.optimizer = optimizer_.state_rows();
+    return d;
+  };
   const auto guarded = [&](bool applied) {
     if (applied) {
       divergent_streak = 0;
@@ -298,7 +314,8 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
     if ((ep + 1) % every == 0) {
       last_good = nn::serialize_parameters(*net_);
       if (!opts.checkpoint_dir.empty()) {
-        save_checkpoint(opts.checkpoint_dir, *net_, {ep + 1, updates_});
+        save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(ep + 1),
+                        ck_opts);
       }
     }
     if (opts.verbose && (ep + 1) % opts.log_every == 0) {
@@ -315,7 +332,8 @@ TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
     }
   }
   if (!opts.checkpoint_dir.empty()) {
-    save_checkpoint(opts.checkpoint_dir, *net_, {opts.episodes, updates_});
+    save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),
+                    ck_opts);
   }
   report.updates = updates_;
   if (!report.episode_rewards.empty()) {
@@ -340,15 +358,20 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
   const std::size_t width = envs.size();
 
   int start_ep = 0;
+  int divergent_streak = 0;
   if (opts.resume && !opts.checkpoint_dir.empty()) {
-    CheckpointState st;
-    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
-      start_ep = std::min(st.episode, opts.episodes);
-      updates_ = st.updates;
+    CheckpointData ck;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, ck)) {
+      apply_checkpoint_to_trainer(ck, "a2c", opts.seed, width, optimizer_,
+                                  sample_rng_);
+      start_ep = std::min(ck.progress.episode, opts.episodes);
+      updates_ = ck.progress.updates;
+      report.skipped_updates = ck.progress.skipped_updates;
+      report.rollbacks = ck.progress.rollbacks;
+      divergent_streak = ck.progress.divergent_streak;
       if (opts.verbose) {
-        util::log_info() << "resumed from " << checkpoint_path(
-                                opts.checkpoint_dir)
-                         << " at episode " << st.episode;
+        util::log_info() << "resumed from " << opts.checkpoint_dir
+                         << " at episode " << ck.progress.episode;
       }
     }
   }
@@ -358,7 +381,18 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
   const int patience = std::max(1, opts.divergence_patience);
   const int every = std::max(1, opts.checkpoint_every);
   const int log_every = std::max(1, opts.log_every);
-  int divergent_streak = 0;
+  const CheckpointOptions ck_opts{opts.checkpoint_retain};
+  const auto make_ckpt = [&](int episode) {
+    CheckpointData d;
+    d.progress = {episode, updates_, report.skipped_updates, report.rollbacks,
+                  divergent_streak};
+    d.trainer = "a2c";
+    d.env_seed = opts.seed;
+    d.num_envs = width;
+    d.rngs = {{"sample", sample_rng_.state()}};
+    d.optimizer = optimizer_.state_rows();
+    return d;
+  };
   const auto guarded = [&](bool applied) {
     if (applied) {
       divergent_streak = 0;
@@ -478,7 +512,7 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
     if (ep / every != prev / every) {
       last_good = nn::serialize_parameters(*net_);
       if (!opts.checkpoint_dir.empty()) {
-        save_checkpoint(opts.checkpoint_dir, *net_, {ep, updates_});
+        save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(ep), ck_opts);
       }
     }
     if (opts.verbose && ep / log_every != prev / log_every) {
@@ -497,7 +531,8 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
     }
   }
   if (!opts.checkpoint_dir.empty()) {
-    save_checkpoint(opts.checkpoint_dir, *net_, {opts.episodes, updates_});
+    save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),
+                    ck_opts);
   }
   report.updates = updates_;
   if (!report.episode_rewards.empty()) {

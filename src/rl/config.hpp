@@ -80,6 +80,10 @@ struct TrainOptions {
   /// Episodes between checkpoints (also the final state is always
   /// checkpointed when a directory is set).
   int checkpoint_every = 50;
+  /// Newest checkpoint files kept in checkpoint_dir; older ones are
+  /// pruned after each save. Keeping more than one is what lets resume
+  /// fall back when the newest file is corrupt (torn write, bad disk).
+  int checkpoint_retain = 3;
   /// Restore weights + episode counter from checkpoint_dir before
   /// training; a missing checkpoint silently starts from scratch, so a
   /// resumable run can use the same invocation for first start and

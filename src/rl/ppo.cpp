@@ -206,15 +206,19 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   report.best_makespan = std::numeric_limits<double>::infinity();
 
   int episode = 0;
+  int divergent_streak = 0;
   if (opts.resume && !opts.checkpoint_dir.empty()) {
-    CheckpointState st;
-    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
-      episode = std::min(st.episode, opts.episodes);
-      report.updates = st.updates;
+    CheckpointData ck;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, ck)) {
+      apply_checkpoint_to_trainer(ck, "ppo", opts.seed, 1, optimizer_, rng_);
+      episode = std::min(ck.progress.episode, opts.episodes);
+      report.updates = ck.progress.updates;
+      report.skipped_updates = ck.progress.skipped_updates;
+      report.rollbacks = ck.progress.rollbacks;
+      divergent_streak = ck.progress.divergent_streak;
       if (opts.verbose) {
-        util::log_info() << "resumed from " << checkpoint_path(
-                                opts.checkpoint_dir)
-                         << " at episode " << st.episode;
+        util::log_info() << "resumed from " << opts.checkpoint_dir
+                         << " at episode " << ck.progress.episode;
       }
     }
   }
@@ -223,7 +227,18 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
   std::string last_good = nn::serialize_parameters(*net_);
   const int patience = std::max(1, opts.divergence_patience);
   const int every = std::max(1, opts.checkpoint_every);
-  int divergent_streak = 0;
+  const CheckpointOptions ck_opts{opts.checkpoint_retain};
+  const auto make_ckpt = [&](int ep_done) {
+    CheckpointData d;
+    d.progress = {ep_done, report.updates, report.skipped_updates,
+                  report.rollbacks, divergent_streak};
+    d.trainer = "ppo";
+    d.env_seed = opts.seed;
+    d.num_envs = 1;
+    d.rngs = {{"sample", rng_.state()}};
+    d.optimizer = optimizer_.state_rows();
+    return d;
+  };
   int since_checkpoint = 0;
   while (episode < opts.episodes) {
     std::vector<Step> steps;
@@ -293,15 +308,15 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
     if (since_checkpoint >= every) {
       last_good = nn::serialize_parameters(*net_);
       if (!opts.checkpoint_dir.empty()) {
-        save_checkpoint(opts.checkpoint_dir, *net_,
-                        {episode, report.updates});
+        save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(episode),
+                        ck_opts);
       }
       since_checkpoint = 0;
     }
   }
   if (!opts.checkpoint_dir.empty()) {
-    save_checkpoint(opts.checkpoint_dir, *net_,
-                    {opts.episodes, report.updates});
+    save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),
+                    ck_opts);
   }
   if (!report.episode_rewards.empty()) {
     // Empty when --resume found a run that already finished.
@@ -324,15 +339,20 @@ TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
   const bool batched = width > 1;
 
   int episode = 0;
+  int divergent_streak = 0;
   if (opts.resume && !opts.checkpoint_dir.empty()) {
-    CheckpointState st;
-    if (load_checkpoint(opts.checkpoint_dir, *net_, st)) {
-      episode = std::min(st.episode, opts.episodes);
-      report.updates = st.updates;
+    CheckpointData ck;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, ck)) {
+      apply_checkpoint_to_trainer(ck, "ppo", opts.seed, width, optimizer_,
+                                  rng_);
+      episode = std::min(ck.progress.episode, opts.episodes);
+      report.updates = ck.progress.updates;
+      report.skipped_updates = ck.progress.skipped_updates;
+      report.rollbacks = ck.progress.rollbacks;
+      divergent_streak = ck.progress.divergent_streak;
       if (opts.verbose) {
-        util::log_info() << "resumed from " << checkpoint_path(
-                                opts.checkpoint_dir)
-                         << " at episode " << st.episode;
+        util::log_info() << "resumed from " << opts.checkpoint_dir
+                         << " at episode " << ck.progress.episode;
       }
     }
   }
@@ -341,7 +361,18 @@ TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
   std::string last_good = nn::serialize_parameters(*net_);
   const int patience = std::max(1, opts.divergence_patience);
   const int every = std::max(1, opts.checkpoint_every);
-  int divergent_streak = 0;
+  const CheckpointOptions ck_opts{opts.checkpoint_retain};
+  const auto make_ckpt = [&](int ep_done) {
+    CheckpointData d;
+    d.progress = {ep_done, report.updates, report.skipped_updates,
+                  report.rollbacks, divergent_streak};
+    d.trainer = "ppo";
+    d.env_seed = opts.seed;
+    d.num_envs = width;
+    d.rngs = {{"sample", rng_.state()}};
+    d.optimizer = optimizer_.state_rows();
+    return d;
+  };
   int since_checkpoint = 0;
   std::vector<std::vector<Step>> ep_steps(width);
   std::vector<double> ep_rewards(width, 0.0);
@@ -447,15 +478,15 @@ TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
     if (since_checkpoint >= every) {
       last_good = nn::serialize_parameters(*net_);
       if (!opts.checkpoint_dir.empty()) {
-        save_checkpoint(opts.checkpoint_dir, *net_,
-                        {episode, report.updates});
+        save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(episode),
+                        ck_opts);
       }
       since_checkpoint = 0;
     }
   }
   if (!opts.checkpoint_dir.empty()) {
-    save_checkpoint(opts.checkpoint_dir, *net_,
-                    {opts.episodes, report.updates});
+    save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),
+                    ck_opts);
   }
   if (!report.episode_rewards.empty()) {
     const std::size_t tail =

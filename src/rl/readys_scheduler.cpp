@@ -1,5 +1,8 @@
 #include "rl/readys_scheduler.hpp"
 
+#include <cmath>
+#include <stdexcept>
+
 namespace readys::rl {
 
 ReadysScheduler::ReadysScheduler(const PolicyNet& net, int window,
@@ -42,6 +45,15 @@ std::vector<sim::Assignment> ReadysScheduler::decide(
 
     // Greedy argmax or categorical sample over π.
     const tensor::Tensor& p = out.probs.value();
+    // A NaN policy must not silently argmax to action 0: surface it so a
+    // wrapper (sched::GuardedScheduler) can fall back to a heuristic.
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (!std::isfinite(p[i])) {
+        throw std::runtime_error(
+            "ReadysScheduler: non-finite policy probability " +
+            std::to_string(p[i]) + " at action " + std::to_string(i));
+      }
+    }
     std::size_t a = 0;
     if (greedy_) {
       for (std::size_t i = 1; i < p.size(); ++i) {

@@ -1,0 +1,133 @@
+#include "sched/guarded.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/obs.hpp"
+#include "util/logging.hpp"
+
+namespace readys::sched {
+
+GuardedScheduler::GuardedScheduler(std::unique_ptr<sim::Scheduler> inner)
+    : GuardedScheduler(std::move(inner), Options()) {}
+
+GuardedScheduler::GuardedScheduler(std::unique_ptr<sim::Scheduler> inner,
+                                   Options opts)
+    : inner_(std::move(inner)), opts_(opts) {
+  opts_.max_strikes = std::max(1, opts_.max_strikes);
+}
+
+void GuardedScheduler::reset(const sim::SimEngine& engine) {
+  inner_reset_ok_ = false;
+  if (!degraded_) {
+    try {
+      inner_->reset(engine);
+      inner_reset_ok_ = true;
+    } catch (const std::exception& e) {
+      last_fault_ = std::string("reset threw: ") + e.what();
+      util::log_warn() << "GuardedScheduler: " << last_fault_
+                       << "; episode runs on the MCT fallback";
+    }
+  }
+}
+
+std::string GuardedScheduler::name() const {
+  return "guarded(" + inner_->name() + ")";
+}
+
+bool GuardedScheduler::valid_batch(const sim::SimEngine& engine,
+                                   const std::vector<sim::Assignment>& batch,
+                                   std::string& why) const {
+  const auto num_tasks = engine.graph().num_tasks();
+  const auto num_resources =
+      static_cast<sim::ResourceId>(engine.platform().size());
+  std::vector<dag::TaskId> tasks;
+  std::vector<sim::ResourceId> resources;
+  for (const sim::Assignment& a : batch) {
+    if (a.task >= num_tasks) {
+      why = "task " + std::to_string(a.task) + " out of range";
+      return false;
+    }
+    if (!engine.is_ready(a.task)) {
+      why = "task " + std::to_string(a.task) + " is not ready";
+      return false;
+    }
+    if (a.resource < 0 || a.resource >= num_resources) {
+      why = "resource " + std::to_string(a.resource) + " out of range";
+      return false;
+    }
+    if (!engine.is_up(a.resource)) {
+      why = "resource " + std::to_string(a.resource) + " is down";
+      return false;
+    }
+    if (!engine.is_idle(a.resource)) {
+      why = "resource " + std::to_string(a.resource) + " is busy";
+      return false;
+    }
+    if (std::find(tasks.begin(), tasks.end(), a.task) != tasks.end()) {
+      why = "task " + std::to_string(a.task) + " assigned twice";
+      return false;
+    }
+    if (std::find(resources.begin(), resources.end(), a.resource) !=
+        resources.end()) {
+      why = "resource " + std::to_string(a.resource) + " assigned twice";
+      return false;
+    }
+    tasks.push_back(a.task);
+    resources.push_back(a.resource);
+  }
+  return true;
+}
+
+std::vector<sim::Assignment> GuardedScheduler::fall_back(
+    const sim::SimEngine& engine, const std::string& why) {
+  last_fault_ = why;
+  ++fallback_decisions_;
+  if (obs::Telemetry* t = obs::telemetry()) t->sched_fallbacks.add();
+  if (!degraded_ && ++strikes_ >= opts_.max_strikes) {
+    degraded_ = true;
+    util::log_warn() << "GuardedScheduler: " << strikes_
+                     << " consecutive guarded failures (last: " << why
+                     << "); permanently degrading " << inner_->name()
+                     << " to MCT";
+  }
+  // One-shot MCT over the current engine state: reset() clears its
+  // queues and ready-log cursor, decide() then re-derives bindings from
+  // what is ready and idle right now. This stays correct mid-episode
+  // because MCT's binding scan skips tasks that are no longer ready.
+  fallback_.reset(engine);
+  return fallback_.decide(engine);
+}
+
+std::vector<sim::Assignment> GuardedScheduler::decide(
+    const sim::SimEngine& engine) {
+  if (degraded_ || !inner_reset_ok_) {
+    return fall_back(engine, last_fault_.empty() ? "degraded" : last_fault_);
+  }
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  std::vector<sim::Assignment> batch;
+  try {
+    batch = inner_->decide(engine);
+  } catch (const std::exception& e) {
+    return fall_back(engine, std::string("decide threw: ") + e.what());
+  }
+  if (opts_.decide_budget_ms > 0.0) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (elapsed_ms > opts_.decide_budget_ms) {
+      return fall_back(engine,
+                       "decide took " + std::to_string(elapsed_ms) +
+                           " ms (budget " +
+                           std::to_string(opts_.decide_budget_ms) + " ms)");
+    }
+  }
+  std::string why;
+  if (!valid_batch(engine, batch, why)) {
+    return fall_back(engine, "invalid batch: " + why);
+  }
+  strikes_ = 0;
+  return batch;
+}
+
+}  // namespace readys::sched

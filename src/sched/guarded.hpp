@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/mct.hpp"
+#include "sim/simulator.hpp"
+
+namespace readys::sched {
+
+/// Decorator that makes any scheduler safe to run unattended. Every
+/// decide() of the wrapped scheduler is guarded against
+///
+///   - thrown exceptions (e.g. the READYS policy surfacing NaN logits),
+///   - invalid assignments (task out of range or not ready, resource out
+///     of range, down, or busy, duplicates within one batch),
+///   - blowing a wall-clock decision budget (optional).
+///
+/// A guarded failure falls back to a one-shot MCT decision computed from
+/// the current engine state — the episode completes with degraded
+/// quality instead of crashing or corrupting the simulation. Each
+/// fallback counts into fallback_decisions() and the
+/// sched.fallback_decisions metric. After `max_strikes` consecutive
+/// failures the wrapper stops consulting the inner scheduler for the
+/// rest of the run (permanent degradation to MCT) — a policy that
+/// went NaN will not come back.
+///
+/// Registered in the Registry under the "guarded:<inner>" prefix, e.g.
+/// make_scheduler("guarded:readys").
+class GuardedScheduler : public sim::Scheduler {
+ public:
+  struct Options {
+    /// Consecutive guarded failures before the inner scheduler is
+    /// abandoned for good. Minimum 1.
+    int max_strikes = 3;
+    /// Wall-clock budget per decide() call in milliseconds; an overrun
+    /// counts as a failure (the inner result is discarded, MCT decides).
+    /// 0 disables the budget — decision latency is then unbounded but
+    /// deterministic tests stay timing-independent.
+    double decide_budget_ms = 0.0;
+  };
+
+  explicit GuardedScheduler(std::unique_ptr<sim::Scheduler> inner);
+  GuardedScheduler(std::unique_ptr<sim::Scheduler> inner, Options opts);
+
+  void reset(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::string name() const override;
+
+  /// Decisions answered by the MCT fallback instead of the inner
+  /// scheduler (monotone over the wrapper's lifetime).
+  std::size_t fallback_decisions() const noexcept {
+    return fallback_decisions_;
+  }
+  /// True once the inner scheduler has been permanently abandoned.
+  bool degraded() const noexcept { return degraded_; }
+  /// Reason of the most recent guarded failure ("" when none yet).
+  const std::string& last_fault() const noexcept { return last_fault_; }
+
+ private:
+  /// True iff `batch` can be applied to `engine` as-is; otherwise `why`
+  /// describes the first violation.
+  bool valid_batch(const sim::SimEngine& engine,
+                   const std::vector<sim::Assignment>& batch,
+                   std::string& why) const;
+  std::vector<sim::Assignment> fall_back(const sim::SimEngine& engine,
+                                         const std::string& why);
+
+  std::unique_ptr<sim::Scheduler> inner_;
+  Options opts_;
+  MctScheduler fallback_;
+  int strikes_ = 0;
+  bool degraded_ = false;
+  bool inner_reset_ok_ = true;
+  std::size_t fallback_decisions_ = 0;
+  std::string last_fault_;
+};
+
+}  // namespace readys::sched

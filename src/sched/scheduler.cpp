@@ -6,11 +6,26 @@
 #include "sched/batch_mode.hpp"
 #include "sched/critical_path.hpp"
 #include "sched/greedy_eft.hpp"
+#include "sched/guarded.hpp"
 #include "sched/heft.hpp"
 #include "sched/mct.hpp"
 #include "sched/random_sched.hpp"
 
 namespace readys::sched {
+
+namespace {
+
+/// "guarded:<inner>" -> "<inner>"; empty when `name` has no such prefix.
+std::string guarded_inner(const std::string& name) {
+  constexpr const char* prefix = "guarded:";
+  constexpr std::size_t len = 8;
+  if (name.size() > len && name.compare(0, len, prefix) == 0) {
+    return name.substr(len);
+  }
+  return {};
+}
+
+}  // namespace
 
 void Registry::add(const std::string& name, Factory factory) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -18,12 +33,20 @@ void Registry::add(const std::string& name, Factory factory) {
 }
 
 bool Registry::contains(const std::string& name) const {
+  const std::string inner = guarded_inner(name);
+  if (!inner.empty()) return contains(inner);
   std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(name) != 0;
 }
 
 std::unique_ptr<sim::Scheduler> Registry::make(
     const std::string& name, const SchedulerConfig& cfg) const {
+  // "guarded:<inner>" wraps any registered scheduler (recursively, so
+  // "guarded:guarded:mct" also resolves — pointless but harmless).
+  const std::string inner = guarded_inner(name);
+  if (!inner.empty()) {
+    return std::make_unique<GuardedScheduler>(make(inner, cfg));
+  }
   Factory factory;
   {
     std::lock_guard<std::mutex> lock(mutex_);

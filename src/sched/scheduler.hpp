@@ -42,7 +42,9 @@ class Registry {
   bool contains(const std::string& name) const;
 
   /// Constructs a fresh scheduler. Throws std::invalid_argument for an
-  /// unknown name, listing the registered ones.
+  /// unknown name, listing the registered ones. The "guarded:<inner>"
+  /// prefix wraps any registered scheduler in a GuardedScheduler
+  /// (exception/invalid-assignment guards with MCT fallback).
   std::unique_ptr<sim::Scheduler> make(const std::string& name,
                                        const SchedulerConfig& cfg = {}) const;
 

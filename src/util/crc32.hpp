@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace readys::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`,
+/// continuing from `seed` — pass the previous return value to checksum a
+/// stream in chunks. The default seed is the standard initial value, so
+/// crc32("abc") matches zlib's crc32(0, "abc", 3).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) noexcept;
+
+}  // namespace readys::util

@@ -1,5 +1,6 @@
 #include "util/rng.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -78,6 +79,22 @@ double Rng::normal(double mean, double stddev) noexcept {
 
 Rng Rng::split() noexcept {
   return Rng((*this)());
+}
+
+Rng::State Rng::state() const noexcept {
+  return {s_[0], s_[1], s_[2], s_[3],
+          std::bit_cast<std::uint64_t>(cached_normal_),
+          has_cached_normal_ ? 1ULL : 0ULL};
+}
+
+void Rng::set_state(const State& st) {
+  if ((st[0] | st[1] | st[2] | st[3]) == 0) {
+    throw std::invalid_argument(
+        "Rng::set_state: all-zero xoshiro state (corrupted snapshot)");
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = st[static_cast<std::size_t>(i)];
+  cached_normal_ = std::bit_cast<double>(st[4]);
+  has_cached_normal_ = st[5] != 0;
 }
 
 }  // namespace readys::util

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <random>
@@ -47,6 +48,20 @@ class Rng {
 
   /// Derives an independent generator; deterministic given this state.
   Rng split() noexcept;
+
+  /// Complete serialized generator state: the four xoshiro words plus
+  /// the Box–Muller cache (value bit-cast to u64, presence flag), so a
+  /// restored stream replays the exact tail — including a pending cached
+  /// normal — with no draw lost or repeated.
+  using State = std::array<std::uint64_t, 6>;
+
+  State state() const noexcept;
+
+  /// Restores a state captured by state(). The all-zero xoshiro state is
+  /// a fixed point of the generator; set_state() rejects it with
+  /// std::invalid_argument (it can only come from a corrupted snapshot,
+  /// never from state()).
+  void set_state(const State& st);
 
   /// Fisher–Yates shuffle of a vector.
   template <typename T>

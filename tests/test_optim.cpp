@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "nn/linear.hpp"
 #include "nn/optim.hpp"
@@ -118,6 +121,101 @@ TEST(Optimizer, GradsFiniteDetectsPoisonedGradients) {
   // Dropping the poisoned batch restores health.
   opt.zero_grad();
   EXPECT_TRUE(opt.grads_finite());
+}
+
+namespace {
+
+/// Runs `steps` quadratic-descent updates on `opt` whose single parameter
+/// is `w`, mirroring optimize_quadratic but against a caller-owned Var so
+/// two optimizers can be compared parameter-by-parameter.
+void descend(rt::Var& w, rn::Optimizer& opt, int steps) {
+  rt::Var target(rt::Tensor::from_rows({{1.0, -2.0, 3.0, 0.5}}));
+  for (int i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    rt::mse(w, target).backward();
+    opt.step();
+  }
+}
+
+}  // namespace
+
+TEST(Adam, StateRowsRoundTripResumesExactTrajectory) {
+  // Twin setup: optimizer A runs 10 steps; optimizer B starts fresh on a
+  // copy of A's weights and loads A's rows. Both must then produce
+  // bit-identical weights for every subsequent step — the checkpoint
+  // resume invariant.
+  rt::Var wa(rt::Tensor(1, 4, 0.0), true);
+  rn::Adam a({wa}, 0.05);
+  descend(wa, a, 10);
+
+  rt::Var wb(rt::Tensor(wa.value()), true);
+  rn::Adam b({wb}, 0.05);
+  b.load_state_rows(a.state_rows());
+
+  descend(wa, a, 25);
+  descend(wb, b, 25);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(wa.value()[i], wb.value()[i]) << "index " << i;
+  }
+}
+
+TEST(Adam, FreshResumeWithoutStateDiverges) {
+  // Control for the round-trip test: skipping load_state_rows loses the
+  // bias-correction step count and the moments, so trajectories differ.
+  rt::Var wa(rt::Tensor(1, 4, 0.0), true);
+  rn::Adam a({wa}, 0.05);
+  descend(wa, a, 10);
+
+  rt::Var wb(rt::Tensor(wa.value()), true);
+  rn::Adam b({wb}, 0.05);  // no state loaded
+
+  descend(wa, a, 5);
+  descend(wb, b, 5);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (wa.value()[i] != wb.value()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sgd, StateRowsRoundTripResumesExactTrajectory) {
+  rt::Var wa(rt::Tensor(1, 4, 0.0), true);
+  rn::Sgd a({wa}, 0.02, 0.9);
+  descend(wa, a, 10);
+
+  rt::Var wb(rt::Tensor(wa.value()), true);
+  rn::Sgd b({wb}, 0.02, 0.9);
+  b.load_state_rows(a.state_rows());
+
+  descend(wa, a, 25);
+  descend(wb, b, 25);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(wa.value()[i], wb.value()[i]) << "index " << i;
+  }
+}
+
+TEST(Optimizer, LoadStateRowsRejectsMalformedRowsWithoutApplying) {
+  rt::Var w(rt::Tensor(1, 4, 0.0), true);
+  rn::Adam opt({w}, 0.05);
+  descend(w, opt, 5);
+  const auto good = opt.state_rows();
+
+  // Each corruption must throw and leave the live state untouched, which
+  // we verify by checking state_rows() still matches the pre-load rows.
+  std::vector<std::vector<std::string>> bad_cases;
+  bad_cases.push_back({});                       // empty
+  bad_cases.push_back({"sgd 0"});                // wrong optimizer tag
+  auto truncated = good;
+  truncated.pop_back();                          // missing tensor row
+  bad_cases.push_back(truncated);
+  auto garbled = good;
+  garbled.back() += " 1.0";                      // trailing extra value
+  bad_cases.push_back(garbled);
+
+  for (const auto& rows : bad_cases) {
+    EXPECT_THROW(opt.load_state_rows(rows), std::runtime_error);
+    EXPECT_EQ(opt.state_rows(), good);
+  }
 }
 
 TEST(Training, LinearLayerFitsLinearMap) {
