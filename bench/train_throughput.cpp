@@ -1,10 +1,14 @@
-// Training-throughput baseline: episodes/sec and optimizer-steps/sec of
-// the sequential trainer vs the vectorized (VecEnv + batched-forward)
-// rollout engine at N = 1/4/8, on one small instance. On a single core
-// the speedup comes from amortizing per-op autograd dispatch over the
+// Training-throughput + quality baseline: episodes/sec AND final mean
+// reward of the sequential trainer vs the vectorized (VecEnv +
+// batched-forward) rollout engine and the async actor–learner, on one
+// small instance. On a single core the speedup comes from NoGrad
+// inference rollouts and amortizing per-op autograd dispatch over the
 // batch, not from threads — which is exactly the regime RL training
 // lives in (many tiny forwards). Numbers land in
-// BENCH_train_throughput.json so successive PRs can track them.
+// BENCH_train_throughput.json (throughput series, kept stable for
+// continuity) and BENCH_train_quality.json (speed AND reward per mode,
+// the series PR 6's cadence fix is judged by: multi-env runs must match
+// sequential reward, not just outrun it).
 //
 //   READYS_BENCH_EPISODES  episodes per mode (default 192)
 //   READYS_BENCH_TILES     Cholesky tile count (default 4)
@@ -13,9 +17,13 @@
 //   READYS_HIDDEN          embedding width (default 32)
 //
 // The vec N=1 cell doubles as a live bit-exactness probe: its final
-// mean reward must equal the sequential cell's.
+// mean reward must equal the sequential cell's. The vec-coarse cell
+// keeps the old one-update-per-round cadence (updates_per_round = 1) as
+// a regression fingerprint of the reward collapse this bench guards
+// against.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,8 +34,13 @@ using namespace readys;
 
 namespace {
 
+struct ModeSpec {
+  const char* mode;  ///< sequential | vec | vec-coarse | async | async-strict
+  int num_envs;
+};
+
 struct Cell {
-  std::string mode;  ///< "sequential" or "vec"
+  std::string mode;
   int num_envs = 1;
   int episodes = 0;
   std::size_t updates = 0;
@@ -39,11 +52,11 @@ struct Cell {
 
 Cell run_mode(const core::RunConfig& cfg, const dag::TaskGraph& graph,
               const sim::Platform& platform, const sim::CostModel& costs,
-              const std::string& mode, int num_envs) {
+              const ModeSpec& spec) {
   using clock = std::chrono::steady_clock;
   Cell cell;
-  cell.mode = mode;
-  cell.num_envs = num_envs;
+  cell.mode = spec.mode;
+  cell.num_envs = spec.num_envs;
   cell.episodes = cfg.episodes;
 
   // A fresh net per mode, identical init seed: every cell trains the
@@ -51,26 +64,41 @@ Cell run_mode(const core::RunConfig& cfg, const dag::TaskGraph& graph,
   rl::PolicyNet net(
       rl::StateEncoder::node_feature_width(graph.num_kernel_types()),
       rl::StateEncoder::kResourceFeatureWidth, cfg.agent);
-  const rl::TrainOptions opts = cfg.train_options();
+  rl::TrainOptions opts = cfg.train_options();
+  rl::AgentConfig agent = cfg.agent;
+  const std::string mode = spec.mode;
+  if (mode == "vec-coarse") {
+    opts.updates_per_round = 1;  // the pre-fix cadence: 1 update/round
+  } else if (mode == "vec-g2") {
+    opts.updates_per_round = spec.num_envs / 2;  // 2-episode groups
+  } else if (mode == "vec-coarse-lr") {
+    opts.updates_per_round = 1;
+    agent.lr *= spec.num_envs;  // linear LR scaling with batch size
+  } else if (mode == "async" || mode == "async-strict") {
+    opts.async = true;
+    opts.async_strict = (mode == "async-strict");
+    opts.async_actors = util::env_int("READYS_BENCH_ASYNC_ACTORS", 0);
+    opts.async_batch = util::env_int("READYS_BENCH_ASYNC_BATCH", 1);
+  }
   rl::TrainReport report;
   const auto t0 = clock::now();
   if (mode == "sequential") {
     rl::SchedulingEnv env(graph, platform, costs, cfg.env_config());
     if (cfg.trainer == "ppo") {
-      rl::PpoTrainer trainer(net, cfg.agent);
+      rl::PpoTrainer trainer(net, agent);
       report = trainer.train(env, opts);
     } else {
-      rl::A2CTrainer trainer(net, cfg.agent);
+      rl::A2CTrainer trainer(net, agent);
       report = trainer.train(env, opts);
     }
   } else {
     rl::VecEnv envs(graph, platform, costs, cfg.env_config(),
-                    static_cast<std::size_t>(num_envs));
+                    static_cast<std::size_t>(spec.num_envs));
     if (cfg.trainer == "ppo") {
-      rl::PpoTrainer trainer(net, cfg.agent);
+      rl::PpoTrainer trainer(net, agent);
       report = trainer.train(envs, opts);
     } else {
-      rl::A2CTrainer trainer(net, cfg.agent);
+      rl::A2CTrainer trainer(net, agent);
       report = trainer.train(envs, opts);
     }
   }
@@ -94,6 +122,7 @@ int main() {
   cfg.episodes = util::env_int("READYS_BENCH_EPISODES", 192);
   cfg.trainer = util::env_string("READYS_BENCH_TRAINER", "a2c");
   cfg.agent.hidden = util::env_int("READYS_HIDDEN", 32);
+  cfg.seed = static_cast<std::uint64_t>(util::env_int("READYS_BENCH_SEED", 1));
   cfg.validate();
 
   const auto graph = cfg.make_graph();
@@ -106,54 +135,64 @@ int main() {
   run.manifest.set("graph", graph.name());
 
   std::printf(
-      "=== Training throughput (%s / %s / %s, %d episodes/mode, "
+      "=== Training throughput + quality (%s / %s / %s, %d episodes/mode, "
       "sigma=%.2f) ===\n\n",
       cfg.trainer.c_str(), graph.name().c_str(), platform.name().c_str(),
       cfg.episodes, cfg.sigma);
 
-  struct ModeSpec {
-    const char* mode;
-    int num_envs;
-  };
   const std::vector<ModeSpec> modes{
-      {"sequential", 1}, {"vec", 1}, {"vec", 4}, {"vec", 8}};
+      {"sequential", 1}, {"vec", 1},         {"vec", 4},  {"vec", 8},
+      {"vec-g2", 8},     {"vec-coarse", 8},   {"vec-coarse-lr", 8},
+      {"async-strict", 8}, {"async", 8}};
   std::vector<Cell> cells;
   for (const auto& m : modes) {
-    cells.push_back(
-        run_mode(cfg, graph, platform, costs, m.mode, m.num_envs));
+    cells.push_back(run_mode(cfg, graph, platform, costs, m));
     std::fflush(stdout);
   }
 
+  const Cell& seq = cells[0];
+  const auto speedup_of = [&](const Cell& c) {
+    return seq.episodes_per_s > 0.0 ? c.episodes_per_s / seq.episodes_per_s
+                                    : 0.0;
+  };
+  // Reward gap vs sequential in percent of |sequential|; the acceptance
+  // bar for the cadence fix is |gap| <= 10 on the fast multi-env cells.
+  const auto reward_delta_pct = [&](const Cell& c) {
+    const double denom = std::fabs(seq.final_mean_reward);
+    return denom > 0.0
+               ? 100.0 * (c.final_mean_reward - seq.final_mean_reward) / denom
+               : 0.0;
+  };
+
   util::Table table({"mode", "envs", "episodes", "updates", "wall (s)",
-                     "episodes/s", "updates/s", "final reward"});
+                     "episodes/s", "speedup", "final reward", "dreward %"});
   for (const Cell& c : cells) {
     table.add_row({c.mode, std::to_string(c.num_envs),
                    std::to_string(c.episodes), std::to_string(c.updates),
                    util::Table::num(c.wall_s, 2),
                    util::Table::num(c.episodes_per_s, 2),
-                   util::Table::num(c.updates_per_s, 2),
-                   util::Table::num(c.final_mean_reward, 4)});
+                   util::Table::num(speedup_of(c), 2),
+                   util::Table::num(c.final_mean_reward, 4),
+                   util::Table::num(reward_delta_pct(c), 1)});
   }
   table.print();
 
-  const Cell& seq = cells[0];
-  const Cell& vec8 = cells.back();
-  const double speedup =
-      seq.episodes_per_s > 0.0 ? vec8.episodes_per_s / seq.episodes_per_s
-                               : 0.0;
-  std::printf("\nvec N=%d vs sequential: %.2fx episodes/s\n", vec8.num_envs,
-              speedup);
+  // The headline cell: the fastest multi-env mode whose reward matched
+  // sequential within the +-10% acceptance band. Speed that was bought
+  // by degrading the learned policy (vec-coarse, and async free mode on
+  // an oversubscribed core) never headlines.
+  const Cell* headline = &cells.front();
+  for (const Cell& c : cells) {
+    if (&c == &cells.front()) continue;
+    if (std::fabs(reward_delta_pct(c)) > 10.0) continue;
+    if (c.episodes_per_s > headline->episodes_per_s) headline = &c;
+  }
+  std::printf(
+      "\n%s N=%d vs sequential: %.2fx episodes/s at %.1f%% reward delta\n",
+      headline->mode.c_str(), headline->num_envs, speedup_of(*headline),
+      reward_delta_pct(*headline));
 
-  const char* path = "BENCH_train_throughput.json";
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fprintf(f, "{\n  \"benchmark\": \"train_throughput\",\n");
-    std::fprintf(f,
-                 "  \"trainer\": \"%s\",\n  \"app\": \"%s\",\n  \"tiles\": "
-                 "%d,\n  \"hidden\": %d,\n  \"sigma\": %.3f,\n"
-                 "  \"episodes_per_mode\": %d,\n  \"platform\": \"%s\",\n",
-                 cfg.trainer.c_str(), cfg.app.c_str(), cfg.tiles,
-                 cfg.agent.hidden, cfg.sigma, cfg.episodes,
-                 platform.name().c_str());
+  const auto write_cells = [&](std::FILE* f) {
     std::fprintf(f, "  \"cells\": [\n");
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const Cell& c = cells[i];
@@ -161,17 +200,51 @@ int main() {
                    "    {\"mode\": \"%s\", \"num_envs\": %d, \"episodes\": "
                    "%d, \"updates\": %zu, \"wall_s\": %.3f, "
                    "\"episodes_per_s\": %.2f, \"updates_per_s\": %.2f, "
-                   "\"final_mean_reward\": %.6f}%s\n",
+                   "\"speedup\": %.3f, \"final_mean_reward\": %.6f, "
+                   "\"reward_delta_pct\": %.2f}%s\n",
                    c.mode.c_str(), c.num_envs, c.episodes, c.updates,
-                   c.wall_s, c.episodes_per_s, c.updates_per_s,
-                   c.final_mean_reward, i + 1 < cells.size() ? "," : "");
+                   c.wall_s, c.episodes_per_s, c.updates_per_s, speedup_of(c),
+                   c.final_mean_reward, reward_delta_pct(c),
+                   i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"speedup_n%d\": %.3f\n}\n", vec8.num_envs, speedup);
+  };
+  const auto write_header = [&](std::FILE* f, const char* name) {
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", name);
+    std::fprintf(f,
+                 "  \"trainer\": \"%s\",\n  \"app\": \"%s\",\n  \"tiles\": "
+                 "%d,\n  \"hidden\": %d,\n  \"sigma\": %.3f,\n"
+                 "  \"episodes_per_mode\": %d,\n  \"platform\": \"%s\",\n",
+                 cfg.trainer.c_str(), cfg.app.c_str(), cfg.tiles,
+                 cfg.agent.hidden, cfg.sigma, cfg.episodes,
+                 platform.name().c_str());
+  };
+
+  const char* path = "BENCH_train_throughput.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    write_header(f, "train_throughput");
+    write_cells(f);
+    std::fprintf(f, "  \"speedup_n%d\": %.3f\n}\n", headline->num_envs,
+                 speedup_of(*headline));
     std::fclose(f);
     std::printf("baseline written to %s\n", path);
   } else {
     std::perror(path);
+    return 1;
+  }
+  const char* quality_path = "BENCH_train_quality.json";
+  if (std::FILE* f = std::fopen(quality_path, "w")) {
+    write_header(f, "train_quality");
+    write_cells(f);
+    std::fprintf(f,
+                 "  \"headline_mode\": \"%s\",\n  \"headline_speedup\": "
+                 "%.3f,\n  \"headline_reward_delta_pct\": %.2f\n}\n",
+                 headline->mode.c_str(), speedup_of(*headline),
+                 reward_delta_pct(*headline));
+    std::fclose(f);
+    std::printf("quality series written to %s\n", quality_path);
+  } else {
+    std::perror(quality_path);
     return 1;
   }
   run.finish(path);

@@ -9,6 +9,8 @@
 //   readys_cli dot      <app> <tiles> <out.dot>
 //
 // train flags: [--trainer a2c|ppo] [--num-envs <n>]
+//              [--updates-per-round <g>] [--async] [--async-strict]
+//              [--async-actors <n>] [--async-queue <n>] [--async-batch <n>]
 //              [--checkpoint-dir <dir>] [--checkpoint-every <n>]
 //              [--checkpoint-retain <k>] [--resume]
 //              [--metrics-out <f.jsonl>] [--trace-out <f.json>]
@@ -38,6 +40,10 @@ int usage() {
       "  readys_cli train    --config <run.json> <out.weights> [train "
       "flags]\n"
       "    train flags: [--trainer a2c|ppo] [--num-envs <n>]\n"
+      "                 [--updates-per-round <g>] [--async] "
+      "[--async-strict]\n"
+      "                 [--async-actors <n>] [--async-queue <n>] "
+      "[--async-batch <n>]\n"
       "                 [--checkpoint-dir <dir>] [--checkpoint-every <n>]\n"
       "                 [--checkpoint-retain <k>] [--resume]\n"
       "                 [--metrics-out <f.jsonl>] [--trace-out <f.json>] "
@@ -80,6 +86,19 @@ int cmd_train(int argc, char** argv) {
       cfg.trainer = argv[++i];
     } else if (flag == "--num-envs" && i + 1 < argc) {
       cfg.num_envs = std::atoi(argv[++i]);
+    } else if (flag == "--updates-per-round" && i + 1 < argc) {
+      cfg.updates_per_round = std::atoi(argv[++i]);
+    } else if (flag == "--async") {
+      cfg.async = true;
+    } else if (flag == "--async-strict") {
+      cfg.async = true;
+      cfg.async_strict = true;
+    } else if (flag == "--async-actors" && i + 1 < argc) {
+      cfg.async_actors = std::atoi(argv[++i]);
+    } else if (flag == "--async-queue" && i + 1 < argc) {
+      cfg.async_queue = std::atoi(argv[++i]);
+    } else if (flag == "--async-batch" && i + 1 < argc) {
+      cfg.async_batch = std::atoi(argv[++i]);
     } else if (flag == "--checkpoint-dir" && i + 1 < argc) {
       cfg.checkpoint_dir = argv[++i];
     } else if (flag == "--checkpoint-every" && i + 1 < argc) {
@@ -124,7 +143,8 @@ int cmd_train(int argc, char** argv) {
               graph.name().c_str(), platform.name().c_str(), cfg.episodes,
               cfg.sigma, cfg.trainer.c_str(), cfg.num_envs);
   rl::TrainReport report;
-  if (cfg.num_envs > 1) {
+  // Async mode needs the VecEnv's per-slot envs even at width 1.
+  if (cfg.num_envs > 1 || cfg.async) {
     util::ThreadPool pool;
     rl::VecEnv envs(graph, platform, costs, cfg.env_config(),
                     static_cast<std::size_t>(cfg.num_envs), &pool);

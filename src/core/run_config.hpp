@@ -40,6 +40,14 @@ struct RunConfig {
   bool resume = false;
   int divergence_patience = 3;
 
+  // --- multi-env cadence + async actor–learner (see rl::TrainOptions) ---
+  int updates_per_round = 0;  ///< 0 = one update per episode (vec runs)
+  bool async = false;         ///< async actor–learner mode (vec runs)
+  int async_actors = 0;       ///< 0 = one actor thread per env
+  int async_queue = 0;        ///< episode queue capacity; 0 = 2 * num_envs
+  int async_batch = 1;        ///< episodes drained per learner update
+  bool async_strict = false;  ///< deterministic windowed test mode
+
   rl::AgentConfig agent;
 
   /// Serializes to a single-line JSON object, "config":"readys-run/1"

@@ -140,19 +140,34 @@ bool A2CTrainer::update_batched(const std::vector<StepRecord>& batch) {
   ents.reserve(n);
   tensor::Tensor neg_adv(n, 1);
   tensor::Tensor rets(n, 1);
+  tensor::Tensor weights(n, 1);
+  bool weighted = false;
   for (std::size_t i = 0; i < n; ++i) {
     lps.push_back(batch[i].log_prob);
     vals.push_back(batch[i].value);
     ents.push_back(batch[i].entropy);
-    neg_adv.at(i, 0) = -advantages[i];
+    // The importance weight is folded into the constant advantage factor
+    // — on-policy steps carry exactly 1.0, an IEEE multiplicative
+    // identity, so this line is bit-identical to -advantages[i] there.
+    neg_adv.at(i, 0) = -advantages[i] * batch[i].is_weight;
     rets.at(i, 0) = returns[i];
+    weights.at(i, 0) = batch[i].is_weight;
+    weighted = weighted || batch[i].is_weight != 1.0;
   }
   const tensor::Var pg = tensor::sum_all(
       tensor::mul(tensor::concat_rows(lps), tensor::Var(std::move(neg_adv))));
-  const tensor::Var critic = tensor::scale(
-      tensor::sum_all(tensor::square(tensor::sub(
-          tensor::concat_rows(vals), tensor::Var(std::move(rets))))),
-      cfg_.value_coef);
+  // Off-policy batches also rho-weight the critic's squared errors (the
+  // value-correction half of V-trace, in loss-weighting form): the MC
+  // returns are realizations of the behavior policy, so steps the current
+  // policy would no longer reach pull V(s) toward the wrong target. The
+  // on-policy graph is untouched — `weighted` is false there.
+  tensor::Var sq_err = tensor::square(
+      tensor::sub(tensor::concat_rows(vals), tensor::Var(std::move(rets))));
+  if (weighted) {
+    sq_err = tensor::mul(tensor::Var(std::move(weights)), sq_err);
+  }
+  const tensor::Var critic =
+      tensor::scale(tensor::sum_all(sq_err), cfg_.value_coef);
   const tensor::Var entropy =
       tensor::scale(tensor::sum_all(tensor::concat_rows(ents)),
                     cfg_.entropy_beta * entropy_scale_);
@@ -178,17 +193,76 @@ bool A2CTrainer::apply_loss(const tensor::Var& loss) {
     if (t_obs) t_obs->optim_skipped.add();
     return false;
   }
-  optimizer_.step();
+  if (net_mutex_ != nullptr) {
+    // Async mode: actors forward-read the weights under shared locks;
+    // only the step itself (the sole writer besides rollback) needs the
+    // exclusive lock — backward/clipping touch gradients, not values.
+    std::unique_lock lock(*net_mutex_);
+    optimizer_.step();
+  } else {
+    optimizer_.step();
+  }
   ++updates_;
   if (t_obs) t_obs->optim_updates.add();
   return true;
 }
 
 void A2CTrainer::rollback(const std::string& last_good) {
+  std::unique_lock<std::shared_mutex> lock;
+  if (net_mutex_ != nullptr) {
+    lock = std::unique_lock(*net_mutex_);
+  }
   nn::deserialize_parameters(*net_, last_good);
   // Fresh optimizer: the moment estimates were built on the divergent
   // trajectory and would steer the restored weights right back into it.
   optimizer_ = nn::Adam(net_->parameters(), cfg_.lr);
+}
+
+bool A2CTrainer::update_group(const std::vector<EpisodeRollout>& eps,
+                              std::size_t begin, std::size_t end,
+                              bool off_policy) {
+  std::size_t total = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    total += eps[i].observations.size();
+  }
+  if (total == 0) return true;
+  std::vector<const Observation*> obs;
+  obs.reserve(total);
+  for (std::size_t i = begin; i < end; ++i) {
+    for (const Observation& o : eps[i].observations) obs.push_back(&o);
+  }
+  // Re-forward with gradients on: the rollout recorded values only, so
+  // each update's graph covers exactly its own episodes instead of a
+  // whole round's packed graph.
+  const auto outs = net_->forward_batched(obs);
+  std::vector<StepRecord> batch;
+  batch.reserve(total);
+  std::size_t k = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const EpisodeRollout& e = eps[i];
+    const std::size_t steps = e.observations.size();
+    for (std::size_t s = 0; s < steps; ++s, ++k) {
+      StepRecord rec;
+      rec.log_prob = tensor::pick(outs[k].log_probs, 0, e.actions[s]);
+      rec.value = outs[k].value;
+      rec.entropy = tensor::entropy_row(outs[k].probs);
+      rec.reward = shape_reward(e.rewards[s]);
+      rec.done = (s + 1 == steps);
+      if (off_policy && e.log_probs.size() == steps) {
+        // Truncated importance sampling (the rho-clipping half of
+        // V-trace): the trajectory was acted by the stale behavior
+        // policy mu, so the policy-gradient term is reweighted by
+        // min(1, pi(a|s)/mu(a|s)). Clipping at 1 keeps the variance
+        // bounded; steps the current policy has moved away from are
+        // down-weighted toward zero instead of blown up.
+        const double ratio =
+            std::exp(rec.log_prob.value().item() - e.log_probs[s]);
+        rec.is_weight = std::isfinite(ratio) ? std::min(1.0, ratio) : 1.0;
+      }
+      batch.push_back(std::move(rec));
+    }
+  }
+  return update_batched(batch);
 }
 
 TrainReport A2CTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
@@ -353,6 +427,12 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
         "A2CTrainer: vectorized training requires unroll == 0 (mid-episode "
         "unrolls would interleave partial episodes across envs)");
   }
+  if (opts.async) return train_async(envs, opts);
+  if (envs.size() == 1) {
+    // The num_envs == 1 contract is bit-exactness with the sequential
+    // trainer; delegating is the strongest possible form of it.
+    return train(envs.env(0), opts);
+  }
   TrainReport report;
   report.best_makespan = std::numeric_limits<double>::infinity();
   const std::size_t width = envs.size();
@@ -393,22 +473,24 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
     d.optimizer = optimizer_.state_rows();
     return d;
   };
-  const auto guarded = [&](bool applied) {
+  // Divergence in episode units: a skipped group update advances the
+  // streak by the episodes it covered, so `divergence_patience` trips
+  // after the same number of bad episodes at any width.
+  const auto guarded = [&](bool applied, int episode_units) {
     if (applied) {
       divergent_streak = 0;
       return;
     }
     ++report.skipped_updates;
-    if (++divergent_streak >= patience) {
+    divergent_streak += std::max(1, episode_units);
+    if (divergent_streak >= patience) {
       rollback(last_good);
       ++report.rollbacks;
       divergent_streak = 0;
     }
   };
 
-  std::vector<std::vector<StepRecord>> records(width);
-  std::vector<double> ep_reward(width, 0.0);
-  std::vector<StepRecord> batch;
+  std::vector<EpisodeRollout> eps(width);
 
   using obs_clock = std::chrono::steady_clock;
   int ep = start_ep;
@@ -417,67 +499,83 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
         std::min(static_cast<int>(width), opts.episodes - ep);
     readys::obs::Telemetry* t_obs = readys::obs::telemetry();
     const auto round_t0 = t_obs ? obs_clock::now() : obs_clock::time_point{};
-    // The annealing factor is frozen at the round's first episode index;
-    // with one env per round this is exactly the sequential schedule.
-    entropy_scale_ =
-        cfg_.entropy_decay
-            ? 1.0 - static_cast<double>(ep) /
-                        static_cast<double>(std::max(1, opts.episodes))
-            : 1.0;
     std::vector<std::size_t> active;
     active.reserve(static_cast<std::size_t>(round));
     for (int e = 0; e < round; ++e) {
       envs.reset_one(static_cast<std::size_t>(e),
                      opts.seed + static_cast<std::uint64_t>(ep + e));
-      records[static_cast<std::size_t>(e)].clear();
-      ep_reward[static_cast<std::size_t>(e)] = 0.0;
+      eps[static_cast<std::size_t>(e)] = EpisodeRollout{};
+      eps[static_cast<std::size_t>(e)].index = ep + e;
       active.push_back(static_cast<std::size_t>(e));
     }
     // Lockstep rollout: one batched forward per round-step, actions
     // sampled in ascending env order from the shared stream, envs
-    // dropping out of `active` as their episodes finish.
-    while (!active.empty()) {
-      const auto obs_batch = envs.observations(active);
-      const auto outs = net_->forward_batched(obs_batch);
-      std::vector<std::size_t> acts(active.size());
-      for (std::size_t k = 0; k < active.size(); ++k) {
-        acts[k] = select_action(outs[k], /*greedy=*/false, sample_rng_);
-        StepRecord rec;
-        rec.log_prob = tensor::pick(outs[k].log_probs, 0, acts[k]);
-        rec.value = outs[k].value;
-        rec.entropy = tensor::entropy_row(outs[k].probs);
-        records[active[k]].push_back(std::move(rec));
+    // dropping out of `active` as their episodes finish. The rollout
+    // records values only (NoGradGuard) — every update below re-forwards
+    // its own episodes, so no cross-episode graph is ever built.
+    {
+      tensor::NoGradGuard no_grad;
+      while (!active.empty()) {
+        const auto obs_batch = envs.observations(active);
+        const auto outs = net_->forward_batched(obs_batch);
+        std::vector<std::size_t> acts(active.size());
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          acts[k] = select_action(outs[k], /*greedy=*/false, sample_rng_);
+          EpisodeRollout& rec = eps[active[k]];
+          rec.observations.push_back(*obs_batch[k]);
+          rec.actions.push_back(acts[k]);
+        }
+        const auto results = envs.step(active, acts);
+        std::vector<std::size_t> next;
+        next.reserve(active.size());
+        for (std::size_t k = 0; k < active.size(); ++k) {
+          EpisodeRollout& rec = eps[active[k]];
+          rec.rewards.push_back(results[k].reward);
+          rec.reward_sum += results[k].reward;
+          if (!results[k].done) next.push_back(active[k]);
+        }
+        active = std::move(next);
       }
-      const auto results = envs.step(active, acts);
-      std::vector<std::size_t> next;
-      next.reserve(active.size());
-      for (std::size_t k = 0; k < active.size(); ++k) {
-        StepRecord& rec = records[active[k]].back();
-        rec.reward = shape_reward(results[k].reward);
-        rec.done = results[k].done;
-        ep_reward[active[k]] += results[k].reward;
-        if (!results[k].done) next.push_back(active[k]);
+    }
+    // Per-episode updates by default (opts.updates_per_round == 0): the
+    // sequential cadence, so a width-8 run performs the same number of
+    // gradient steps as a sequential one. updates_per_round >= 1 merges
+    // adjacent episodes into that many groups per round instead.
+    const int groups =
+        opts.updates_per_round <= 0
+            ? round
+            : std::min(round, opts.updates_per_round);
+    std::vector<double> ep_loss(static_cast<std::size_t>(round));
+    std::vector<double> ep_gnorm(static_cast<std::size_t>(round));
+    const int g_base = round / groups;
+    const int g_extra = round % groups;
+    std::size_t g_begin = 0;
+    for (int g = 0; g < groups; ++g) {
+      const std::size_t g_size =
+          static_cast<std::size_t>(g_base + (g < g_extra ? 1 : 0));
+      const std::size_t g_end = g_begin + g_size;
+      // Annealing follows the group's first episode index — with
+      // per-episode groups this is exactly the sequential schedule.
+      entropy_scale_ =
+          cfg_.entropy_decay
+              ? 1.0 - (static_cast<double>(ep) +
+                       static_cast<double>(g_begin)) /
+                          static_cast<double>(std::max(1, opts.episodes))
+              : 1.0;
+      guarded(update_group(eps, g_begin, g_end),
+              static_cast<int>(g_size));
+      for (std::size_t i = g_begin; i < g_end; ++i) {
+        ep_loss[i] = last_loss_;
+        ep_gnorm[i] = last_grad_norm_;
       }
-      active = std::move(next);
+      g_begin = g_end;
     }
-    // One update over the round, env-major so the concatenation equals
-    // episode order (update() resets its return at each `done`).
-    batch.clear();
-    for (int e = 0; e < round; ++e) {
-      auto& recs = records[static_cast<std::size_t>(e)];
-      for (StepRecord& rec : recs) batch.push_back(std::move(rec));
-      recs.clear();
-    }
-    // Rounds of one episode keep the sequential update (bit-exact
-    // num_envs == 1 contract); wider rounds take the batched-loss form.
-    guarded(round > 1 ? update_batched(batch) : update(batch, 0.0));
-    batch.clear();
 
     std::size_t round_decisions = 0;
     for (int e = 0; e < round; ++e) {
       const auto& env = envs.env(static_cast<std::size_t>(e));
       report.episode_rewards.push_back(
-          ep_reward[static_cast<std::size_t>(e)]);
+          eps[static_cast<std::size_t>(e)].reward_sum);
       report.episode_makespans.push_back(env.makespan());
       report.best_makespan = std::min(report.best_makespan, env.makespan());
       round_decisions += env.decisions_this_episode();
@@ -494,10 +592,12 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
             .field("trainer", "a2c")
             .field("envs", static_cast<std::uint64_t>(width))
             .field("episode", ep + e + 1)
-            .field("reward", ep_reward[static_cast<std::size_t>(e)])
+            .field("reward", eps[static_cast<std::size_t>(e)].reward_sum)
             .field("makespan_ms", env.makespan())
-            .field("loss", last_loss_)
-            .field("grad_norm", last_grad_norm_)
+            // The update that actually covered this episode — distinct
+            // per group, never one round-wide value fanned out.
+            .field("loss", ep_loss[static_cast<std::size_t>(e)])
+            .field("grad_norm", ep_gnorm[static_cast<std::size_t>(e)])
             .field("decisions",
                    static_cast<std::uint64_t>(env.decisions_this_episode()))
             .field("steps_per_s", rate)
@@ -529,6 +629,261 @@ TrainReport A2CTrainer::train(VecEnv& envs, const TrainOptions& opts) {
                        << envs.env(static_cast<std::size_t>(round - 1))
                               .makespan();
     }
+  }
+  if (!opts.checkpoint_dir.empty()) {
+    save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),
+                    ck_opts);
+  }
+  report.updates = updates_;
+  if (!report.episode_rewards.empty()) {
+    const std::size_t tail = std::max<std::size_t>(
+        1, report.episode_rewards.size() / 5);
+    report.final_mean_reward = util::mean(
+        {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+         tail});
+  }
+  return report;
+}
+
+TrainReport A2CTrainer::train_async(VecEnv& envs, const TrainOptions& opts) {
+  TrainReport report;
+  report.best_makespan = std::numeric_limits<double>::infinity();
+  const std::size_t width = envs.size();
+
+  int start_ep = 0;
+  int divergent_streak = 0;
+  if (opts.resume && !opts.checkpoint_dir.empty()) {
+    CheckpointData ck;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, ck)) {
+      apply_checkpoint_to_trainer(ck, "a2c", opts.seed, width, optimizer_,
+                                  sample_rng_);
+      start_ep = std::min(ck.progress.episode, opts.episodes);
+      updates_ = ck.progress.updates;
+      report.skipped_updates = ck.progress.skipped_updates;
+      report.rollbacks = ck.progress.rollbacks;
+      divergent_streak = ck.progress.divergent_streak;
+      if (opts.verbose) {
+        util::log_info() << "resumed from " << opts.checkpoint_dir
+                         << " at episode " << ck.progress.episode;
+      }
+    }
+  }
+  report.start_episode = start_ep;
+
+  std::string last_good = nn::serialize_parameters(*net_);
+  const int patience = std::max(1, opts.divergence_patience);
+  const int every = std::max(1, opts.checkpoint_every);
+  const int log_every = std::max(1, opts.log_every);
+  const CheckpointOptions ck_opts{opts.checkpoint_retain};
+  const auto make_ckpt = [&](int episode) {
+    CheckpointData d;
+    d.progress = {episode, updates_, report.skipped_updates, report.rollbacks,
+                  divergent_streak};
+    d.trainer = "a2c";
+    d.env_seed = opts.seed;
+    d.num_envs = width;
+    d.rngs = {{"sample", sample_rng_.state()}};
+    d.optimizer = optimizer_.state_rows();
+    return d;
+  };
+  const auto guarded = [&](bool applied, int episode_units) {
+    if (applied) {
+      divergent_streak = 0;
+      return;
+    }
+    ++report.skipped_updates;
+    divergent_streak += std::max(1, episode_units);
+    if (divergent_streak >= patience) {
+      rollback(last_good);
+      ++report.rollbacks;
+      divergent_streak = 0;
+    }
+  };
+
+  const int batch_size = std::max(1, opts.async_batch);
+
+  // Members outlive the locals below, so clear the mutex pointer on every
+  // exit path before the std::shared_mutex on this frame dies.
+  std::shared_mutex net_mutex;
+  struct MutexGuard {
+    A2CTrainer* t;
+    ~MutexGuard() { t->net_mutex_ = nullptr; }
+  } mutex_guard{this};
+  net_mutex_ = &net_mutex;
+
+  // Declaration order is the shutdown order in reverse: the pool's
+  // destructor joins the actor threads before the queue or the mutex
+  // they use can die.
+  EpisodeQueue queue(std::max<std::size_t>(
+      opts.async_queue > 0 ? static_cast<std::size_t>(opts.async_queue)
+                           : 2 * width,
+      static_cast<std::size_t>(batch_size)));
+  ActorPool::Options pool_opts;
+  pool_opts.first_episode = start_ep;
+  pool_opts.episodes = opts.episodes;
+  pool_opts.actors = opts.async_actors > 0
+                         ? static_cast<std::size_t>(opts.async_actors)
+                         : width;
+  pool_opts.env_seed = opts.seed;
+  pool_opts.action_seed = cfg_.seed ^ 0xA3EC647659359ACDULL;
+  pool_opts.strict = opts.async_strict;
+  // Per-actor policy replicas, synced from the learner net at every
+  // episode start: one trajectory acts under one consistent set of
+  // weights (IMPALA-style). Decisions that straddle weight updates bias
+  // A2C badly enough to collapse learning — see the async cells in
+  // BENCH_train_quality.json for the measured cliff.
+  const std::size_t n_actors =
+      std::max<std::size_t>(1, std::min(pool_opts.actors, width));
+  std::vector<std::unique_ptr<PolicyNet>> replicas;
+  std::vector<std::vector<tensor::Var>> replica_params;
+  replicas.reserve(n_actors);
+  const std::vector<tensor::Var> learner_params = net_->parameters();
+  for (std::size_t s = 0; s < n_actors; ++s) {
+    replicas.push_back(std::make_unique<PolicyNet>(
+        net_->node_features(), net_->resource_features(), cfg_));
+    replica_params.push_back(replicas.back()->parameters());
+  }
+  pool_opts.on_episode_start = [&](std::size_t slot, int) {
+    // Shared lock: the copy must not observe a half-applied Adam step.
+    std::shared_lock lock(*net_mutex_);
+    auto& params = replica_params[slot];
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      params[p].mutable_value() = learner_params[p].value();
+    }
+  };
+  // Strict: exactly one batch claimable, so actors are parked while the
+  // learner updates. Free: one extra in-flight episode per actor keeps
+  // them busy through the update, bounding weight staleness at
+  // batch + actors episodes (unbounded run-ahead collapses learning).
+  const int window =
+      opts.async_strict
+          ? batch_size
+          : batch_size + static_cast<int>(pool_opts.actors);
+  pool_opts.window = window;
+  ActorPool pool(
+      envs, queue,
+      [&replicas](std::size_t slot, const Observation& obs, util::Rng& rng) {
+        // The replica is slot-private: no lock needed per decision.
+        tensor::NoGradGuard no_grad;
+        const PolicyNet::Output out = replicas[slot]->forward(obs);
+        ActorPool::Act act;
+        act.action = sample_categorical(out.probs.value(), rng);
+        act.log_prob = out.log_probs.value()[act.action];
+        act.value = out.value.value().item();
+        return act;
+      },
+      pool_opts);
+
+  using obs_clock = std::chrono::steady_clock;
+  std::vector<EpisodeRollout> batch;
+  int consumed = start_ep;
+  bool drained_ok = true;
+  while (consumed < opts.episodes) {
+    const int want = std::min(batch_size, opts.episodes - consumed);
+    readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+    const auto batch_t0 = t_obs ? obs_clock::now() : obs_clock::time_point{};
+    batch.clear();
+    EpisodeRollout rec;
+    while (static_cast<int>(batch.size()) < want) {
+      if (!queue.pop(rec)) {
+        drained_ok = false;
+        break;
+      }
+      batch.push_back(std::move(rec));
+    }
+    if (!drained_ok) break;
+    // Arrival order is thread-timing; episode order is not. Sorting
+    // makes the learner's view (and, in strict mode, the whole run) a
+    // function of episode indices alone.
+    std::sort(batch.begin(), batch.end(),
+              [](const EpisodeRollout& a, const EpisodeRollout& b) {
+                return a.index < b.index;
+              });
+    // Per-episode update cadence inside the drained batch: async_batch
+    // sets how many episodes move through the queue per learner pass
+    // (communication granularity), not how many share one gradient step
+    // — the cadence bugfix this PR exists for applies here too. Free
+    // mode's trajectories come from stale weights, so their updates get
+    // the truncated importance correction; strict mode's staleness is
+    // the same 0..batch-1 in-batch lag the lockstep path has, and stays
+    // uncorrected for exact parity with it.
+    const bool off_policy = !opts.async_strict;
+    std::vector<double> ep_loss(batch.size());
+    std::vector<double> ep_gnorm(batch.size());
+    for (std::size_t g = 0; g < batch.size(); ++g) {
+      entropy_scale_ =
+          cfg_.entropy_decay
+              ? 1.0 - static_cast<double>(consumed + static_cast<int>(g)) /
+                          static_cast<double>(std::max(1, opts.episodes))
+              : 1.0;
+      guarded(update_group(batch, g, g + 1, off_policy), 1);
+      ep_loss[g] = last_loss_;
+      ep_gnorm[g] = last_grad_norm_;
+    }
+
+    std::size_t batch_decisions = 0;
+    for (const EpisodeRollout& e : batch) batch_decisions += e.decisions;
+    for (const EpisodeRollout& e : batch) {
+      report.episode_rewards.push_back(e.reward_sum);
+      report.episode_makespans.push_back(e.makespan);
+      report.best_makespan = std::min(report.best_makespan, e.makespan);
+    }
+    if (t_obs != nullptr && t_obs->sink() != nullptr) {
+      const double wall_s =
+          std::chrono::duration<double>(obs_clock::now() - batch_t0).count();
+      const double rate =
+          wall_s > 0.0 ? static_cast<double>(batch_decisions) / wall_s : 0.0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const EpisodeRollout& e = batch[i];
+        readys::obs::JsonObject row;
+        row.field("row", "episode")
+            .field("trainer", "a2c")
+            .field("envs", static_cast<std::uint64_t>(width))
+            .field("async", true)
+            .field("episode", e.index + 1)
+            .field("reward", e.reward_sum)
+            .field("makespan_ms", e.makespan)
+            .field("loss", ep_loss[i])
+            .field("grad_norm", ep_gnorm[i])
+            .field("decisions", static_cast<std::uint64_t>(e.decisions))
+            .field("steps_per_s", rate)
+            .field("skipped_updates",
+                   static_cast<std::uint64_t>(report.skipped_updates))
+            .field("rollbacks", static_cast<std::uint64_t>(report.rollbacks));
+        t_obs->sink()->write(row.str());
+      }
+    }
+    const int prev = consumed;
+    consumed += static_cast<int>(batch.size());
+    // Un-gate the next window only after this update: in strict mode its
+    // actors then see exactly these weights; in free mode the slack in
+    // `window` is what keeps them busy while this thread was updating.
+    pool.release_below(consumed + window);
+    if (consumed / every != prev / every) {
+      last_good = nn::serialize_parameters(*net_);
+      if (!opts.checkpoint_dir.empty()) {
+        save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(consumed),
+                        ck_opts);
+      }
+    }
+    if (opts.verbose && consumed / log_every != prev / log_every) {
+      const std::size_t tail =
+          std::min<std::size_t>(report.episode_rewards.size(),
+                                static_cast<std::size_t>(log_every));
+      const double recent = util::mean(
+          {report.episode_rewards.data() + report.episode_rewards.size() -
+               tail,
+           tail});
+      util::log_info() << "episode " << consumed << "/" << opts.episodes
+                       << " reward(avg " << tail << ")=" << recent
+                       << " makespan=" << batch.back().makespan;
+    }
+  }
+  pool.join();
+  if (auto err = queue.error()) std::rethrow_exception(err);
+  if (!drained_ok) {
+    throw std::runtime_error(
+        "A2CTrainer: async episode queue closed before the run finished");
   }
   if (!opts.checkpoint_dir.empty()) {
     save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),

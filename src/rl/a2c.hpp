@@ -1,10 +1,12 @@
 #pragma once
 
 #include <limits>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "nn/optim.hpp"
+#include "rl/async.hpp"
 #include "rl/config.hpp"
 #include "rl/env.hpp"
 #include "rl/policy_net.hpp"
@@ -50,13 +52,21 @@ class A2CTrainer {
   TrainReport train(SchedulingEnv& env, const TrainOptions& opts);
 
   /// Vectorized training: rounds of up to envs.size() episodes run in
-  /// lockstep (episode ep + e on env e, seeded opts.seed + ep + e), each
-  /// round's forwards batched through PolicyNet::forward_batched and its
-  /// transitions folded into one update. With envs.size() == 1 this
-  /// reproduces the sequential train() bit-for-bit (same rewards,
-  /// makespans, and final weights under equal seeds). Requires
-  /// cfg.unroll == 0 — mid-episode unrolls would interleave gradients
-  /// across envs — and throws std::invalid_argument otherwise.
+  /// lockstep (episode ep + e on env e, seeded opts.seed + ep + e), the
+  /// rollout forwards batched through PolicyNet::forward_batched under
+  /// tensor::NoGradGuard, then the round's episodes re-forwarded and
+  /// updated in opts.updates_per_round groups (default: one update per
+  /// episode — the sequential cadence, so entropy decay, divergence
+  /// patience, and checkpoint-every all stay in episode units and mean
+  /// the same thing at any width). With envs.size() == 1 this delegates
+  /// to the sequential train() (bit-for-bit identical). With opts.async
+  /// it switches to the actor–learner mode: ActorPool threads run
+  /// episodes (reseeded per episode index) into an EpisodeQueue while
+  /// this thread drains opts.async_batch episodes per update; weights
+  /// are guarded by a shared_mutex (actors take shared forward locks,
+  /// the optimizer step the exclusive lock). Requires cfg.unroll == 0 —
+  /// mid-episode unrolls would interleave gradients across envs — and
+  /// throws std::invalid_argument otherwise.
   TrainReport train(VecEnv& envs, const TrainOptions& opts);
 
   /// Rolls out the current policy without learning; returns makespans.
@@ -78,6 +88,13 @@ class A2CTrainer {
     tensor::Var entropy;   // 1x1
     double reward = 0.0;
     bool done = false;
+    /// Truncated importance weight min(1, π(a|s)/μ(a|s)) applied to this
+    /// step's policy-gradient term; exactly 1.0 on every on-policy path
+    /// (x * 1.0 is an IEEE identity, so those paths stay bit-identical).
+    /// Only async free mode sets μ ≠ π: its actors act under weights up
+    /// to `window` updates stale, and uncorrected that bias collapses
+    /// learning (see BENCH_train_quality.json).
+    double is_weight = 1.0;
   };
 
   /// One gradient step from a batch of transitions; `bootstrap` is
@@ -99,8 +116,21 @@ class A2CTrainer {
   bool apply_loss(const tensor::Var& loss);
 
   /// Restores `last_good` into the net and resets the optimizer (Adam
-  /// moments may reference the divergent trajectory).
+  /// moments may reference the divergent trajectory). Takes the
+  /// exclusive net lock when training asynchronously.
   void rollback(const std::string& last_good);
+
+  /// Re-forwards episodes [begin, end) of `eps` through forward_batched
+  /// (each episode's steps contiguous, episode-major) and applies one
+  /// batched update over their transitions. Rewards are shaped here.
+  /// `off_policy` enables the truncated importance weights (requires the
+  /// rollouts to carry behavior log_probs — async actors record them).
+  bool update_group(const std::vector<EpisodeRollout>& eps,
+                    std::size_t begin, std::size_t end,
+                    bool off_policy = false);
+
+  /// The async actor–learner loop behind train(VecEnv&) + opts.async.
+  TrainReport train_async(VecEnv& envs, const TrainOptions& opts);
 
   PolicyNet* net_;
   AgentConfig cfg_;
@@ -112,6 +142,9 @@ class A2CTrainer {
   // first update; a skipped update records what was rejected).
   double last_loss_ = std::numeric_limits<double>::quiet_NaN();
   double last_grad_norm_ = std::numeric_limits<double>::quiet_NaN();
+  /// Set only inside train_async: actors hold it shared around forwards;
+  /// the optimizer step and rollback take it exclusively.
+  std::shared_mutex* net_mutex_ = nullptr;
 };
 
 }  // namespace readys::rl

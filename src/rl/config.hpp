@@ -92,7 +92,42 @@ struct TrainOptions {
   /// After this many consecutive divergent (NaN/Inf loss or gradient)
   /// updates, roll the weights back to the last good snapshot and reset
   /// the optimizer. Divergent updates are always skipped, never applied.
+  /// The multi-env train() overloads count this (and `checkpoint_every`)
+  /// in episode units, so the knobs mean the same thing at any num_envs.
   int divergence_patience = 3;
+
+  // --- multi-env update cadence (vec train() overloads only) ---
+  /// Gradient updates per round of `num_envs` lockstep episodes. 0 (the
+  /// default) performs one update per episode — the sequential cadence,
+  /// invariant to num_envs. Values >= 1 coarsen the cadence (1 restores
+  /// the old one-update-per-round behavior that collapsed learning; see
+  /// BENCH_train_quality.json). Clamped to the round width.
+  int updates_per_round = 0;
+
+  // --- async actor–learner (vec train() overloads only) ---
+  /// Decouple acting from learning: actor threads run whole episodes on
+  /// their own env (reseeded per episode from `seed` + episode index) and
+  /// feed a bounded queue; the learner thread drains `async_batch`
+  /// episodes at a time and updates the shared policy under a
+  /// shared_mutex (actors take shared forward locks, the optimizer step
+  /// takes the exclusive lock). Episode-indexed seeding keeps every
+  /// trajectory a pure function of (episode index, weights at act time).
+  bool async = false;
+  /// Actor thread count; 0 means one per env. Clamped to num_envs (each
+  /// actor owns one VecEnv slot exclusively).
+  int async_actors = 0;
+  /// Queue capacity in episodes; 0 means 2 * num_envs. Clamped up to
+  /// async_batch so the learner can always assemble a full batch.
+  int async_queue = 0;
+  /// Episodes the learner drains per update. 1 matches the sequential
+  /// cadence exactly (PPO instead always drains its rollout_episodes).
+  int async_batch = 1;
+  /// Deterministic test mode: actors only start episodes inside a
+  /// released window of `async_batch` indices, and the learner sorts each
+  /// drained batch by episode index before updating — so weights at act
+  /// time, batch composition, and batch order are all run-to-run
+  /// reproducible for any actor count (at the cost of barrier stalls).
+  bool async_strict = false;
 };
 
 }  // namespace readys::rl

@@ -9,7 +9,9 @@ namespace readys::rl {
 
 PolicyNet::PolicyNet(int node_features, int resource_features,
                      const AgentConfig& cfg)
-    : node_features_(node_features), hidden_(cfg.hidden) {
+    : node_features_(node_features),
+      resource_features_(resource_features),
+      hidden_(cfg.hidden) {
   if (cfg.gcn_layers < 1) {
     throw std::invalid_argument("PolicyNet: need >= 1 GCN layer");
   }

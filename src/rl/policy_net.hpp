@@ -46,6 +46,7 @@ class PolicyNet : public nn::Module {
       const std::vector<const Observation*>& batch) const;
 
   int node_features() const noexcept { return node_features_; }
+  int resource_features() const noexcept { return resource_features_; }
   int hidden() const noexcept { return hidden_; }
   int num_gcn_layers() const noexcept {
     return static_cast<int>(gcn_.size());
@@ -56,6 +57,7 @@ class PolicyNet : public nn::Module {
   Var embed(const Observation& obs) const;
 
   int node_features_;
+  int resource_features_;
   int hidden_;
   bool critic_sees_resources_ = true;
   std::vector<std::unique_ptr<nn::GCNLayer>> gcn_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "nn/serialize.hpp"
 #include "obs/obs.hpp"
@@ -32,6 +33,10 @@ std::size_t PpoTrainer::sample(const tensor::Tensor& probs) {
 }
 
 void PpoTrainer::rollback(const std::string& last_good) {
+  std::unique_lock<std::shared_mutex> lock;
+  if (net_mutex_ != nullptr) {
+    lock = std::unique_lock(*net_mutex_);
+  }
   nn::deserialize_parameters(*net_, last_good);
   // Fresh optimizer: the moment estimates were built on the divergent
   // trajectory and would steer the restored weights right back into it.
@@ -44,6 +49,17 @@ void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
   readys::obs::Telemetry* t_obs = readys::obs::telemetry();
   readys::obs::Span round_span("rl/ppo_optimize", "train",
                                t_obs ? &t_obs->update_us : nullptr);
+  // Async mode: actors forward-read the weights under shared locks, so
+  // only the step (and rollback) — the value writers — take the
+  // exclusive lock; backward/clipping touch gradients, not values.
+  const auto locked_step = [&] {
+    if (net_mutex_ != nullptr) {
+      std::unique_lock lock(*net_mutex_);
+      optimizer_.step();
+    } else {
+      optimizer_.step();
+    }
+  };
   for (int epoch = 0; epoch < ppo_.epochs; ++epoch) {
     rng_.shuffle(steps);
     for (std::size_t begin = 0; begin < steps.size();
@@ -130,7 +146,7 @@ void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
           continue;
         }
         divergent_streak = 0;
-        optimizer_.step();
+        locked_step();
         if (t_obs) t_obs->optim_updates.add();
         continue;
       }
@@ -195,7 +211,7 @@ void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
         continue;
       }
       divergent_streak = 0;
-      optimizer_.step();
+      locked_step();
       if (t_obs) t_obs->optim_updates.add();
     }
   }
@@ -330,13 +346,18 @@ TrainReport PpoTrainer::train(SchedulingEnv& env, const TrainOptions& opts) {
 }
 
 TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
+  if (opts.async) return train_async(envs, opts);
+  if (envs.size() == 1) {
+    // The num_envs == 1 contract is bit-exactness with the sequential
+    // trainer; delegating is the strongest possible form of it.
+    return train(envs.env(0), opts);
+  }
   TrainReport report;
   report.best_makespan = std::numeric_limits<double>::infinity();
   const std::size_t width = envs.size();
-  // Batched minibatch re-forwards regroup the gradient accumulation, so
-  // only enable them when the run is genuinely multi-env; the single-env
-  // vec path then matches the sequential trainer bit-for-bit.
-  const bool batched = width > 1;
+  // Batched minibatch re-forwards regroup the gradient accumulation;
+  // width 1 delegated above, so this path is always genuinely multi-env.
+  const bool batched = true;
 
   int episode = 0;
   int divergent_streak = 0;
@@ -396,29 +417,33 @@ TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
         ep_rewards[static_cast<std::size_t>(e)] = 0.0;
         active.push_back(static_cast<std::size_t>(e));
       }
-      while (!active.empty()) {
-        const auto obs_batch = envs.observations(active);
-        const auto outs = net_->forward_batched(obs_batch);
-        std::vector<std::size_t> acts(active.size());
-        for (std::size_t k = 0; k < active.size(); ++k) {
-          Step s;
-          s.obs = *obs_batch[k];
-          s.action = sample(outs[k].probs.value());
-          s.old_log_prob = outs[k].log_probs.value()[s.action];
-          s.old_value = outs[k].value.value().item();
-          acts[k] = s.action;
-          ep_steps[active[k]].push_back(std::move(s));
+      {
+        // Collection is inference: record values only, skip the graph.
+        tensor::NoGradGuard no_grad;
+        while (!active.empty()) {
+          const auto obs_batch = envs.observations(active);
+          const auto outs = net_->forward_batched(obs_batch);
+          std::vector<std::size_t> acts(active.size());
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            Step s;
+            s.obs = *obs_batch[k];
+            s.action = sample(outs[k].probs.value());
+            s.old_log_prob = outs[k].log_probs.value()[s.action];
+            s.old_value = outs[k].value.value().item();
+            acts[k] = s.action;
+            ep_steps[active[k]].push_back(std::move(s));
+          }
+          const auto results = envs.step(active, acts);
+          std::vector<std::size_t> next;
+          next.reserve(active.size());
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            // Overwritten every step, so the terminal reward survives —
+            // the same contract as the sequential collection loop.
+            ep_rewards[active[k]] = shape_reward(cfg_, results[k].reward);
+            if (!results[k].done) next.push_back(active[k]);
+          }
+          active = std::move(next);
         }
-        const auto results = envs.step(active, acts);
-        std::vector<std::size_t> next;
-        next.reserve(active.size());
-        for (std::size_t k = 0; k < active.size(); ++k) {
-          // Overwritten every step, so the terminal reward survives —
-          // the same contract as the sequential collection loop.
-          ep_rewards[active[k]] = shape_reward(cfg_, results[k].reward);
-          if (!results[k].done) next.push_back(active[k]);
-        }
-        active = std::move(next);
       }
       const double wave_wall_s =
           t_obs ? std::chrono::duration<double>(obs_clock::now() - wave_t0)
@@ -451,8 +476,11 @@ TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
               .field("episode", episode + e + 1)
               .field("reward", reward)
               .field("makespan_ms", env.makespan())
-              .field("loss", last_loss_)
-              .field("grad_norm", last_grad_norm_)
+              // These rows precede the round's optimize, so no update
+              // covers them yet; null (non-finite renders as null)
+              // instead of fanning out a stale minibatch loss.
+              .field("loss", std::numeric_limits<double>::quiet_NaN())
+              .field("grad_norm", std::numeric_limits<double>::quiet_NaN())
               .field("decisions", static_cast<std::uint64_t>(
                                       env.decisions_this_episode()))
               .field("steps_per_s",
@@ -483,6 +511,239 @@ TrainReport PpoTrainer::train(VecEnv& envs, const TrainOptions& opts) {
       }
       since_checkpoint = 0;
     }
+  }
+  if (!opts.checkpoint_dir.empty()) {
+    save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),
+                    ck_opts);
+  }
+  if (!report.episode_rewards.empty()) {
+    const std::size_t tail =
+        std::max<std::size_t>(1, report.episode_rewards.size() / 5);
+    report.final_mean_reward = util::mean(
+        {report.episode_rewards.data() + report.episode_rewards.size() - tail,
+         tail});
+  }
+  return report;
+}
+
+TrainReport PpoTrainer::train_async(VecEnv& envs, const TrainOptions& opts) {
+  TrainReport report;
+  report.best_makespan = std::numeric_limits<double>::infinity();
+  const std::size_t width = envs.size();
+
+  int episode = 0;
+  int divergent_streak = 0;
+  if (opts.resume && !opts.checkpoint_dir.empty()) {
+    CheckpointData ck;
+    if (load_checkpoint(opts.checkpoint_dir, *net_, ck)) {
+      apply_checkpoint_to_trainer(ck, "ppo", opts.seed, width, optimizer_,
+                                  rng_);
+      episode = std::min(ck.progress.episode, opts.episodes);
+      report.updates = ck.progress.updates;
+      report.skipped_updates = ck.progress.skipped_updates;
+      report.rollbacks = ck.progress.rollbacks;
+      divergent_streak = ck.progress.divergent_streak;
+      if (opts.verbose) {
+        util::log_info() << "resumed from " << opts.checkpoint_dir
+                         << " at episode " << ck.progress.episode;
+      }
+    }
+  }
+  report.start_episode = episode;
+
+  std::string last_good = nn::serialize_parameters(*net_);
+  const int patience = std::max(1, opts.divergence_patience);
+  const int every = std::max(1, opts.checkpoint_every);
+  const CheckpointOptions ck_opts{opts.checkpoint_retain};
+  const auto make_ckpt = [&](int ep_done) {
+    CheckpointData d;
+    d.progress = {ep_done, report.updates, report.skipped_updates,
+                  report.rollbacks, divergent_streak};
+    d.trainer = "ppo";
+    d.env_seed = opts.seed;
+    d.num_envs = width;
+    d.rngs = {{"sample", rng_.state()}};
+    d.optimizer = optimizer_.state_rows();
+    return d;
+  };
+
+  // PPO's rollout round is already its learner batch: drain exactly
+  // rollout_episodes per optimize (async_batch is ignored), with the
+  // strict-mode window matching.
+  const int batch_size = std::max(1, ppo_.rollout_episodes);
+
+  std::shared_mutex net_mutex;
+  struct MutexGuard {
+    PpoTrainer* t;
+    ~MutexGuard() { t->net_mutex_ = nullptr; }
+  } mutex_guard{this};
+  net_mutex_ = &net_mutex;
+
+  // Declaration order is the shutdown order in reverse: the pool's
+  // destructor joins the actor threads before the queue or the mutex
+  // they use can die.
+  EpisodeQueue queue(std::max<std::size_t>(
+      opts.async_queue > 0 ? static_cast<std::size_t>(opts.async_queue)
+                           : 2 * width,
+      static_cast<std::size_t>(batch_size)));
+  ActorPool::Options pool_opts;
+  pool_opts.first_episode = episode;
+  pool_opts.episodes = opts.episodes;
+  pool_opts.actors = opts.async_actors > 0
+                         ? static_cast<std::size_t>(opts.async_actors)
+                         : width;
+  pool_opts.env_seed = opts.seed;
+  pool_opts.action_seed = cfg_.seed ^ 0xC2B2AE3D27D4EB4FULL;
+  pool_opts.strict = opts.async_strict;
+  // Strict: exactly one rollout round claimable, so actors are parked
+  // while the learner optimizes. Free: one extra in-flight episode per
+  // actor bounds weight staleness at round + actors episodes.
+  const int window =
+      opts.async_strict
+          ? batch_size
+          : batch_size + static_cast<int>(pool_opts.actors);
+  pool_opts.window = window;
+  // Per-actor policy replicas, synced from the learner net at every
+  // episode start, so a trajectory's old_log_probs all come from one
+  // consistent behavior policy (PPO's ratio is meaningless otherwise).
+  const std::size_t n_actors =
+      std::max<std::size_t>(1, std::min(pool_opts.actors, width));
+  std::vector<std::unique_ptr<PolicyNet>> replicas;
+  std::vector<std::vector<tensor::Var>> replica_params;
+  replicas.reserve(n_actors);
+  const std::vector<tensor::Var> learner_params = net_->parameters();
+  for (std::size_t s = 0; s < n_actors; ++s) {
+    replicas.push_back(std::make_unique<PolicyNet>(
+        net_->node_features(), net_->resource_features(), cfg_));
+    replica_params.push_back(replicas.back()->parameters());
+  }
+  pool_opts.on_episode_start = [&](std::size_t slot, int) {
+    // Shared lock: the copy must not observe a half-applied Adam step.
+    std::shared_lock lock(*net_mutex_);
+    auto& params = replica_params[slot];
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      params[p].mutable_value() = learner_params[p].value();
+    }
+  };
+  ActorPool pool(
+      envs, queue,
+      [&replicas](std::size_t slot, const Observation& obs, util::Rng& rng) {
+        // The replica is slot-private: no lock needed per decision.
+        tensor::NoGradGuard no_grad;
+        const PolicyNet::Output out = replicas[slot]->forward(obs);
+        ActorPool::Act act;
+        act.action = sample_categorical(out.probs.value(), rng);
+        act.log_prob = out.log_probs.value()[act.action];
+        act.value = out.value.value().item();
+        return act;
+      },
+      pool_opts);
+
+  using obs_clock = std::chrono::steady_clock;
+  std::vector<EpisodeRollout> batch;
+  int since_checkpoint = 0;
+  bool drained_ok = true;
+  while (episode < opts.episodes) {
+    const int want = std::min(batch_size, opts.episodes - episode);
+    readys::obs::Telemetry* t_obs = readys::obs::telemetry();
+    const auto batch_t0 = t_obs ? obs_clock::now() : obs_clock::time_point{};
+    batch.clear();
+    EpisodeRollout rec;
+    while (static_cast<int>(batch.size()) < want) {
+      if (!queue.pop(rec)) {
+        drained_ok = false;
+        break;
+      }
+      batch.push_back(std::move(rec));
+    }
+    if (!drained_ok) break;
+    // Arrival order is thread-timing; episode order is not. Sorting
+    // makes the learner's view (and, in strict mode, the whole run —
+    // including rng_'s minibatch shuffles) a function of episode
+    // indices alone.
+    std::sort(batch.begin(), batch.end(),
+              [](const EpisodeRollout& a, const EpisodeRollout& b) {
+                return a.index < b.index;
+              });
+
+    std::vector<Step> steps;
+    std::size_t batch_decisions = 0;
+    for (EpisodeRollout& e : batch) batch_decisions += e.decisions;
+    const double batch_wall_s =
+        t_obs
+            ? std::chrono::duration<double>(obs_clock::now() - batch_t0)
+                  .count()
+            : 0.0;
+    for (EpisodeRollout& e : batch) {
+      const std::size_t n = e.observations.size();
+      const double reward =
+          n > 0 ? shape_reward(cfg_, e.rewards.back()) : 0.0;
+      // Monte-Carlo returns: terminal-only reward discounted backwards.
+      std::vector<double> rets(n);
+      double running = 0.0;
+      for (std::size_t i = n; i-- > 0;) {
+        running = (i + 1 == n) ? reward : cfg_.gamma * running;
+        rets[i] = running;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        Step s;
+        s.obs = std::move(e.observations[i]);
+        s.action = e.actions[i];
+        s.old_log_prob = e.log_probs[i];
+        s.old_value = e.values[i];
+        s.ret = rets[i];
+        steps.push_back(std::move(s));
+      }
+      report.episode_rewards.push_back(reward);
+      report.episode_makespans.push_back(e.makespan);
+      report.best_makespan = std::min(report.best_makespan, e.makespan);
+      if (t_obs != nullptr && t_obs->sink() != nullptr) {
+        readys::obs::JsonObject row;
+        row.field("row", "episode")
+            .field("trainer", "ppo")
+            .field("envs", static_cast<std::uint64_t>(width))
+            .field("async", true)
+            .field("episode", e.index + 1)
+            .field("reward", reward)
+            .field("makespan_ms", e.makespan)
+            .field("loss", std::numeric_limits<double>::quiet_NaN())
+            .field("grad_norm", std::numeric_limits<double>::quiet_NaN())
+            .field("decisions", static_cast<std::uint64_t>(e.decisions))
+            .field("steps_per_s",
+                   batch_wall_s > 0.0
+                       ? static_cast<double>(batch_decisions) / batch_wall_s
+                       : 0.0)
+            .field("skipped_updates",
+                   static_cast<std::uint64_t>(report.skipped_updates))
+            .field("rollbacks",
+                   static_cast<std::uint64_t>(report.rollbacks));
+        t_obs->sink()->write(row.str());
+      }
+    }
+    optimize(steps, report, last_good, patience, divergent_streak,
+             /*batched=*/true);
+    ++report.updates;
+    const int prev = episode;
+    episode += static_cast<int>(batch.size());
+    // Un-gate the next window only after this optimize: in strict mode
+    // its actors then see exactly these weights; in free mode the slack
+    // in `window` kept them busy while this thread was optimizing.
+    pool.release_below(episode + window);
+    since_checkpoint += episode - prev;
+    if (since_checkpoint >= every) {
+      last_good = nn::serialize_parameters(*net_);
+      if (!opts.checkpoint_dir.empty()) {
+        save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(episode),
+                        ck_opts);
+      }
+      since_checkpoint = 0;
+    }
+  }
+  pool.join();
+  if (auto err = queue.error()) std::rethrow_exception(err);
+  if (!drained_ok) {
+    throw std::runtime_error(
+        "PpoTrainer: async episode queue closed before the run finished");
   }
   if (!opts.checkpoint_dir.empty()) {
     save_checkpoint(opts.checkpoint_dir, *net_, make_ckpt(opts.episodes),

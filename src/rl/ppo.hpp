@@ -29,11 +29,16 @@ class PpoTrainer {
   /// Vectorized training: each rollout round collects its episodes in
   /// waves of up to envs.size() lockstep episodes (episode i runs with
   /// seed opts.seed + i, as in the sequential path), batching the
-  /// collection forwards through PolicyNet::forward_batched; with more
-  /// than one env the optimization epochs batch their minibatch forwards
-  /// too. With envs.size() == 1 this reproduces the sequential train()
-  /// bit-for-bit (same rewards, makespans, and final weights under equal
-  /// seeds).
+  /// collection forwards through PolicyNet::forward_batched under
+  /// tensor::NoGradGuard; with more than one env the optimization epochs
+  /// batch their minibatch forwards too. PPO's update cadence is already
+  /// width-invariant (one optimize round per rollout_episodes), so only
+  /// collection parallelizes. With envs.size() == 1 this delegates to
+  /// the sequential train() (bit-for-bit identical). With opts.async it
+  /// switches to the actor–learner mode: ActorPool threads run episodes
+  /// into an EpisodeQueue and the learner drains rollout_episodes per
+  /// optimize round (opts.async_batch is ignored — PPO's round IS its
+  /// batch), with the same strict-mode determinism contract as A2C.
   TrainReport train(VecEnv& envs, const TrainOptions& opts);
 
   /// Greedy / sampled evaluation (same semantics as A2CTrainer).
@@ -61,8 +66,12 @@ class PpoTrainer {
                 const std::string& last_good, int patience,
                 int& divergent_streak, bool batched = false);
 
-  /// Restores `last_good` into the net and resets the optimizer.
+  /// Restores `last_good` into the net and resets the optimizer (under
+  /// the exclusive net lock when training asynchronously).
   void rollback(const std::string& last_good);
+
+  /// The async actor–learner loop behind train(VecEnv&) + opts.async.
+  TrainReport train_async(VecEnv& envs, const TrainOptions& opts);
 
   std::size_t sample(const tensor::Tensor& probs);
 
@@ -75,6 +84,9 @@ class PpoTrainer {
   // first update; a skipped update records what was rejected).
   double last_loss_ = std::numeric_limits<double>::quiet_NaN();
   double last_grad_norm_ = std::numeric_limits<double>::quiet_NaN();
+  /// Set only inside train_async: actors hold it shared around forwards;
+  /// the optimizer step and rollback take it exclusively.
+  std::shared_mutex* net_mutex_ = nullptr;
 };
 
 }  // namespace readys::rl

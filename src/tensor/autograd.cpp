@@ -16,6 +16,18 @@ Tensor& Node::ensure_grad() {
 
 }  // namespace detail
 
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool grad_enabled() noexcept { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() noexcept : prev_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
 Var::Var(Tensor value, bool requires_grad)
     : node_(std::make_shared<detail::Node>()) {
   node_->value = std::move(value);
@@ -35,6 +47,7 @@ void Var::zero_grad() noexcept {
 Var Var::make_op(Tensor value, std::vector<Var> parents,
                  std::function<void(detail::Node&)> backward_fn) {
   Var out(std::move(value));
+  if (!g_grad_enabled) return out;  // inference mode: plain leaf
   bool any_grad = false;
   out.node_->parents.reserve(parents.size());
   for (auto& p : parents) {

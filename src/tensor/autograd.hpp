@@ -24,6 +24,30 @@ struct Node {
 
 }  // namespace detail
 
+/// Whether ops on this thread record the computation graph. Defaults to
+/// true; toggled by NoGradGuard. When false, Var::make_op returns a plain
+/// leaf holding the forward value — no parents, no backward closure — so
+/// inference-only rollouts pay neither the allocation nor the retention
+/// cost of the graph.
+bool grad_enabled() noexcept;
+
+/// RAII scope that disables graph recording on the current thread.
+///
+/// Forward values are bit-identical with and without the guard (the same
+/// arithmetic runs either way); only bookkeeping is skipped. Nestable;
+/// restores the previous state on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard() noexcept;
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Handle to an autograd variable (shared ownership of the graph node).
 ///
 /// Vars are created from Tensors (leaves, optionally trainable) or by the

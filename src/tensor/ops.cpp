@@ -50,6 +50,7 @@ Var unary_elementwise(const Var& a, Fwd fwd, Bwd dydx) {
   Tensor out(a.rows(), a.cols());
   const Tensor& x = a.value();
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = fwd(x[i]);
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa, dydx](Node& self) {
     if (!pa->requires_grad) return;
@@ -66,35 +67,52 @@ Var unary_elementwise(const Var& a, Fwd fwd, Bwd dydx) {
 Var matmul(const Var& a, const Var& b) {
   require(a.cols() == b.rows(), "matmul: inner dimension mismatch");
   Tensor out = matmul_value(a.value(), b.value());
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   auto pb = b.node();
   return Var::make_op(std::move(out), {a, b}, [pa, pb](Node& self) {
     const Tensor& g = self.grad;
     if (pa->requires_grad) {
-      // dA = G * B^T
+      // dA = G * B^T, with B^T materialized so the hot loop streams
+      // contiguous rows into independent accumulators — the form the
+      // compiler can vectorize without reassociating any reduction (each
+      // dA element still gathers its terms in ascending j).
       Tensor& ga = pa->ensure_grad();
       const Tensor& bv = pb->value;
+      const std::size_t K = bv.rows();
+      const std::size_t N = bv.cols();
+      Tensor bt(N, K);
+      for (std::size_t k = 0; k < K; ++k) {
+        const double* brow = bv.data() + k * N;
+        for (std::size_t j = 0; j < N; ++j) bt.at(j, k) = brow[j];
+      }
       for (std::size_t i = 0; i < ga.rows(); ++i) {
-        for (std::size_t k = 0; k < ga.cols(); ++k) {
-          double acc = 0.0;
-          for (std::size_t j = 0; j < bv.cols(); ++j) {
-            acc += g.at(i, j) * bv.at(k, j);
-          }
-          ga.at(i, k) += acc;
+        double* garow = ga.data() + i * K;
+        const double* grow = g.data() + i * N;
+        for (std::size_t j = 0; j < N; ++j) {
+          const double gij = grow[j];
+          if (gij == 0.0) continue;
+          const double* btrow = bt.data() + j * K;
+          for (std::size_t k = 0; k < K; ++k) garow[k] += gij * btrow[k];
         }
       }
     }
     if (pb->requires_grad) {
-      // dB = A^T * G
+      // dB = A^T * G in the same scattered i-k-j form (per-element terms
+      // still accumulate in ascending i; A's ReLU zeros skip whole rows
+      // of work, as in matmul_value).
       Tensor& gb = pb->ensure_grad();
       const Tensor& av = pa->value;
-      for (std::size_t k = 0; k < gb.rows(); ++k) {
-        for (std::size_t j = 0; j < gb.cols(); ++j) {
-          double acc = 0.0;
-          for (std::size_t i = 0; i < av.rows(); ++i) {
-            acc += av.at(i, k) * g.at(i, j);
-          }
-          gb.at(k, j) += acc;
+      const std::size_t K = av.cols();
+      const std::size_t N = g.cols();
+      for (std::size_t i = 0; i < av.rows(); ++i) {
+        const double* arow = av.data() + i * K;
+        const double* grow = g.data() + i * N;
+        for (std::size_t k = 0; k < K; ++k) {
+          const double aik = arow[k];
+          if (aik == 0.0) continue;
+          double* gbrow = gb.data() + k * N;
+          for (std::size_t j = 0; j < N; ++j) gbrow[j] += aik * grow[j];
         }
       }
     }
@@ -118,6 +136,7 @@ Var add(const Var& a, const Var& b) {
       for (std::size_t i = 0; i < out.size(); ++i) out[i] += bv[0];
       break;
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   auto pb = b.node();
   return Var::make_op(std::move(out), {a, b}, [pa, pb, kind](Node& self) {
@@ -145,6 +164,7 @@ Var sub(const Var& a, const Var& b) {
       for (std::size_t i = 0; i < out.size(); ++i) out[i] -= bv[0];
       break;
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   auto pb = b.node();
   return Var::make_op(std::move(out), {a, b}, [pa, pb, kind](Node& self) {
@@ -167,6 +187,7 @@ Var mul(const Var& a, const Var& b) {
   } else {
     out.scale_(bv[0]);
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   auto pb = b.node();
   return Var::make_op(std::move(out), {a, b}, [pa, pb, kind](Node& self) {
@@ -201,6 +222,7 @@ Var mul(const Var& a, const Var& b) {
 Var scale(const Var& a, double s) {
   Tensor out = a.value();
   out.scale_(s);
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa, s](Node& self) {
     if (!pa->requires_grad) return;
@@ -213,6 +235,7 @@ Var scale(const Var& a, double s) {
 Var add_scalar(const Var& a, double s) {
   Tensor out = a.value();
   for (std::size_t i = 0; i < out.size(); ++i) out[i] += s;
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a},
                       [pa](Node& self) { accumulate(pa, self.grad); });
@@ -265,6 +288,7 @@ Var square(const Var& a) {
 Var sum_all(const Var& a) {
   Tensor out(1, 1);
   out[0] = a.value().sum();
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa](Node& self) {
     if (!pa->requires_grad) return;
@@ -285,6 +309,7 @@ Var sum_rows(const Var& a) {
   for (std::size_t r = 0; r < x.rows(); ++r) {
     for (std::size_t c = 0; c < x.cols(); ++c) out[c] += x.at(r, c);
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa](Node& self) {
     if (!pa->requires_grad) return;
@@ -315,6 +340,7 @@ Var max_rows(const Var& a) {
     }
     out[c] = best;
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(
       std::move(out), {a}, [pa, argmax = std::move(argmax)](Node& self) {
@@ -337,6 +363,7 @@ Var concat_cols(const Var& a, const Var& b) {
       out.at(r, av.cols() + c) = bv.at(r, c);
     }
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   auto pb = b.node();
   const std::size_t ac = av.cols();
@@ -381,6 +408,7 @@ Var concat_rows(const std::vector<Var>& parts) {
     }
     r0 += v.rows();
   }
+  if (!grad_enabled()) return Var(std::move(out));
   std::vector<std::shared_ptr<Node>> pnodes;
   pnodes.reserve(parts.size());
   for (const auto& p : parts) pnodes.push_back(p.node());
@@ -409,6 +437,7 @@ Var slice_rows(const Var& a, std::size_t begin, std::size_t count) {
       out.at(r, c) = x.at(begin + r, c);
     }
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa, begin](Node& self) {
     if (!pa->requires_grad) return;
@@ -432,6 +461,7 @@ Var gather_rows(const Var& a, const std::vector<std::size_t>& indices) {
       out.at(r, c) = x.at(indices[r], c);
     }
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa, indices](Node& self) {
     if (!pa->requires_grad) return;
@@ -456,6 +486,7 @@ Var softmax_row(const Var& a) {
     z += out[i];
   }
   for (std::size_t i = 0; i < x.size(); ++i) out[i] /= z;
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa](Node& self) {
     if (!pa->requires_grad) return;
@@ -479,6 +510,7 @@ Var log_softmax_row(const Var& a) {
   for (std::size_t i = 0; i < x.size(); ++i) z += std::exp(x[i] - mx);
   const double logz = mx + std::log(z);
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - logz;
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa](Node& self) {
     if (!pa->requires_grad) return;
@@ -497,6 +529,7 @@ Var reshape(const Var& a, std::size_t rows, std::size_t cols) {
   Tensor out(rows, cols);
   const Tensor& x = a.value();
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa](Node& self) {
     if (!pa->requires_grad) return;
@@ -509,6 +542,7 @@ Var pick(const Var& a, std::size_t r, std::size_t c) {
   require(r < a.rows() && c < a.cols(), "pick: index out of range");
   Tensor out(1, 1);
   out[0] = a.value().at(r, c);
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(std::move(out), {a}, [pa, r, c](Node& self) {
     if (!pa->requires_grad) return;
@@ -570,22 +604,27 @@ Var block_diag_matmul(
     }
     r0 += n;
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto ph = h.node();
   return Var::make_op(std::move(out), {h}, [ph, blocks](Node& self) {
     if (!ph->requires_grad) return;
-    // dH = block^T * G per segment — matmul's dB kernel with A = block.
+    // dH = block^T * G per segment — matmul's dB kernel with A = block,
+    // in the scattered form whose inner loop streams G's row into
+    // independent accumulators (vectorizes; ascending-i accumulation per
+    // element; adjacency zeros skip whole rows of work).
     Tensor& gh = ph->ensure_grad();
     const Tensor& g = self.grad;
+    const std::size_t cols = g.cols();
     std::size_t r0 = 0;
     for (const Tensor& b : *blocks) {
       const std::size_t n = b.rows();
-      for (std::size_t k = 0; k < n; ++k) {
-        for (std::size_t j = 0; j < g.cols(); ++j) {
-          double acc = 0.0;
-          for (std::size_t i = 0; i < n; ++i) {
-            acc += b.at(i, k) * g.at(r0 + i, j);
-          }
-          gh.at(r0 + k, j) += acc;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* grow = g.data() + (r0 + i) * cols;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double bik = b.at(i, k);
+          if (bik == 0.0) continue;
+          double* ghrow = gh.data() + (r0 + k) * cols;
+          for (std::size_t j = 0; j < cols; ++j) ghrow[j] += bik * grow[j];
         }
       }
       r0 += n;
@@ -610,6 +649,7 @@ Var segment_mean_rows(const Var& a,
     }
     for (std::size_t c = 0; c < x.cols(); ++c) out.at(s, c) *= inv[s];
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(
       std::move(out), {a},
@@ -648,6 +688,7 @@ Var segment_max_rows(const Var& a,
       argmax[s * x.cols() + c] = arg;
     }
   }
+  if (!grad_enabled()) return Var(std::move(out));
   auto pa = a.node();
   return Var::make_op(
       std::move(out), {a},

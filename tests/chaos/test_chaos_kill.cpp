@@ -3,7 +3,8 @@
 // checkpoint boundaries and mid-write instants, resume from the
 // surviving files, and require the final weights to be bit-identical to
 // an uninterrupted reference run. Runs the full matrix the checkpoint
-// code serves: {A2C, PPO} x {sequential, num_envs = 4}.
+// code serves: {A2C, PPO} x {sequential, num_envs = 4}, plus the
+// deterministic async actor–learner mode (A2C, --async-strict).
 //
 // The child never touches gtest: it installs the checkpoint write hook,
 // trains until the hook raises SIGKILL, and _exit(0)s if the kill point
@@ -78,13 +79,22 @@ rl::TrainOptions train_options(const std::string& dir, bool resume) {
 /// final serialized weights. Fresh net and trainer each call, exactly
 /// like a process restart.
 std::string run_training(Trainer trainer, std::size_t num_envs,
-                         const std::string& dir, bool resume) {
+                         const std::string& dir, bool resume,
+                         bool async_strict = false) {
   const auto graph = rd::cholesky_graph(3);
   const auto platform = rs::Platform::hybrid(1, 1);
   const auto costs = rs::CostModel::cholesky();
   const auto cfg = tiny_config();
   const rl::SchedulingEnv::Config env_cfg{0.0, cfg.window, 1};
-  const auto opts = train_options(dir, resume);
+  auto opts = train_options(dir, resume);
+  if (async_strict) {
+    // Deterministic actor–learner mode: a killed run must resume onto
+    // the reference trajectory even with real actor threads in play.
+    opts.async = true;
+    opts.async_strict = true;
+    opts.async_actors = 2;
+    opts.async_batch = 1;
+  }
 
   rl::PolicyNet net(rl::StateEncoder::node_feature_width(4),
                     rl::StateEncoder::kResourceFeatureWidth, cfg);
@@ -135,15 +145,17 @@ std::vector<KillSpec> kill_specs(std::uint64_t seed) {
 }
 
 void run_chaos_matrix(Trainer trainer, std::size_t num_envs,
-                      const std::string& tag) {
+                      const std::string& tag, bool async_strict = false) {
   // Uninterrupted reference, checkpointing enabled so the code path
   // matches the victim's exactly.
   const auto ref_dir = scratch_dir("readys-chaos-ref-" + tag);
-  const std::string reference = run_training(trainer, num_envs, ref_dir, false);
+  const std::string reference =
+      run_training(trainer, num_envs, ref_dir, false, async_strict);
   fs::remove_all(ref_dir);
 
   const std::uint64_t matrix_seed =
-      (trainer == Trainer::kA2c ? 100 : 200) + num_envs;
+      (trainer == Trainer::kA2c ? 100 : 200) + num_envs +
+      (async_strict ? 50 : 0);
   for (const KillSpec& spec : kill_specs(matrix_seed)) {
     SCOPED_TRACE(tag + ": kill at checkpoint " + std::to_string(spec.index) +
                  " phase " + spec.phase);
@@ -161,7 +173,7 @@ void run_chaos_matrix(Trainer trainer, std::size_t num_envs,
               ::raise(SIGKILL);
             }
           });
-      run_training(trainer, num_envs, dir, false);
+      run_training(trainer, num_envs, dir, false, async_strict);
       ::_exit(0);  // strike never fired — parent flags this as a failure
     }
 
@@ -173,7 +185,8 @@ void run_chaos_matrix(Trainer trainer, std::size_t num_envs,
 
     // Restart: a fresh trainer resumes from whatever files survived and
     // must land on the reference weights bit for bit.
-    const std::string resumed = run_training(trainer, num_envs, dir, true);
+    const std::string resumed =
+        run_training(trainer, num_envs, dir, true, async_strict);
     EXPECT_EQ(resumed, reference);
     fs::remove_all(dir);
   }
@@ -187,6 +200,10 @@ TEST(ChaosKill, A2cSequentialSurvivesKillAndResumesBitIdentical) {
 
 TEST(ChaosKill, A2cVectorizedSurvivesKillAndResumesBitIdentical) {
   run_chaos_matrix(Trainer::kA2c, 4, "a2c-vec4");
+}
+
+TEST(ChaosKill, A2cAsyncStrictSurvivesKillAndResumesBitIdentical) {
+  run_chaos_matrix(Trainer::kA2c, 4, "a2c-async4", /*async_strict=*/true);
 }
 
 TEST(ChaosKill, PpoSequentialSurvivesKillAndResumesBitIdentical) {

@@ -352,6 +352,151 @@ TEST(VecEnv, FourEnvTrainingIsReplayDeterministic) {
 }
 
 // ---------------------------------------------------------------------
+// Update cadence: the multi-env reward-collapse regression (the vec
+// trainer used to apply ONE update per width-N round, an 8x cut in
+// gradient steps at N = 8 that tanked final reward from -0.49 to -6.5;
+// see BENCH_train_quality.json)
+// ---------------------------------------------------------------------
+
+namespace {
+
+rr::TrainReport train_a2c_vec(std::size_t width, int episodes,
+                              int updates_per_round) {
+  const auto graph = rd::cholesky_graph(4);
+  const auto platform = rs::Platform::hybrid(2, 2);
+  const auto costs = rs::CostModel::cholesky();
+  const auto cfg = tiny_config();
+  const rr::SchedulingEnv::Config env_cfg{0.1, cfg.window, 9};
+  rr::TrainOptions opts;
+  opts.episodes = episodes;
+  opts.sigma = 0.1;
+  opts.seed = 21;
+  opts.updates_per_round = updates_per_round;
+  rr::PolicyNet net(rr::StateEncoder::node_feature_width(4),
+                    rr::StateEncoder::kResourceFeatureWidth, cfg);
+  rr::A2CTrainer trainer(net, cfg);
+  if (width == 1) {
+    rr::SchedulingEnv env(graph, platform, costs, env_cfg);
+    return trainer.train(env, opts);
+  }
+  rr::VecEnv envs(graph, platform, costs, env_cfg, width);
+  return trainer.train(envs, opts);
+}
+
+}  // namespace
+
+TEST(VecCadence, UpdateCountMatchesEpisodesAtAnyWidth) {
+  // The fixed default (updates_per_round = 0): one gradient step per
+  // episode, exactly like the sequential trainer, at any width.
+  EXPECT_EQ(train_a2c_vec(4, 16, 0).updates, 16u);
+  EXPECT_EQ(train_a2c_vec(8, 16, 0).updates, 16u);
+  // The legacy cadence is still reachable explicitly, and still means
+  // what it used to: one update per width-N round.
+  EXPECT_EQ(train_a2c_vec(8, 16, 1).updates, 2u);
+  EXPECT_EQ(train_a2c_vec(4, 16, 1).updates, 4u);
+  // Intermediate grouping: 2 groups per round.
+  EXPECT_EQ(train_a2c_vec(8, 16, 2).updates, 4u);
+}
+
+TEST(VecCadence, Width4And8FinalRewardTracksSequential) {
+  const int episodes = 96;
+  const auto seq = train_a2c_vec(1, episodes, 0);
+  const auto vec4 = train_a2c_vec(4, episodes, 0);
+  const auto vec8 = train_a2c_vec(8, episodes, 0);
+  ASSERT_EQ(seq.episode_rewards.size(), static_cast<std::size_t>(episodes));
+  // Same number of Adam steps => same learning budget; the final reward
+  // must land in the sequential run's neighborhood, not an order of
+  // magnitude below it. The band is deliberately loose (trajectories
+  // differ, these are stochastic runs) — the collapse this guards
+  // against was a 10x gap, not a 50% one.
+  const double floor = seq.final_mean_reward -
+                       (0.75 * std::fabs(seq.final_mean_reward) + 0.25);
+  EXPECT_GT(vec4.final_mean_reward, floor)
+      << "vec4 " << vec4.final_mean_reward << " vs sequential "
+      << seq.final_mean_reward;
+  EXPECT_GT(vec8.final_mean_reward, floor)
+      << "vec8 " << vec8.final_mean_reward << " vs sequential "
+      << seq.final_mean_reward;
+}
+
+TEST(VecCadence, LegacyCoarseCadenceIsMeasurablyWorse) {
+  // The pre-fix behavior, kept reachable via updates_per_round = 1:
+  // 12 updates instead of 96 must learn measurably less on the same
+  // episode budget. If this starts passing the fixed cadence's band,
+  // the fingerprint (and the bench cell) needs re-examining.
+  const int episodes = 96;
+  const auto fixed = train_a2c_vec(8, episodes, 0);
+  const auto coarse = train_a2c_vec(8, episodes, 1);
+  EXPECT_EQ(coarse.updates, 12u);
+  EXPECT_LT(coarse.final_mean_reward, fixed.final_mean_reward);
+}
+
+// ---------------------------------------------------------------------
+// Async actor–learner
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct AsyncRun {
+  rr::TrainReport report;
+  std::unique_ptr<rr::PolicyNet> net;
+};
+
+AsyncRun train_a2c_async(std::size_t width, int episodes, bool strict,
+                         int actors) {
+  const auto graph = rd::cholesky_graph(3);
+  const auto platform = rs::Platform::hybrid(1, 1);
+  const auto costs = rs::CostModel::cholesky();
+  const auto cfg = tiny_config();
+  const rr::SchedulingEnv::Config env_cfg{0.1, cfg.window, 9};
+  rr::TrainOptions opts;
+  opts.episodes = episodes;
+  opts.sigma = 0.1;
+  opts.seed = 21;
+  opts.async = true;
+  opts.async_strict = strict;
+  opts.async_actors = actors;
+  opts.async_batch = 1;
+  AsyncRun run;
+  run.net = std::make_unique<rr::PolicyNet>(
+      rr::StateEncoder::node_feature_width(4),
+      rr::StateEncoder::kResourceFeatureWidth, cfg);
+  rr::A2CTrainer trainer(*run.net, cfg);
+  rr::VecEnv envs(graph, platform, costs, env_cfg, width);
+  run.report = trainer.train(envs, opts);
+  return run;
+}
+
+}  // namespace
+
+TEST(AsyncTrain, StrictModeIsRunToRunDeterministic) {
+  // Two independent runs with multiple actor threads: identical episode
+  // streams, rewards, and final weights — the whole point of
+  // --async-strict. (Actor threads race for episode claims, but strict
+  // windows park them during updates and the learner sorts by index.)
+  const auto a = train_a2c_async(4, 12, /*strict=*/true, /*actors=*/2);
+  const auto b = train_a2c_async(4, 12, /*strict=*/true, /*actors=*/2);
+  expect_reports_equal(a.report, b.report);
+  expect_params_equal(*a.net, *b.net);
+  EXPECT_EQ(a.report.episode_rewards.size(), 12u);
+  EXPECT_EQ(a.report.updates, 12u);
+}
+
+TEST(AsyncTrain, FreeModeTrainsEveryEpisodeExactlyOnce) {
+  // Free mode trades determinism for overlap, but never episode
+  // accounting: every index trains exactly once, per-episode cadence,
+  // finite rewards, real makespans.
+  const auto run = train_a2c_async(4, 12, /*strict=*/false, /*actors=*/4);
+  EXPECT_EQ(run.report.episode_rewards.size(), 12u);
+  EXPECT_EQ(run.report.updates, 12u);
+  EXPECT_GT(run.report.best_makespan, 0.0);
+  for (double r : run.report.episode_rewards) {
+    EXPECT_TRUE(std::isfinite(r));
+  }
+  EXPECT_TRUE(std::isfinite(run.report.final_mean_reward));
+}
+
+// ---------------------------------------------------------------------
 // Scheduler registry
 // ---------------------------------------------------------------------
 
