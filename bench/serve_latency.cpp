@@ -1,0 +1,216 @@
+// Serve-latency baseline for the DecisionService (src/serve): seeded
+// Poisson session arrivals over the mixed Cholesky/LU/QR catalog,
+// reporting p50/p99 decide latency, sessions/s, and the robustness
+// counters (shed / deadline timeouts / MCT fallbacks / retries) into
+// BENCH_serve_latency.json (+ sibling manifest).
+//
+// Three offered-load levels per run:
+//   underload  ~0.5x measured capacity, roomy queue — nothing sheds
+//   overload   ~3x capacity against a small queue — admission control
+//              must shed with bounded latency, not collapse
+//   deadline   underload with a tight per-decision budget — decisions
+//              degrade to one-shot MCT instead of stalling
+//
+// The policy is an untrained seeded PolicyNet: decision *latency* and
+// the robustness machinery do not depend on policy quality, and an
+// untrained net keeps the bench self-contained and fast. Knobs:
+//   READYS_SERVE_SESSIONS   sessions offered per level (default 64)
+//   READYS_SERVE_ACTIVE     batch width per decision round (default 8)
+//   READYS_SERVE_WORKERS    worker threads (default 1; this host has 1 core)
+//   READYS_SERVE_QUEUE      underload queue capacity (default 64)
+//   READYS_HIDDEN           embedding width (default 32)
+//   READYS_SEED             seed for net + arrivals (default 1)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace readys;
+
+namespace {
+
+struct Level {
+  std::string name;
+  serve::LoadGenConfig load;
+  serve::ServiceConfig service;
+  serve::LoadReport report;
+};
+
+serve::ServiceConfig base_service(const core::RunConfig& cfg) {
+  serve::ServiceConfig sc;
+  sc.cpus = cfg.ncpu;
+  sc.gpus = cfg.ngpu;
+  sc.queue_capacity = static_cast<std::size_t>(cfg.serve_queue);
+  sc.max_active = static_cast<std::size_t>(cfg.serve_active);
+  sc.workers = std::max(1, cfg.serve_workers);
+  sc.max_retries = cfg.serve_retries;
+  sc.record_latencies = true;
+  sc.watchdog_period_ms = 200.0;
+  return sc;
+}
+
+/// Closed-loop capacity probe: saturate the service (every session
+/// queued up front) and measure completed sessions/s. The Poisson
+/// levels are set relative to this so the bench lands on the right side
+/// of the shedding threshold on any host speed.
+double calibrate_capacity(const rl::PolicyNet& net,
+                          const rl::AgentConfig& agent,
+                          const core::RunConfig& cfg) {
+  using clock = std::chrono::steady_clock;
+  serve::ServiceConfig sc = base_service(cfg);
+  const int n = std::max(8, cfg.serve_sessions / 2);
+  sc.queue_capacity = static_cast<std::size_t>(n);
+  sc.record_latencies = false;
+  serve::DecisionService svc(net, agent, sc);
+
+  serve::LoadGenConfig lg;
+  lg.seed = cfg.seed;
+  util::Rng rng(lg.seed ^ 0xCA11B247E5ULL);
+  const auto t0 = clock::now();
+  for (int i = 0; i < n; ++i) {
+    svc.submit(serve::draw_catalog_spec(lg, rng));
+  }
+  svc.wait_idle();
+  const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+  svc.shutdown();
+  const auto c = svc.counters();
+  return secs > 0.0 ? static_cast<double>(c.completed) / secs : 1.0;
+}
+
+serve::LoadReport run_level(const rl::PolicyNet& net,
+                            const rl::AgentConfig& agent, Level& level) {
+  serve::DecisionService svc(net, agent, level.service);
+  serve::LoadReport report = serve::run_poisson_load(svc, level.load);
+  svc.shutdown();
+  return report;
+}
+
+std::string level_json(const Level& lv) {
+  const serve::LoadReport& r = lv.report;
+  obs::JsonObject j;
+  j.field("level", lv.name)
+      .field("offered_rate_per_s", lv.load.rate)
+      .field("offered_sessions", r.offered)
+      .field("queue_capacity",
+             static_cast<std::uint64_t>(lv.service.queue_capacity))
+      .field("max_active",
+             static_cast<std::uint64_t>(lv.service.max_active))
+      .field("deadline_us", lv.service.deadline_us)
+      .field("admitted", r.admitted)
+      .field("shed", r.shed)
+      .field("completed", r.completed)
+      .field("quarantined", r.quarantined)
+      .field("retries", r.retries)
+      .field("decisions", r.decisions)
+      .field("timeouts", r.timeouts)
+      .field("fallbacks", r.fallbacks)
+      .field("duration_s", r.duration_s)
+      .field("sessions_per_s", r.sessions_per_s)
+      .field("decisions_per_s", r.decisions_per_s)
+      .field("p50_decide_us", r.p50_decide_us)
+      .field("p99_decide_us", r.p99_decide_us)
+      .field("mean_makespan", r.mean_makespan);
+  return j.str();
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchRun run("serve_latency");
+  core::RunConfig cfg = core::RunConfig::from_env();
+  cfg.agent.hidden = util::env_int("READYS_HIDDEN", 32);
+  cfg.agent.seed = cfg.seed;
+
+  rl::PolicyNet net(rl::StateEncoder::node_feature_width(4),
+                    rl::StateEncoder::kResourceFeatureWidth, cfg.agent);
+
+  std::printf("calibrating service capacity (closed loop)...\n");
+  const double capacity = calibrate_capacity(net, cfg.agent, cfg);
+  std::printf("  capacity ~= %.1f sessions/s\n", capacity);
+
+  std::vector<Level> levels;
+  {
+    Level lv;
+    lv.name = "underload";
+    lv.service = base_service(cfg);
+    lv.load.sessions = cfg.serve_sessions;
+    lv.load.rate = std::max(1.0, 0.5 * capacity);
+    lv.load.seed = cfg.seed;
+    levels.push_back(lv);
+  }
+  {
+    // Past the shedding threshold: 3x capacity into a queue of 8. The
+    // acceptance bar is bounded degradation — shed counts grow, decide
+    // latency stays flat, completed sessions keep flowing.
+    Level lv;
+    lv.name = "overload";
+    lv.service = base_service(cfg);
+    lv.service.queue_capacity = 8;
+    lv.load.sessions = cfg.serve_sessions;
+    lv.load.rate = std::max(2.0, 3.0 * capacity);
+    lv.load.seed = cfg.seed + 1;
+    levels.push_back(lv);
+  }
+  {
+    // Tight per-decision budget: most batched forwards blow it, so
+    // decisions degrade to one-shot MCT (timeout + fallback counters).
+    Level lv;
+    lv.name = "deadline";
+    lv.service = base_service(cfg);
+    lv.service.deadline_us = 50.0;
+    lv.load.sessions = cfg.serve_sessions;
+    lv.load.rate = std::max(1.0, 0.5 * capacity);
+    lv.load.seed = cfg.seed + 2;
+    levels.push_back(lv);
+  }
+
+  for (Level& lv : levels) {
+    std::printf("level %-10s rate %.1f/s, queue %zu, deadline %.0f us...\n",
+                lv.name.c_str(), lv.load.rate, lv.service.queue_capacity,
+                lv.service.deadline_us);
+    lv.report = run_level(net, cfg.agent, lv);
+    std::printf(
+        "  admitted %llu shed %llu completed %llu | %.1f sessions/s | "
+        "p50 %.0f us p99 %.0f us | timeouts %llu fallbacks %llu\n",
+        static_cast<unsigned long long>(lv.report.admitted),
+        static_cast<unsigned long long>(lv.report.shed),
+        static_cast<unsigned long long>(lv.report.completed),
+        lv.report.sessions_per_s, lv.report.p50_decide_us,
+        lv.report.p99_decide_us,
+        static_cast<unsigned long long>(lv.report.timeouts),
+        static_cast<unsigned long long>(lv.report.fallbacks));
+  }
+
+  const char* path = "BENCH_serve_latency.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::string levels_json = "[";
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      if (i > 0) levels_json += ",";
+      levels_json += level_json(levels[i]);
+    }
+    levels_json += "]";
+    obs::JsonObject j;
+    j.field("bench", "serve_latency")
+        .field("capacity_sessions_per_s", capacity)
+        .field("sessions_per_level", cfg.serve_sessions)
+        .field("max_active", cfg.serve_active)
+        .field("workers", std::max(1, cfg.serve_workers))
+        .field("hidden", cfg.agent.hidden)
+        .field("seed", cfg.seed)
+        .field("catalog", "cholesky/lu/qr, tiles 3-5, sigma 0.1")
+        .raw("levels", levels_json);
+    std::fprintf(f, "%s\n", j.str().c_str());
+    std::fclose(f);
+    std::printf("baseline written to %s\n", path);
+  } else {
+    std::perror(path);
+    return 1;
+  }
+  run.manifest.set("capacity_sessions_per_s", capacity);
+  run.finish(path);
+  return 0;
+}

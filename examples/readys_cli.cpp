@@ -7,6 +7,7 @@
 //   readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]
 //   readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> [sigma]
 //   readys_cli dot      <app> <tiles> <out.dot>
+//   readys_cli serve-bench [--config <run.json>] [serve flags]
 //
 // train flags: [--trainer a2c|ppo] [--num-envs <n>]
 //              [--updates-per-round <g>] [--async] [--async-strict]
@@ -53,7 +54,11 @@ int usage() {
       "  readys_cli compare  <app> <tiles> <ncpu> <ngpu> <sigma> [runs]\n"
       "  readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> "
       "[sigma]\n"
-      "  readys_cli dot      <app> <tiles> <out.dot>\n");
+      "  readys_cli dot      <app> <tiles> <out.dot>\n"
+      "  readys_cli serve-bench [--config <run.json>] [serve flags]\n"
+      "    serve flags: [--sessions <n>] [--rate <per_s>] [--queue <n>]\n"
+      "                 [--active <n>] [--workers <n>] [--deadline-us <d>]\n"
+      "                 [--retries <n>]\n");
   return 2;
 }
 
@@ -280,6 +285,91 @@ int cmd_dot(int argc, char** argv) {
   return 0;
 }
 
+// One Poisson load run against a live DecisionService, RunConfig-driven:
+// the admission/deadline/fault machinery exercised from the command line
+// (the committed baseline sweep lives in bench/serve_latency).
+int cmd_serve_bench(int argc, char** argv) {
+  core::RunConfig cfg = core::RunConfig::from_env();
+  int i = 2;
+  if (argc >= 4 && std::strcmp(argv[2], "--config") == 0) {
+    cfg = core::RunConfig::from_file(argv[3]);
+    i = 4;
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--sessions" && i + 1 < argc) {
+      cfg.serve_sessions = std::atoi(argv[++i]);
+    } else if (flag == "--rate" && i + 1 < argc) {
+      cfg.serve_rate = std::atof(argv[++i]);
+    } else if (flag == "--queue" && i + 1 < argc) {
+      cfg.serve_queue = std::atoi(argv[++i]);
+    } else if (flag == "--active" && i + 1 < argc) {
+      cfg.serve_active = std::atoi(argv[++i]);
+    } else if (flag == "--workers" && i + 1 < argc) {
+      cfg.serve_workers = std::atoi(argv[++i]);
+    } else if (flag == "--deadline-us" && i + 1 < argc) {
+      cfg.serve_deadline_us = std::atof(argv[++i]);
+    } else if (flag == "--retries" && i + 1 < argc) {
+      cfg.serve_retries = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown serve-bench option '%s'\n", flag.c_str());
+      return usage();
+    }
+  }
+  cfg.validate();
+  cfg.agent.seed = cfg.seed;
+
+  // Untrained seeded net: serve latency and the robustness counters do
+  // not depend on policy quality. All catalog apps have 4 kernel types,
+  // so one net serves the mixed workload.
+  rl::PolicyNet net(rl::StateEncoder::node_feature_width(4),
+                    rl::StateEncoder::kResourceFeatureWidth, cfg.agent);
+
+  serve::ServiceConfig sc;
+  sc.cpus = cfg.ncpu;
+  sc.gpus = cfg.ngpu;
+  sc.queue_capacity = static_cast<std::size_t>(cfg.serve_queue);
+  sc.max_active = static_cast<std::size_t>(cfg.serve_active);
+  sc.workers = cfg.serve_workers > 0 ? cfg.serve_workers : 1;
+  sc.deadline_us = cfg.serve_deadline_us;
+  sc.max_retries = cfg.serve_retries;
+  sc.record_latencies = true;
+  sc.watchdog_period_ms = 200.0;
+  serve::DecisionService svc(net, cfg.agent, sc);
+
+  serve::LoadGenConfig lg;
+  lg.sessions = cfg.serve_sessions;
+  lg.rate = cfg.serve_rate;
+  lg.seed = cfg.seed;
+  lg.sigma = cfg.sigma;
+  std::printf("serving %d sessions at %.1f/s (queue %d, active %d, "
+              "workers %d, deadline %.0f us, retries %d)...\n",
+              cfg.serve_sessions, cfg.serve_rate, cfg.serve_queue,
+              cfg.serve_active, sc.workers, cfg.serve_deadline_us,
+              cfg.serve_retries);
+  const serve::LoadReport r = serve::run_poisson_load(svc, lg);
+  svc.shutdown();
+
+  std::printf("offered   %d\n", r.offered);
+  std::printf("admitted  %llu  shed %llu\n",
+              static_cast<unsigned long long>(r.admitted),
+              static_cast<unsigned long long>(r.shed));
+  std::printf("completed %llu  quarantined %llu  retries %llu\n",
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.quarantined),
+              static_cast<unsigned long long>(r.retries));
+  std::printf("decisions %llu (%.0f/s)  timeouts %llu  fallbacks %llu\n",
+              static_cast<unsigned long long>(r.decisions),
+              r.decisions_per_s,
+              static_cast<unsigned long long>(r.timeouts),
+              static_cast<unsigned long long>(r.fallbacks));
+  std::printf("decide latency p50 %.1f us, p99 %.1f us\n", r.p50_decide_us,
+              r.p99_decide_us);
+  std::printf("%.1f sessions/s over %.2f s; mean makespan %.1f ms\n",
+              r.sessions_per_s, r.duration_s, r.mean_makespan);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +381,7 @@ int main(int argc, char** argv) {
     if (cmd == "compare") return cmd_compare(argc, argv);
     if (cmd == "gantt") return cmd_gantt(argc, argv);
     if (cmd == "dot") return cmd_dot(argc, argv);
+    if (cmd == "serve-bench") return cmd_serve_bench(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

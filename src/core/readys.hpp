@@ -53,6 +53,9 @@
 #include "sched/mct.hpp"
 #include "sched/random_sched.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/service.hpp"
+#include "serve/session.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"

@@ -231,6 +231,13 @@ std::string RunConfig::to_json() const {
       .field("async_queue", async_queue)
       .field("async_batch", async_batch)
       .field("async_strict", async_strict)
+      .field("serve_sessions", serve_sessions)
+      .field("serve_rate", serve_rate)
+      .field("serve_queue", serve_queue)
+      .field("serve_active", serve_active)
+      .field("serve_workers", serve_workers)
+      .field("serve_deadline_us", serve_deadline_us)
+      .field("serve_retries", serve_retries)
       .raw("agent", agent_json.str());
   return j.str();
 }
@@ -266,6 +273,13 @@ RunConfig RunConfig::from_json(const std::string& json) {
     else if (key == "async_queue") cfg.async_queue = parse_int_field(r);
     else if (key == "async_batch") cfg.async_batch = parse_int_field(r);
     else if (key == "async_strict") cfg.async_strict = r.parse_bool();
+    else if (key == "serve_sessions") cfg.serve_sessions = parse_int_field(r);
+    else if (key == "serve_rate") cfg.serve_rate = r.parse_number();
+    else if (key == "serve_queue") cfg.serve_queue = parse_int_field(r);
+    else if (key == "serve_active") cfg.serve_active = parse_int_field(r);
+    else if (key == "serve_workers") cfg.serve_workers = parse_int_field(r);
+    else if (key == "serve_deadline_us") cfg.serve_deadline_us = r.parse_number();
+    else if (key == "serve_retries") cfg.serve_retries = parse_int_field(r);
     else if (key == "agent") parse_agent(r, cfg.agent);
     else r.fail("unknown key \"" + key + "\"");
   });
@@ -295,6 +309,17 @@ RunConfig RunConfig::from_env() {
   cfg.seed = static_cast<std::uint64_t>(
       util::env_int("READYS_SEED", static_cast<int>(cfg.seed)));
   cfg.agent.hidden = util::env_int("READYS_HIDDEN", cfg.agent.hidden);
+  cfg.serve_sessions =
+      util::env_int("READYS_SERVE_SESSIONS", cfg.serve_sessions);
+  cfg.serve_rate = util::env_double("READYS_SERVE_RATE", cfg.serve_rate);
+  cfg.serve_queue = util::env_int("READYS_SERVE_QUEUE", cfg.serve_queue);
+  cfg.serve_active = util::env_int("READYS_SERVE_ACTIVE", cfg.serve_active);
+  cfg.serve_workers =
+      util::env_int("READYS_SERVE_WORKERS", cfg.serve_workers);
+  cfg.serve_deadline_us =
+      util::env_double("READYS_SERVE_DEADLINE_US", cfg.serve_deadline_us);
+  cfg.serve_retries =
+      util::env_int("READYS_SERVE_RETRIES", cfg.serve_retries);
   return cfg;
 }
 
@@ -337,6 +362,27 @@ void RunConfig::validate() const {
   }
   if (async_batch < 1) {
     throw std::invalid_argument("RunConfig: async_batch must be >= 1");
+  }
+  if (serve_sessions < 0) {
+    throw std::invalid_argument("RunConfig: serve_sessions must be >= 0");
+  }
+  if (!(serve_rate > 0.0)) {
+    throw std::invalid_argument("RunConfig: serve_rate must be > 0");
+  }
+  if (serve_queue < 1) {
+    throw std::invalid_argument("RunConfig: serve_queue must be >= 1");
+  }
+  if (serve_active < 1) {
+    throw std::invalid_argument("RunConfig: serve_active must be >= 1");
+  }
+  if (serve_workers < 0) {
+    throw std::invalid_argument("RunConfig: serve_workers must be >= 0");
+  }
+  if (!(serve_deadline_us >= 0.0)) {
+    throw std::invalid_argument("RunConfig: serve_deadline_us must be >= 0");
+  }
+  if (serve_retries < 0) {
+    throw std::invalid_argument("RunConfig: serve_retries must be >= 0");
   }
   if (agent.window < 1 || agent.gcn_layers < 1 || agent.hidden < 1) {
     throw std::invalid_argument(

@@ -48,6 +48,15 @@ struct RunConfig {
   int async_batch = 1;        ///< episodes drained per learner update
   bool async_strict = false;  ///< deterministic windowed test mode
 
+  // --- decision service (serve-bench; see src/serve) ---
+  int serve_sessions = 64;         ///< sessions the load generator offers
+  double serve_rate = 50.0;        ///< offered arrivals per second
+  int serve_queue = 64;            ///< admission queue capacity
+  int serve_active = 8;            ///< sessions batched per decision round
+  int serve_workers = 1;           ///< inference worker threads
+  double serve_deadline_us = 0.0;  ///< per-decision budget; 0 disables
+  int serve_retries = 0;           ///< transient-fault retries per session
+
   rl::AgentConfig agent;
 
   /// Serializes to a single-line JSON object, "config":"readys-run/1"
@@ -69,7 +78,11 @@ struct RunConfig {
   /// Defaults overlaid with the legacy READYS_* environment variables
   /// (READYS_APP, READYS_TILES, READYS_NCPU, READYS_NGPU, READYS_SIGMA,
   /// READYS_TRAIN_EPISODES, READYS_HIDDEN, READYS_NUM_ENVS,
-  /// READYS_SEED), so benches stay tunable without a config file.
+  /// READYS_SEED) and the decision-service knobs (READYS_SERVE_SESSIONS,
+  /// READYS_SERVE_RATE, READYS_SERVE_QUEUE, READYS_SERVE_ACTIVE,
+  /// READYS_SERVE_WORKERS, READYS_SERVE_DEADLINE_US,
+  /// READYS_SERVE_RETRIES), so benches stay tunable without a config
+  /// file.
   static RunConfig from_env();
 
   /// Sanity-checks the cross-field constraints (known app/trainer,

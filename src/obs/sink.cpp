@@ -1,8 +1,12 @@
 #include "obs/sink.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
+
+#include "obs/telemetry.hpp"
 
 namespace readys::obs {
 
@@ -103,28 +107,56 @@ JsonlSink::JsonlSink(std::string path, int flush_every)
 
 JsonlSink::~JsonlSink() {
   std::lock_guard lock(mutex_);
+  errno = 0;
   out_.flush();
+  if (!out_) record_failure("final flush", /*may_throw=*/false);
 }
 
 void JsonlSink::write(const std::string& json_object) {
   std::lock_guard lock(mutex_);
+  errno = 0;
   out_ << json_object << '\n';
   ++rows_;
   if (++since_flush_ >= flush_every_) {
     out_.flush();
     since_flush_ = 0;
   }
+  if (!out_) record_failure("write", /*may_throw=*/true);
 }
 
 void JsonlSink::flush() {
   std::lock_guard lock(mutex_);
+  errno = 0;
   out_.flush();
   since_flush_ = 0;
+  if (!out_) record_failure("flush", /*may_throw=*/true);
 }
 
 std::uint64_t JsonlSink::rows() const noexcept {
   std::lock_guard lock(mutex_);
   return rows_;
+}
+
+std::uint64_t JsonlSink::write_errors() const noexcept {
+  std::lock_guard lock(mutex_);
+  return write_errors_;
+}
+
+void JsonlSink::record_failure(const char* what, bool may_throw) {
+  ++write_errors_;
+  // The telemetry sink and this sink can be the same object; the counter
+  // is lock-free so re-entry is safe, and counting drops even for our own
+  // metrics file is exactly the point of obs.sink_errors.
+  if (Telemetry* t = telemetry()) t->sink_errors.add(1);
+  const int err = errno;
+  // Clear the stream fault so later rows can still try: one full disk
+  // should not permanently wedge an otherwise recoverable sink.
+  out_.clear();
+  if (!may_throw) return;
+  std::string msg = "JsonlSink: " + std::string(what) + " failed for " +
+                    path_ + ": " +
+                    (err != 0 ? std::strerror(err) : "short write");
+  throw std::runtime_error(msg);
 }
 
 }  // namespace readys::obs

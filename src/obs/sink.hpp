@@ -39,6 +39,16 @@ class JsonObject {
 /// Line-oriented JSON sink: one object per line, buffered, flushed to
 /// disk every `flush_every` rows and on destruction. write() is
 /// thread-safe; rows from concurrent writers interleave whole-line.
+///
+/// Durability contract (matching rl/checkpoint.cpp): a short or failed
+/// write is never swallowed. Because the stream buffers, the OS error
+/// (`EIO`, `ENOSPC`, ...) surfaces at the flush boundary — every
+/// `flush_every` rows, on an explicit flush(), and at destruction —
+/// as a std::runtime_error naming the sink path and the errno text.
+/// Each failed write/flush also counts into write_errors() and the
+/// `obs.sink_errors` metric (when telemetry is installed), so dropped
+/// telemetry rows are visible even where the throw is caught. The
+/// destructor flushes best-effort and only counts, never throws.
 class JsonlSink {
  public:
   /// Throws std::runtime_error if `path` cannot be opened.
@@ -49,19 +59,29 @@ class JsonlSink {
   JsonlSink& operator=(const JsonlSink&) = delete;
 
   /// Appends one line; `json_object` must be a complete JSON value.
+  /// Throws std::runtime_error when the row (or the buffered rows it
+  /// forced out) could not be written.
   void write(const std::string& json_object);
+  /// Forces buffered rows to disk; throws std::runtime_error on failure.
   void flush();
 
   const std::string& path() const noexcept { return path_; }
   std::uint64_t rows() const noexcept;
+  /// Failed write/flush attempts observed so far (rows dropped).
+  std::uint64_t write_errors() const noexcept;
 
  private:
+  /// Records one failed attempt (counter + obs.sink_errors) and, when
+  /// `may_throw`, raises std::runtime_error with the path and errno.
+  void record_failure(const char* what, bool may_throw);
+
   std::string path_;
   int flush_every_;
   mutable std::mutex mutex_;
   std::ofstream out_;
   int since_flush_ = 0;
   std::uint64_t rows_ = 0;
+  std::uint64_t write_errors_ = 0;
 };
 
 }  // namespace readys::obs

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/logging.hpp"
+
 namespace readys::obs {
 
 namespace detail {
@@ -35,12 +37,24 @@ Telemetry::Telemetry(TelemetryConfig config)
       sched_fallbacks(registry_.counter("sched.fallback_decisions")),
       pool_tasks(registry_.counter("util.pool_tasks")),
       eval_runs(registry_.counter("core.eval_runs")),
+      serve_admitted(registry_.counter("serve.admitted")),
+      serve_shed(registry_.counter("serve.shed")),
+      serve_completed(registry_.counter("serve.completed")),
+      serve_quarantined(registry_.counter("serve.quarantined")),
+      serve_retries(registry_.counter("serve.retries")),
+      serve_decisions(registry_.counter("serve.decisions")),
+      serve_timeouts(registry_.counter("serve.deadline_timeouts")),
+      serve_fallbacks(registry_.counter("serve.fallback_decisions")),
+      sink_errors(registry_.counter("obs.sink_errors")),
       pool_queue_depth(registry_.gauge("util.pool_queue_depth")),
       train_envs(registry_.gauge("train.envs")),
+      serve_queue_depth(registry_.gauge("serve.queue_depth")),
+      serve_active(registry_.gauge("serve.active_sessions")),
       env_step_us(registry_.histogram("rl.env_step_us")),
       vec_step_us(registry_.histogram("rl.vec_step_us")),
       policy_forward_us(registry_.histogram("rl.policy_forward_us")),
-      update_us(registry_.histogram("rl.update_us")) {
+      update_us(registry_.histogram("rl.update_us")),
+      serve_decide_us(registry_.histogram("serve.decide_us")) {
   if (!config_.metrics_path.empty()) {
     sink_ = std::make_unique<JsonlSink>(config_.metrics_path,
                                         config_.flush_every);
@@ -61,8 +75,15 @@ void Telemetry::finalize() {
         .raw("metrics", registry_.snapshot().to_json())
         .field("trace_events", static_cast<std::uint64_t>(tracer_.size()))
         .field("trace_events_dropped", tracer_.dropped());
-    sink_->write(row.str());
-    sink_->flush();
+    // finalize() runs on shutdown paths (including destructors such as
+    // bench::BenchRun's); a full disk must not escalate to terminate().
+    // The drop is still counted in obs.sink_errors and logged.
+    try {
+      sink_->write(row.str());
+      sink_->flush();
+    } catch (const std::exception& e) {
+      util::log_error() << "telemetry finalize: " << e.what();
+    }
   }
   if (!config_.trace_path.empty()) {
     std::vector<std::string> fragments = extra_fragments_;

@@ -82,12 +82,24 @@ class Telemetry {
   Counter& sched_fallbacks;     ///< sched.fallback_decisions (guard trips)
   Counter& pool_tasks;          ///< util.pool_tasks
   Counter& eval_runs;           ///< core.eval_runs
+  Counter& serve_admitted;      ///< serve.admitted (sessions accepted)
+  Counter& serve_shed;          ///< serve.shed (admissions rejected)
+  Counter& serve_completed;     ///< serve.completed (sessions finished clean)
+  Counter& serve_quarantined;   ///< serve.quarantined (sessions isolated)
+  Counter& serve_retries;       ///< serve.retries (transient-fault resubmits)
+  Counter& serve_decisions;     ///< serve.decisions (actions issued)
+  Counter& serve_timeouts;      ///< serve.deadline_timeouts (budget blown)
+  Counter& serve_fallbacks;     ///< serve.fallback_decisions (MCT degrades)
+  Counter& sink_errors;         ///< obs.sink_errors (dropped sink rows)
   Gauge& pool_queue_depth;      ///< util.pool_queue_depth
   Gauge& train_envs;            ///< train.envs (width of the vector env)
+  Gauge& serve_queue_depth;     ///< serve.queue_depth (admission queue)
+  Gauge& serve_active;          ///< serve.active_sessions
   Histogram& env_step_us;       ///< rl.env_step_us
   Histogram& vec_step_us;       ///< rl.vec_step_us (whole-batch latency)
   Histogram& policy_forward_us; ///< rl.policy_forward_us
   Histogram& update_us;         ///< rl.update_us
+  Histogram& serve_decide_us;   ///< serve.decide_us (per-session latency)
 };
 
 namespace detail {

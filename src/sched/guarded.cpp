@@ -91,12 +91,13 @@ std::vector<sim::Assignment> GuardedScheduler::fall_back(
                      << "); permanently degrading " << inner_->name()
                      << " to MCT";
   }
-  // One-shot MCT over the current engine state: reset() clears its
-  // queues and ready-log cursor, decide() then re-derives bindings from
-  // what is ready and idle right now. This stays correct mid-episode
-  // because MCT's binding scan skips tasks that are no longer ready.
-  fallback_.reset(engine);
-  return fallback_.decide(engine);
+  return one_shot_mct(fallback_, engine);
+}
+
+std::vector<sim::Assignment> one_shot_mct(MctScheduler& scratch,
+                                          const sim::SimEngine& engine) {
+  scratch.reset(engine);
+  return scratch.decide(engine);
 }
 
 std::vector<sim::Assignment> GuardedScheduler::decide(

@@ -27,7 +27,10 @@ namespace readys::sched {
 /// went NaN will not come back.
 ///
 /// Registered in the Registry under the "guarded:<inner>" prefix, e.g.
-/// make_scheduler("guarded:readys").
+/// make_scheduler("guarded:readys"). Options are configurable from the
+/// spec too: "guarded(budget_us=500,max_strikes=2):readys" — the same
+/// knob the serve deadline path uses, so standalone runs and the
+/// decision service share one budget configuration surface.
 class GuardedScheduler : public sim::Scheduler {
  public:
   struct Options {
@@ -57,6 +60,7 @@ class GuardedScheduler : public sim::Scheduler {
   bool degraded() const noexcept { return degraded_; }
   /// Reason of the most recent guarded failure ("" when none yet).
   const std::string& last_fault() const noexcept { return last_fault_; }
+  const Options& options() const noexcept { return opts_; }
 
  private:
   /// True iff `batch` can be applied to `engine` as-is; otherwise `why`
@@ -76,5 +80,14 @@ class GuardedScheduler : public sim::Scheduler {
   std::size_t fallback_decisions_ = 0;
   std::string last_fault_;
 };
+
+/// One-shot MCT answer for the current engine state: resets `scratch`
+/// (clearing its queues and ready-log cursor) and re-derives bindings
+/// from what is ready and idle right now. Correct mid-episode because
+/// MCT's binding scan skips tasks that are no longer ready. This is the
+/// degrade primitive shared by GuardedScheduler and the serve deadline
+/// path.
+std::vector<sim::Assignment> one_shot_mct(MctScheduler& scratch,
+                                          const sim::SimEngine& engine);
 
 }  // namespace readys::sched

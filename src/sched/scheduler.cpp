@@ -15,14 +15,89 @@ namespace readys::sched {
 
 namespace {
 
-/// "guarded:<inner>" -> "<inner>"; empty when `name` has no such prefix.
-std::string guarded_inner(const std::string& name) {
-  constexpr const char* prefix = "guarded:";
-  constexpr std::size_t len = 8;
-  if (name.size() > len && name.compare(0, len, prefix) == 0) {
-    return name.substr(len);
+/// Parsed "guarded..." spec. `matched` is false when `name` is not a
+/// guarded spec at all; `error` is non-empty when it is one but the
+/// option list is malformed.
+struct GuardedSpec {
+  bool matched = false;
+  std::string inner;
+  GuardedScheduler::Options opts;
+  std::string error;
+};
+
+/// Recognizes "guarded:<inner>" and "guarded(k=v,...):<inner>" with
+/// keys budget_us / budget_ms (wall-clock decide budget) and
+/// max_strikes. E.g. "guarded(budget_us=500,max_strikes=2):readys".
+GuardedSpec parse_guarded(const std::string& name) {
+  GuardedSpec spec;
+  constexpr const char* kWord = "guarded";
+  constexpr std::size_t kLen = 7;
+  if (name.size() <= kLen || name.compare(0, kLen, kWord) != 0) return spec;
+  std::size_t pos = kLen;
+  if (name[pos] == '(') {
+    const std::size_t close = name.find(')', pos);
+    if (close == std::string::npos) {
+      spec.matched = true;
+      spec.error = "missing ')' in \"" + name + "\"";
+      return spec;
+    }
+    std::string items = name.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    std::size_t start = 0;
+    while (start <= items.size() && !items.empty()) {
+      std::size_t comma = items.find(',', start);
+      if (comma == std::string::npos) comma = items.size();
+      const std::string item = items.substr(start, comma - start);
+      start = comma + 1;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+        spec.matched = true;
+        spec.error = "expected key=value, got \"" + item + "\"";
+        return spec;
+      }
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      try {
+        std::size_t used = 0;
+        if (key == "budget_us") {
+          spec.opts.decide_budget_ms = std::stod(value, &used) / 1000.0;
+        } else if (key == "budget_ms") {
+          spec.opts.decide_budget_ms = std::stod(value, &used);
+        } else if (key == "max_strikes") {
+          spec.opts.max_strikes = std::stoi(value, &used);
+        } else {
+          spec.matched = true;
+          spec.error = "unknown guarded option \"" + key +
+                       "\" (known: budget_us, budget_ms, max_strikes)";
+          return spec;
+        }
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        spec.matched = true;
+        spec.error = "bad value for " + key + ": \"" + value + "\"";
+        return spec;
+      }
+      if (spec.opts.decide_budget_ms < 0.0 || spec.opts.max_strikes < 1) {
+        spec.matched = true;
+        spec.error = "out-of-range value for " + key + ": \"" + value +
+                     "\" (budgets >= 0, max_strikes >= 1)";
+        return spec;
+      }
+      if (start > items.size()) break;
+    }
   }
-  return {};
+  if (pos >= name.size() || name[pos] != ':' || pos + 1 >= name.size()) {
+    // "guardedfoo" is some other (unknown) scheduler name, not a
+    // malformed guarded spec — unless an option list was present.
+    if (name.size() > kLen && name[kLen] == '(') {
+      spec.matched = true;
+      spec.error = "expected \":<inner>\" after the option list";
+    }
+    return spec;
+  }
+  spec.matched = true;
+  spec.inner = name.substr(pos + 1);
+  return spec;
 }
 
 }  // namespace
@@ -33,19 +108,24 @@ void Registry::add(const std::string& name, Factory factory) {
 }
 
 bool Registry::contains(const std::string& name) const {
-  const std::string inner = guarded_inner(name);
-  if (!inner.empty()) return contains(inner);
+  const GuardedSpec spec = parse_guarded(name);
+  if (spec.matched) return spec.error.empty() && contains(spec.inner);
   std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(name) != 0;
 }
 
 std::unique_ptr<sim::Scheduler> Registry::make(
     const std::string& name, const SchedulerConfig& cfg) const {
-  // "guarded:<inner>" wraps any registered scheduler (recursively, so
-  // "guarded:guarded:mct" also resolves — pointless but harmless).
-  const std::string inner = guarded_inner(name);
-  if (!inner.empty()) {
-    return std::make_unique<GuardedScheduler>(make(inner, cfg));
+  // "guarded:<inner>" / "guarded(budget_us=...,max_strikes=...):<inner>"
+  // wraps any registered scheduler (recursively, so "guarded:guarded:mct"
+  // also resolves — pointless but harmless).
+  const GuardedSpec spec = parse_guarded(name);
+  if (spec.matched) {
+    if (!spec.error.empty()) {
+      throw std::invalid_argument("bad guarded spec: " + spec.error);
+    }
+    return std::make_unique<GuardedScheduler>(make(spec.inner, cfg),
+                                              spec.opts);
   }
   Factory factory;
   {

@@ -1,0 +1,96 @@
+#include "serve/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace readys::serve {
+
+SessionSpec draw_catalog_spec(const LoadGenConfig& cfg, util::Rng& rng) {
+  static constexpr core::App kCatalog[] = {core::App::kCholesky,
+                                           core::App::kLu, core::App::kQr};
+  SessionSpec spec;
+  spec.app = kCatalog[rng.uniform_index(3)];
+  const int lo = std::min(cfg.tiles_min, cfg.tiles_max);
+  const int hi = std::max(cfg.tiles_min, cfg.tiles_max);
+  spec.tiles = lo + static_cast<int>(
+                        rng.uniform_index(static_cast<std::size_t>(hi - lo) +
+                                          1));
+  spec.sigma = cfg.sigma;
+  spec.seed = rng();
+  spec.deadline_us = cfg.deadline_us;
+  return spec;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+LoadReport run_poisson_load(DecisionService& svc, const LoadGenConfig& cfg) {
+  using clock = std::chrono::steady_clock;
+  util::Rng rng(cfg.seed);
+
+  LoadReport report;
+  report.offered = std::max(0, cfg.sessions);
+  const double rate = std::max(1e-9, cfg.rate);
+
+  const auto start = clock::now();
+  double arrival_s = 0.0;
+  for (int i = 0; i < report.offered; ++i) {
+    // Exponential inter-arrival: -ln(1-u)/rate, seeded — the offered
+    // trace is identical across runs with the same config.
+    arrival_s += -std::log1p(-rng.uniform()) / rate;
+    const auto due =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(arrival_s));
+    std::this_thread::sleep_until(due);
+    svc.submit(draw_catalog_spec(cfg, rng));
+  }
+  // Open loop ends here; wait for the service to finish what it admitted.
+  svc.wait_idle();
+  report.duration_s =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  const DecisionService::Counters c = svc.counters();
+  report.admitted = c.admitted;
+  report.shed = c.shed;
+  report.completed = c.completed;
+  report.quarantined = c.quarantined;
+  report.aborted = c.aborted;
+  report.retries = c.retries;
+  report.decisions = c.decisions;
+  report.timeouts = c.timeouts;
+  report.fallbacks = c.fallbacks;
+  if (report.duration_s > 0.0) {
+    report.sessions_per_s =
+        static_cast<double>(report.completed) / report.duration_s;
+    report.decisions_per_s =
+        static_cast<double>(report.decisions) / report.duration_s;
+  }
+
+  std::vector<double> latencies;
+  double makespan_sum = 0.0;
+  std::size_t makespans = 0;
+  for (const SessionResult& r : svc.results()) {
+    latencies.insert(latencies.end(), r.decide_us.begin(), r.decide_us.end());
+    if (r.state == SessionState::kCompleted) {
+      makespan_sum += r.makespan;
+      ++makespans;
+    }
+  }
+  report.p50_decide_us = percentile(latencies, 50.0);
+  report.p99_decide_us = percentile(latencies, 99.0);
+  if (makespans > 0) {
+    report.mean_makespan = makespan_sum / static_cast<double>(makespans);
+  }
+  return report;
+}
+
+}  // namespace readys::serve

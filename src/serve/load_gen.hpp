@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/session.hpp"
+#include "util/rng.hpp"
+
+namespace readys::serve {
+
+/// Open-loop Poisson workload for a DecisionService: seeded exponential
+/// inter-arrival times over a mixed Cholesky/LU/QR catalog. Offered load
+/// is `rate` sessions/s regardless of how the service keeps up — that is
+/// what exercises admission control and shedding.
+struct LoadGenConfig {
+  int sessions = 64;        ///< total sessions to offer
+  double rate = 50.0;       ///< offered arrivals per second
+  std::uint64_t seed = 1;   ///< arrival times + catalog draws
+  int tiles_min = 3;        ///< catalog DAG sizes (inclusive range)
+  int tiles_max = 5;
+  double sigma = 0.1;       ///< task-duration noise per session
+  double deadline_us = 0.0; ///< per-spec deadline (0 = service default)
+};
+
+/// What one load run measured, aggregated from the service's results
+/// and counters after every offered session retired.
+struct LoadReport {
+  int offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fallbacks = 0;
+  double duration_s = 0.0;       ///< first submit -> all retired
+  double sessions_per_s = 0.0;   ///< completed / duration
+  double decisions_per_s = 0.0;
+  double p50_decide_us = 0.0;    ///< over every recorded decision
+  double p99_decide_us = 0.0;
+  double mean_makespan = 0.0;    ///< over completed sessions
+};
+
+/// Draws one catalog spec (app uniform over {cholesky, lu, qr}, tiles
+/// uniform in [tiles_min, tiles_max], per-session seed from `rng`).
+SessionSpec draw_catalog_spec(const LoadGenConfig& cfg, util::Rng& rng);
+
+/// Nearest-rank percentile (p in [0, 100]) of `xs`; 0 when empty.
+/// Sorts a copy.
+double percentile(std::vector<double> xs, double p);
+
+/// Runs the full open-loop load against `svc` (which must have worker
+/// threads), waits until every offered session retired, and aggregates.
+/// The service should be constructed with record_latencies so the
+/// percentiles have data.
+LoadReport run_poisson_load(DecisionService& svc, const LoadGenConfig& cfg);
+
+}  // namespace readys::serve

@@ -1,0 +1,577 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "tensor/autograd.hpp"
+#include "util/logging.hpp"
+
+namespace readys::serve {
+
+namespace {
+
+/// Greedy argmax over a probability row (ties to the lowest index, the
+/// same rule as ReadysScheduler's greedy mode).
+std::size_t argmax(const std::vector<double>& p) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return best;
+}
+
+/// Cumulative-scan categorical draw with the numerical-slack fallback of
+/// rl::sample_categorical, over a plain row.
+std::size_t sample(const std::vector<double>& p, util::Rng& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    if (u < acc) return i;
+  }
+  return p.empty() ? 0 : p.size() - 1;
+}
+
+}  // namespace
+
+DecisionService::DecisionService(const rl::PolicyNet& net,
+                                 const rl::AgentConfig& agent,
+                                 ServiceConfig cfg)
+    : cfg_(cfg),
+      agent_(agent),
+      platform_(sim::Platform::hybrid(std::max(1, cfg.cpus),
+                                      std::max(0, cfg.gpus))) {
+  cfg_.queue_capacity = std::max<std::size_t>(1, cfg_.queue_capacity);
+  cfg_.max_active = std::max<std::size_t>(1, cfg_.max_active);
+  cfg_.workers = std::max(0, cfg_.workers);
+  cfg_.max_retries = std::max(0, cfg_.max_retries);
+
+  // Per-worker policy replicas (slot 0 doubles as the pump-mode net):
+  // same architecture, copied weights, never touched again — workers
+  // share no mutable tensors with the caller or each other.
+  const std::size_t n_replicas =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cfg_.workers));
+  const std::vector<tensor::Var> src = net.parameters();
+  for (std::size_t s = 0; s < n_replicas; ++s) {
+    replicas_.push_back(std::make_unique<rl::PolicyNet>(
+        net.node_features(), net.resource_features(), agent_));
+    auto dst = replicas_.back()->parameters();
+    if (dst.size() != src.size()) {
+      throw std::invalid_argument(
+          "DecisionService: replica parameter count mismatch (AgentConfig "
+          "does not describe this net)");
+    }
+    for (std::size_t p = 0; p < dst.size(); ++p) {
+      dst[p].mutable_value() = src[p].value();
+    }
+  }
+
+  for (int w = 0; w < cfg_.workers; ++w) {
+    beats_.push_back(std::make_unique<WorkerBeat>());
+  }
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
+  }
+  if (cfg_.workers > 0 && cfg_.watchdog_period_ms > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+DecisionService::~DecisionService() { abort_shutdown(); }
+
+std::unique_ptr<Session> DecisionService::build_session(
+    std::uint64_t id, const SessionSpec& spec, int attempt) {
+  std::shared_ptr<const dag::TaskGraph> graph;
+  {
+    const std::pair<int, int> key{static_cast<int>(spec.app), spec.tiles};
+    std::lock_guard<std::mutex> lock(graphs_mutex_);
+    auto it = graphs_.find(key);
+    if (it == graphs_.end()) {
+      it = graphs_
+               .emplace(key, std::make_shared<const dag::TaskGraph>(
+                                 core::make_graph(spec.app, spec.tiles)))
+               .first;
+    }
+    graph = it->second;
+  }
+  return std::make_unique<Session>(id, spec, platform_, std::move(graph),
+                                   agent_.window, attempt);
+}
+
+DecisionService::Admission DecisionService::submit(const SessionSpec& spec) {
+  Admission out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const char* reject = nullptr;
+    if (stop_) {
+      reject = "stopped";
+    } else if (draining_) {
+      reject = "draining";
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      reject = "queue full";
+    }
+    if (reject != nullptr) {
+      out.reason = reject;
+      ++counters_.shed;
+      if (obs::Telemetry* t = obs::telemetry()) t->serve_shed.add();
+      return out;
+    }
+    out.admitted = true;
+    out.id = next_id_++;
+    ++counters_.admitted;
+    ++in_flight_;
+  }
+  if (obs::Telemetry* t = obs::telemetry()) t->serve_admitted.add();
+  // Building the session (graph lookup, HEFT reference, first encode)
+  // happens outside the service lock; the slot was already reserved so
+  // capacity stays bounded.
+  std::unique_ptr<Session> session = build_session(out.id, spec, 0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Pending{std::move(session), Clock::time_point{}});
+    update_gauges();
+  }
+  work_cv_.notify_one();
+  return out;
+}
+
+DecisionService::Clock::time_point DecisionService::top_up(
+    std::vector<std::unique_ptr<Session>>& batch) {
+  // Caller holds mutex_. Pulls due entries in queue order; backoff
+  // entries that are not due yet stay put and report the earliest due
+  // time so the worker can sleep exactly that long.
+  const auto now = Clock::now();
+  Clock::time_point earliest = Clock::time_point::max();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < cfg_.max_active;) {
+    if (it->not_before > now) {
+      earliest = std::min(earliest, it->not_before);
+      ++it;
+      continue;
+    }
+    batch.push_back(std::move(it->session));
+    it = queue_.erase(it);
+    ++active_;
+  }
+  update_gauges();
+  return earliest;
+}
+
+void DecisionService::retire(std::unique_ptr<Session> session,
+                             SessionState state, std::string error) {
+  SessionResult result = std::move(session->result());
+  result.state = state;
+  result.error = std::move(error);
+  session.reset();  // release env/graph before taking the lock
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state) {
+      case SessionState::kCompleted:
+        ++counters_.completed;
+        break;
+      case SessionState::kQuarantined:
+        ++counters_.quarantined;
+        break;
+      case SessionState::kAborted:
+        ++counters_.aborted;
+        break;
+      case SessionState::kShed:
+        ++counters_.shed;
+        break;
+    }
+    retired_.push_back(std::move(result));
+    if (in_flight_ > 0) --in_flight_;
+    if (active_ > 0) --active_;
+    update_gauges();
+  }
+  if (obs::Telemetry* t = obs::telemetry()) {
+    if (state == SessionState::kCompleted) t->serve_completed.add();
+    if (state == SessionState::kQuarantined) t->serve_quarantined.add();
+  }
+  idle_cv_.notify_all();
+  work_cv_.notify_all();  // a draining worker may now be done
+}
+
+void DecisionService::retry_or_quarantine(std::unique_ptr<Session> session,
+                                          const std::string& why) {
+  const int attempt = session->attempt();
+  if (attempt >= cfg_.max_retries) {
+    retire(std::move(session), SessionState::kQuarantined,
+           cfg_.max_retries > 0
+               ? why + " (" + std::to_string(cfg_.max_retries) +
+                     " retries exhausted)"
+               : why);
+    return;
+  }
+  // Transient fault: resubmit the same spec under a perturbed env seed
+  // with exponential backoff. The fresh Session replaces the dead one
+  // in the queue; in_flight_ is unchanged (same admission slot).
+  std::unique_ptr<Session> fresh;
+  try {
+    fresh = build_session(session->id(), session->spec(), attempt + 1);
+  } catch (const std::exception& e) {
+    retire(std::move(session), SessionState::kQuarantined,
+           why + "; retry construction failed: " + e.what());
+    return;
+  }
+  // Carry the accumulated accounting across attempts.
+  SessionResult& r = fresh->result();
+  const SessionResult& old = session->result();
+  r.timeouts = old.timeouts;
+  r.fallbacks = old.fallbacks;
+  r.decisions = old.decisions;
+  session.reset();
+  const double backoff_ms =
+      cfg_.retry_backoff_ms * std::pow(2.0, static_cast<double>(attempt));
+  const auto not_before =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             std::max(0.0, backoff_ms)));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.retries;
+    queue_.push_back(Pending{std::move(fresh), not_before});
+    if (active_ > 0) --active_;
+    update_gauges();
+  }
+  if (obs::Telemetry* t = obs::telemetry()) t->serve_retries.add();
+  util::log_warn() << "DecisionService: session retry (attempt "
+                   << (attempt + 1) << "): " << why;
+  work_cv_.notify_one();
+}
+
+std::size_t DecisionService::run_round(
+    std::vector<std::unique_ptr<Session>>& batch,
+    const rl::PolicyNet& replica) {
+  if (batch.empty()) return 0;
+
+  std::vector<const rl::Observation*> obs;
+  obs.reserve(batch.size());
+  for (const auto& s : batch) obs.push_back(&s->observation());
+
+  // One block-diagonal pass for the whole round. forward_batched matches
+  // per-observation forward bit-for-bit in value, which is the keystone
+  // of session isolation: what else shares the batch cannot change this
+  // session's probabilities.
+  const auto t0 = Clock::now();
+  std::vector<std::optional<rl::PolicyNet::Output>> outs(batch.size());
+  std::vector<std::string> forward_error(batch.size());
+  try {
+    tensor::NoGradGuard no_grad;
+    auto batched = replica.forward_batched(obs);
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      outs[i] = std::move(batched[i]);
+    }
+  } catch (const std::exception& batched_err) {
+    // The batched pass failed somewhere inside the packed graph. Fall
+    // back to per-session forwards so only the faulty session pays:
+    // each one re-runs alone, and whoever throws is quarantined below.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      try {
+        tensor::NoGradGuard no_grad;
+        outs[i] = replica.forward(*obs[i]);
+      } catch (const std::exception& e) {
+        forward_error[i] =
+            std::string("policy forward threw: ") + e.what() +
+            " (batched pass failed: " + batched_err.what() + ")";
+      }
+    }
+  }
+  const double elapsed_us = std::chrono::duration<double, std::micro>(
+                                Clock::now() - t0)
+                                .count();
+
+  std::uint64_t n_decisions = 0;
+  std::uint64_t n_timeouts = 0;
+  std::uint64_t n_fallbacks = 0;
+  obs::Telemetry* tel = obs::telemetry();
+
+  std::size_t stepped = 0;
+  std::vector<std::unique_ptr<Session>> keep;
+  keep.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::unique_ptr<Session> s = std::move(batch[i]);
+    SessionResult& r = s->result();
+
+    if (!outs[i].has_value()) {
+      retire(std::move(s), SessionState::kQuarantined, forward_error[i]);
+      continue;
+    }
+
+    // The service's view of the policy output: a plain row it can vet
+    // before anything touches the env.
+    const tensor::Tensor& pt = outs[i]->probs.value();
+    const std::size_t n = obs[i]->num_actions();
+    std::vector<double> p(n);
+    bool finite = true;
+    const bool poisoned = s->poison_at(r.decisions);
+    for (std::size_t j = 0; j < n; ++j) {
+      p[j] = poisoned ? std::numeric_limits<double>::quiet_NaN() : pt[j];
+      if (!std::isfinite(p[j])) finite = false;
+    }
+    if (!finite) {
+      retire(std::move(s), SessionState::kQuarantined,
+             "non-finite policy probability");
+      continue;
+    }
+
+    const double spec_deadline = s->spec().deadline_us;
+    const double budget = spec_deadline < 0.0 ? 0.0
+                          : spec_deadline > 0.0 ? spec_deadline
+                                                : cfg_.deadline_us;
+    std::size_t action;
+    if (budget > 0.0 && elapsed_us > budget) {
+      // Deadline blown: degrade this decision to a one-shot MCT answer
+      // instead of stalling the round behind a slow policy.
+      action = s->mct_action();
+      ++r.timeouts;
+      ++r.fallbacks;
+      ++n_timeouts;
+      ++n_fallbacks;
+    } else {
+      action = cfg_.greedy ? argmax(p) : sample(p, s->action_rng());
+    }
+
+    ++r.decisions;
+    ++n_decisions;
+    if (cfg_.record_actions) {
+      r.actions.push_back(static_cast<std::uint32_t>(action));
+    }
+    if (cfg_.record_latencies) r.decide_us.push_back(elapsed_us);
+    if (tel != nullptr) tel->serve_decide_us.observe(elapsed_us);
+
+    try {
+      const rl::SchedulingEnv::StepResult sr = s->env().step(action);
+      ++stepped;
+      if (sr.done) {
+        r.makespan = s->env().makespan();
+        retire(std::move(s), SessionState::kCompleted, "");
+      } else if (r.decisions >= cfg_.max_session_decisions) {
+        retire(std::move(s), SessionState::kQuarantined,
+               "decision budget exhausted (" +
+                   std::to_string(r.decisions) + " decisions)");
+      } else {
+        keep.push_back(std::move(s));
+      }
+    } catch (const std::logic_error& e) {
+      // Environment faults (platform unrecoverable, stalled) are
+      // transient: the cluster may recover on resubmission.
+      retry_or_quarantine(std::move(s),
+                          std::string("env fault: ") + e.what());
+    } catch (const std::exception& e) {
+      retire(std::move(s), SessionState::kQuarantined,
+             std::string("env step threw: ") + e.what());
+    }
+  }
+  batch = std::move(keep);
+
+  if (tel != nullptr) {
+    if (n_decisions > 0) tel->serve_decisions.add(n_decisions);
+    if (n_timeouts > 0) tel->serve_timeouts.add(n_timeouts);
+    if (n_fallbacks > 0) tel->serve_fallbacks.add(n_fallbacks);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.decisions += n_decisions;
+    counters_.timeouts += n_timeouts;
+    counters_.fallbacks += n_fallbacks;
+  }
+  return stepped;
+}
+
+void DecisionService::worker_loop(std::size_t slot) {
+  std::vector<std::unique_ptr<Session>> batch;
+  WorkerBeat& beat = *beats_[slot];
+  const rl::PolicyNet& replica = *replicas_[slot];
+  for (;;) {
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        if (stop_) break;
+        const Clock::time_point due = top_up(batch);
+        if (!batch.empty()) break;
+        if (draining_ && in_flight_ == 0) break;
+        beat.busy.store(false, std::memory_order_relaxed);
+        if (due == Clock::time_point::max()) {
+          work_cv_.wait(lock);
+        } else {
+          work_cv_.wait_until(lock, due);
+        }
+      }
+      stopping = stop_;  // snapshot under the lock: plain bool, no relock
+    }
+    if (stopping) break;
+    if (batch.empty()) return;  // drained dry: exit cleanly
+    beat.busy.store(true, std::memory_order_relaxed);
+    run_round(batch, replica);
+    beat.beat.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Abort: retire the in-flight batch deterministically at this round
+  // boundary — partial traces recorded, nothing half-stepped.
+  for (auto& s : batch) {
+    retire(std::move(s), SessionState::kAborted, "service aborted");
+  }
+}
+
+std::size_t DecisionService::pump() {
+  if (!workers_.empty()) {
+    throw std::logic_error(
+        "DecisionService::pump: worker threads are running");
+  }
+  std::vector<std::unique_ptr<Session>> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_) return 0;
+    top_up(batch);
+  }
+  if (batch.empty()) return 0;
+  const std::size_t stepped = run_round(batch, *replicas_[0]);
+  // Survivors go back to the queue front (in order) so the next pump
+  // continues the same round-robin without re-admission accounting.
+  if (!batch.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      queue_.push_front(Pending{std::move(*it), Clock::time_point{}});
+      if (active_ > 0) --active_;
+    }
+    update_gauges();
+  }
+  return stepped;
+}
+
+void DecisionService::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void DecisionService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0 || stop_; });
+}
+
+void DecisionService::shutdown() {
+  drain();
+  if (!workers_.empty()) wait_idle();
+  abort_shutdown();  // no-op on sessions when everything already retired
+}
+
+void DecisionService::abort_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    if (stop_) return;  // already aborted/joined
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  // Sweep whatever never reached a worker (queued sessions, and in pump
+  // mode there is no worker to do it).
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+  }
+  while (!leftover.empty()) {
+    retire(std::move(leftover.front().session), SessionState::kAborted,
+           "service aborted");
+    leftover.pop_front();
+  }
+  idle_cv_.notify_all();
+}
+
+bool DecisionService::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_ == 0;
+}
+
+std::size_t DecisionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t DecisionService::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+bool DecisionService::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+DecisionService::Counters DecisionService::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<SessionResult> DecisionService::results() const {
+  std::vector<SessionResult> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = retired_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionResult& a, const SessionResult& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void DecisionService::update_gauges() const {
+  // Caller holds mutex_.
+  if (obs::Telemetry* t = obs::telemetry()) {
+    t->serve_queue_depth.set(static_cast<double>(queue_.size()));
+    t->serve_active.set(static_cast<double>(active_));
+  }
+}
+
+void DecisionService::watchdog_loop() {
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(cfg_.watchdog_period_ms));
+  std::vector<std::uint64_t> last(beats_.size(), 0);
+  std::vector<Clock::time_point> since(beats_.size(), Clock::now());
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (watchdog_cv_.wait_for(lock, period, [this] { return stop_; })) {
+        return;
+      }
+    }
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < beats_.size(); ++i) {
+      const std::uint64_t cur =
+          beats_[i]->beat.load(std::memory_order_relaxed);
+      const bool busy = beats_[i]->busy.load(std::memory_order_relaxed);
+      if (!busy || cur != last[i]) {
+        last[i] = cur;
+        since[i] = now;
+        continue;
+      }
+      const double stalled_ms =
+          std::chrono::duration<double, std::milli>(now - since[i]).count();
+      if (stalled_ms > cfg_.watchdog_stall_ms) {
+        stalled_.store(true, std::memory_order_relaxed);
+        util::log_error()
+            << "DecisionService: worker " << i << " busy with no progress"
+            << " for " << stalled_ms << " ms (watchdog)";
+        since[i] = now;  // log once per stall window, not every period
+      }
+    }
+  }
+}
+
+}  // namespace readys::serve

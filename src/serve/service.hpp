@@ -1,0 +1,251 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rl/config.hpp"
+#include "rl/policy_net.hpp"
+#include "serve/session.hpp"
+#include "sim/platform.hpp"
+
+namespace readys::serve {
+
+/// Service-wide knobs. Defaults serve a deterministic, single-worker
+/// configuration; the bench and tests override what they exercise.
+struct ServiceConfig {
+  /// Platform every session runs on.
+  int cpus = 2;
+  int gpus = 2;
+  /// Admission queue capacity; a full queue sheds (never grows).
+  std::size_t queue_capacity = 64;
+  /// Sessions a worker multiplexes per decision round — the width of
+  /// the block-diagonal forward_batched pass.
+  std::size_t max_active = 8;
+  /// Inference worker threads. 0 switches to manual pump mode: no
+  /// threads start and the caller drives rounds via pump() — the
+  /// deterministic harness the chaos tests build on.
+  int workers = 1;
+  /// Default per-decision deadline budget in microseconds; 0 disables.
+  /// A decision whose batched forward blew the budget degrades to a
+  /// one-shot MCT answer instead of stalling the round (counted in
+  /// serve.deadline_timeouts + serve.fallback_decisions).
+  double deadline_us = 0.0;
+  /// Transient-fault retries per session (exponential backoff). Faults
+  /// classified transient: the env throwing (platform unrecoverable /
+  /// stalled). Policy faults (thrown forward, non-finite probabilities)
+  /// are permanent — a policy that went NaN will not come back.
+  int max_retries = 0;
+  /// Base backoff before the first retry, doubling per attempt.
+  double retry_backoff_ms = 1.0;
+  /// Runaway guard: a session exceeding this many decisions is
+  /// quarantined (a cycle-free DAG decides O(tasks) times; anything
+  /// wildly beyond that is a livelocked env).
+  std::size_t max_session_decisions = 1u << 20;
+  /// Watchdog sampling period (ms); 0 disables the watchdog thread.
+  double watchdog_period_ms = 0.0;
+  /// A busy worker whose heartbeat has not advanced for this long is
+  /// flagged stalled (logged + stalled() latches true).
+  double watchdog_stall_ms = 5000.0;
+  /// Record per-session action traces / per-decision latencies into the
+  /// SessionResult (tests and the bench want them; high-rate serving
+  /// would not).
+  bool record_actions = false;
+  bool record_latencies = false;
+  /// Greedy argmax decisions (serving default). False samples from the
+  /// policy with the per-session stream.
+  bool greedy = true;
+};
+
+/// A long-lived, multi-tenant decision service: admits SessionSpecs into
+/// a bounded queue, multiplexes up to max_active sessions per worker
+/// through one block-diagonal forward_batched pass per decision round,
+/// and survives individual sessions misbehaving.
+///
+/// Robustness contract:
+///  - Admission is bounded: a full queue (or a draining service) sheds
+///    the submission with an explicit reason; nothing grows unbounded.
+///  - A session whose policy throws or emits non-finite probabilities is
+///    quarantined; because forward_batched matches per-observation
+///    forward bit-for-bit, the surviving sessions' decision streams are
+///    unchanged by the removal (pinned by tests/chaos).
+///  - A session whose *environment* faults (platform unrecoverable) is
+///    retried with exponential backoff up to max_retries, then
+///    quarantined.
+///  - A decision that blows its deadline budget degrades to a one-shot
+///    MCT answer (sched::one_shot_mct) instead of stalling the batch.
+///  - drain()/shutdown() complete in-flight sessions; abort_shutdown()
+///    retires them deterministically at a round boundary with their
+///    partial traces recorded.
+class DecisionService {
+ public:
+  /// Outcome of submit(): either an id to look up later, or a shed
+  /// reason ("queue full", "draining", "stopped").
+  struct Admission {
+    bool admitted = false;
+    std::uint64_t id = 0;
+    std::string reason;
+  };
+
+  /// Monotone service-wide counters (mirrored into the serve.* metrics
+  /// when telemetry is installed; kept here so tests and the bench do
+  /// not depend on the obs layer being live).
+  struct Counters {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fallbacks = 0;
+  };
+
+  /// The service forwards through per-worker replicas of `net` (copied
+  /// weights, architecture rebuilt from `agent`), so the caller's net is
+  /// never touched after construction and workers never share mutable
+  /// tensors. `agent.window` also sizes every session's encoder.
+  DecisionService(const rl::PolicyNet& net, const rl::AgentConfig& agent,
+                  ServiceConfig cfg);
+
+  /// Aborts any in-flight work (abort_shutdown) and joins the threads.
+  ~DecisionService();
+
+  DecisionService(const DecisionService&) = delete;
+  DecisionService& operator=(const DecisionService&) = delete;
+
+  /// Non-blocking admission. Shedding is a normal outcome, not an
+  /// exception: the caller reads `reason` and backs off.
+  Admission submit(const SessionSpec& spec);
+
+  /// Manual pump mode (workers == 0): runs one decision round on the
+  /// calling thread and returns the number of sessions stepped (0 when
+  /// nothing is runnable). Throws std::logic_error when worker threads
+  /// are running — exactly one driver may step sessions.
+  std::size_t pump();
+
+  /// Stops admission (further submits shed with "draining"); queued and
+  /// active sessions still run to completion.
+  void drain();
+
+  /// drain() + blocks until every admitted session retired, then stops
+  /// the workers. In pump mode the caller must keep pump()ing until
+  /// idle() before shutdown() returns meaningfully (it will not pump on
+  /// the caller's behalf).
+  void shutdown();
+
+  /// Deterministic checkpoint-and-abort: stops the workers at the next
+  /// decision-round boundary and retires every queued and active session
+  /// as kAborted with its partial action trace recorded.
+  void abort_shutdown();
+
+  /// Blocks until no admitted session remains queued or active. Only
+  /// meaningful with worker threads (pump mode would deadlock; use
+  /// idle() in the pump loop instead).
+  void wait_idle();
+
+  bool idle() const;
+  std::size_t queue_depth() const;
+  std::size_t active_count() const;
+  bool draining() const;
+  /// Latched true when the watchdog saw a busy worker make no progress
+  /// for watchdog_stall_ms.
+  bool stalled() const noexcept {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+
+  Counters counters() const;
+
+  /// Snapshot of every retired session so far, ascending id.
+  std::vector<SessionResult> results() const;
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  const sim::Platform& platform() const noexcept { return platform_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued session: either fresh from submit() or a backoff retry
+  /// (not_before in the future).
+  struct Pending {
+    std::unique_ptr<Session> session;
+    Clock::time_point not_before{};
+  };
+
+  /// Builds a session for (spec, attempt), reusing the graph cache.
+  std::unique_ptr<Session> build_session(std::uint64_t id,
+                                         const SessionSpec& spec,
+                                         int attempt);
+
+  /// One decision round over `batch` using `replica`: top-up happens in
+  /// the caller. Retired sessions leave `batch`; the return value is the
+  /// number of sessions stepped.
+  std::size_t run_round(std::vector<std::unique_ptr<Session>>& batch,
+                        const rl::PolicyNet& replica);
+
+  /// Pulls due queue entries into `batch` up to max_active. Returns the
+  /// earliest not_before among entries left behind (Clock::time_point::max()
+  /// when none are waiting on backoff).
+  Clock::time_point top_up(std::vector<std::unique_ptr<Session>>& batch);
+
+  void retire(std::unique_ptr<Session> session, SessionState state,
+              std::string error);
+  /// Transient-fault path: re-enqueue with backoff or quarantine when
+  /// retries are exhausted / the queue is full.
+  void retry_or_quarantine(std::unique_ptr<Session> session,
+                           const std::string& why);
+
+  void worker_loop(std::size_t slot);
+  void watchdog_loop();
+  void update_gauges() const;
+
+  ServiceConfig cfg_;
+  rl::AgentConfig agent_;
+  sim::Platform platform_;
+  /// Graph cache: sessions on the same (app, tiles) share one immutable
+  /// TaskGraph (SimEngine/StateEncoder hold pointers into it).
+  std::map<std::pair<int, int>, std::shared_ptr<const dag::TaskGraph>>
+      graphs_;
+  std::mutex graphs_mutex_;
+
+  /// Per-worker policy replicas (slot 0 doubles as the pump-mode net).
+  std::vector<std::unique_ptr<rl::PolicyNet>> replicas_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait for runnable work
+  std::condition_variable idle_cv_;   ///< wait_idle / shutdown wait here
+  // The watchdog gets its own cv: if it shared work_cv_, a notify_one
+  // meant for a worker could wake the watchdog instead and be swallowed
+  // by its timed re-wait — a lost wakeup that strands queued sessions.
+  std::condition_variable watchdog_cv_;
+  std::deque<Pending> queue_;
+  std::vector<SessionResult> retired_;
+  std::uint64_t next_id_ = 1;
+  std::size_t in_flight_ = 0;  ///< queued + active (in some worker batch)
+  std::size_t active_ = 0;     ///< sessions currently in worker batches
+  bool draining_ = false;
+  bool stop_ = false;  ///< abort: workers retire their batches and exit
+
+  std::atomic<bool> stalled_{false};
+  Counters counters_;
+
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  /// Per-worker progress heartbeat + busy flag for the watchdog.
+  struct WorkerBeat {
+    std::atomic<std::uint64_t> beat{0};
+    std::atomic<bool> busy{false};
+  };
+  std::vector<std::unique_ptr<WorkerBeat>> beats_;
+};
+
+}  // namespace readys::serve

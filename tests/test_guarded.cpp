@@ -238,3 +238,81 @@ TEST(Guarded, NanPolicyCompletesEpisodeViaFallbackWithMetric) {
   }
   if (installed) ro::shutdown();
 }
+
+// ---------------------------------------------------------------------
+// Registry option syntax: guarded(budget_us=...,max_strikes=...):<inner>
+// ---------------------------------------------------------------------
+
+TEST(GuardedSpec, BudgetAndStrikesParseFromRegistryName) {
+  auto sched = rx::make_scheduler("guarded(budget_us=500,max_strikes=2):mct");
+  auto* guarded = dynamic_cast<rx::GuardedScheduler*>(sched.get());
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_DOUBLE_EQ(guarded->options().decide_budget_ms, 0.5);
+  EXPECT_EQ(guarded->options().max_strikes, 2);
+  EXPECT_EQ(sched->name(), "guarded(MCT)");
+}
+
+TEST(GuardedSpec, BudgetMsVariantAndDefaults) {
+  auto sched = rx::make_scheduler("guarded(budget_ms=3):heft");
+  auto* guarded = dynamic_cast<rx::GuardedScheduler*>(sched.get());
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_DOUBLE_EQ(guarded->options().decide_budget_ms, 3.0);
+  EXPECT_EQ(guarded->options().max_strikes, rx::GuardedScheduler::Options{}.max_strikes);
+
+  // The bare prefix keeps the all-default options.
+  auto plain = rx::make_scheduler("guarded:mct");
+  auto* plain_guarded = dynamic_cast<rx::GuardedScheduler*>(plain.get());
+  ASSERT_NE(plain_guarded, nullptr);
+  EXPECT_DOUBLE_EQ(plain_guarded->options().decide_budget_ms, 0.0);
+}
+
+TEST(GuardedSpec, OptionSyntaxComposesWithNesting) {
+  auto sched = rx::make_scheduler("guarded(budget_ms=1):guarded:mct");
+  auto* outer = dynamic_cast<rx::GuardedScheduler*>(sched.get());
+  ASSERT_NE(outer, nullptr);
+  EXPECT_DOUBLE_EQ(outer->options().decide_budget_ms, 1.0);
+  EXPECT_EQ(sched->name(), "guarded(guarded(MCT))");
+}
+
+TEST(GuardedSpec, MalformedSpecsAreRejected) {
+  // contains() answers false for malformed specs; make() names the
+  // problem in the exception instead of silently defaulting.
+  EXPECT_FALSE(rx::registry().contains("guarded(budget_us=500:mct"));
+  EXPECT_FALSE(rx::registry().contains("guarded(budget_us=abc):mct"));
+  EXPECT_FALSE(rx::registry().contains("guarded(unknown_knob=1):mct"));
+  EXPECT_FALSE(rx::registry().contains("guarded(max_strikes=0):mct"));
+  EXPECT_FALSE(rx::registry().contains("guarded(budget_us=1)mct"));
+  EXPECT_FALSE(rx::registry().contains("guardedfoo"));
+  EXPECT_THROW(rx::make_scheduler("guarded(budget_us=abc):mct"),
+               std::invalid_argument);
+  EXPECT_THROW(rx::make_scheduler("guarded(unknown_knob=1):mct"),
+               std::invalid_argument);
+  // A well-formed option list around an unknown inner still fails on
+  // the inner, like the bare prefix does.
+  EXPECT_FALSE(rx::registry().contains("guarded(budget_us=1):no-such"));
+  EXPECT_THROW(rx::make_scheduler("guarded(budget_us=1):no-such"),
+               std::invalid_argument);
+}
+
+TEST(GuardedSpec, BudgetedSpecDegradesSlowInnerToMct) {
+  // A registry-built guarded scheduler with an unmeetable budget rescues
+  // every decision via one-shot MCT and still completes the episode with
+  // a valid trace. (The rescued trajectory need not equal a pure
+  // MctScheduler run: per-decision one-shot rescue and a stateful MCT
+  // episode legitimately diverge — we pin completion + determinism.)
+  const auto g = rd::cholesky_graph(4);
+  auto run_once = [&g] {
+    auto sched = rx::make_scheduler("guarded(budget_us=0.001):greedy");
+    rs::Simulator sim(g, rs::Platform::hybrid(2, 2), rs::CostModel::cholesky(),
+                      {0.0, 1});
+    const auto result = sim.run(*sched);
+    EXPECT_EQ(result.trace.validate(g, rs::Platform::hybrid(2, 2)), "");
+    auto* guarded = dynamic_cast<rx::GuardedScheduler*>(sched.get());
+    EXPECT_NE(guarded, nullptr);
+    if (guarded != nullptr) EXPECT_GT(guarded->fallback_decisions(), 0u);
+    return result.makespan;
+  };
+  const double first = run_once();
+  EXPECT_GT(first, 0.0);
+  EXPECT_DOUBLE_EQ(first, run_once());  // degraded path is deterministic
+}

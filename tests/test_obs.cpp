@@ -523,3 +523,58 @@ TEST(MergedTrace, EmptyFragmentsAreSkipped) {
   EXPECT_EQ(json.find("[,"), std::string::npos);
   fs::remove(path);
 }
+
+// ---------------------------------------------------------------------
+// Sink durability: write failures must surface, not vanish
+// ---------------------------------------------------------------------
+
+TEST(JsonlSink, SurfacesEnospcWithPathAndCountsErrors) {
+  // /dev/full fails every write with ENOSPC — the canonical disk-full
+  // stand-in (same contract as the PR 5 checkpoint durability tests).
+  if (!fs::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  ro::JsonlSink sink("/dev/full", /*flush_every=*/1);
+  try {
+    // One row is enough: flush_every=1 forces the flush that hits the
+    // kernel, and the failure must carry the sink path.
+    sink.write(ro::JsonObject().field("row", 1).str());
+    FAIL() << "write to /dev/full did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_GE(sink.write_errors(), 1u);
+  // The stream fault was cleared, so later writes try again (and fail
+  // again) instead of silently no-oping forever.
+  EXPECT_THROW(sink.write(ro::JsonObject().field("row", 2).str()),
+               std::runtime_error);
+  EXPECT_GE(sink.write_errors(), 2u);
+}
+
+TEST(JsonlSink, ErrorsFeedSinkErrorsMetricWhenInstalled) {
+  if (!fs::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available on this platform";
+  }
+  const bool installed = ro::install(ro::TelemetryConfig{});
+  if (ro::telemetry() == nullptr) GTEST_SKIP() << "telemetry unavailable";
+  const std::uint64_t before = ro::telemetry()->sink_errors.total();
+  {
+    ro::JsonlSink sink("/dev/full", /*flush_every=*/1);
+    EXPECT_THROW(sink.write(ro::JsonObject().field("x", 1).str()),
+                 std::runtime_error);
+  }  // destructor's final flush must swallow, not terminate
+  EXPECT_GT(ro::telemetry()->sink_errors.total(), before);
+  if (installed) ro::shutdown();
+}
+
+TEST(JsonlSink, HealthyPathReportsZeroWriteErrors) {
+  const std::string path = scratch_file("readys_obs_sink_healthy.jsonl");
+  {
+    ro::JsonlSink sink(path, /*flush_every=*/1);
+    sink.write(ro::JsonObject().field("ok", true).str());
+    sink.flush();
+    EXPECT_EQ(sink.write_errors(), 0u);
+  }
+  fs::remove(path);
+}
