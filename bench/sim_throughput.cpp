@@ -19,6 +19,12 @@
 //                          on the MCT cells: disabled vs registry-only vs
 //                          full tracing, written to
 //                          BENCH_telemetry_overhead.json
+//   READYS_BENCH_RESOURCES comma list of platform sizes (e.g. 4,16,64,256):
+//                          instead sweep the resource count on the first
+//                          tile count, written to
+//                          BENCH_sim_throughput_resources.json — the
+//                          single-engine half of the scaling story that
+//                          bench/cluster_scale extends with sharding
 
 #include <chrono>
 #include <cstdio>
@@ -174,6 +180,68 @@ int run_overhead_mode(const std::vector<int>& tiles, double sigma,
   return 0;
 }
 
+/// Resource-count scaling mode: fixed DAG, growing platform. Pins how
+/// the single (unsharded) engine + MCT degrade as P grows — every decide
+/// scans all P resources — providing the centralized half of the curve
+/// that bench/cluster_scale compares against the sharded scheduler.
+int run_resource_mode(const std::vector<int>& resources, int tiles,
+                      double sigma, double min_seconds, int fixed_episodes,
+                      const sim::CostModel& costs) {
+  bench::BenchRun run("sim_throughput --resources");
+  run.manifest.set("sigma", sigma);
+  run.manifest.set("tiles", tiles);
+  run.manifest.set("fixed_episodes", fixed_episodes);
+  run.set_schedulers({"mct"});
+
+  const auto graph = dag::cholesky_graph(tiles);
+  std::printf("=== Simulator throughput vs resource count "
+              "(MCT / Cholesky T=%d, sigma=%.2f) ===\n\n",
+              tiles, sigma);
+  util::Table table(
+      {"P", "tasks", "episodes", "decisions/s", "mean mk (ms)"});
+  struct Row {
+    int resources;
+    Cell cell;
+  };
+  std::vector<Row> rows;
+  for (const int p : resources) {
+    const auto platform = sim::Platform::hybrid(p / 2, p - p / 2);
+    const auto cell =
+        run_cell("MCT", core::mct_factory(), graph, platform, costs, tiles,
+                 sigma, min_seconds, fixed_episodes);
+    table.add_row({std::to_string(p), std::to_string(cell.tasks),
+                   std::to_string(cell.episodes),
+                   util::Table::num(cell.decisions_per_s, 0),
+                   util::Table::num(cell.mean_makespan, 1)});
+    rows.push_back({p, cell});
+  }
+  table.print();
+
+  const char* path = "BENCH_sim_throughput_resources.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror(path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"sim_throughput_resources\",\n");
+  std::fprintf(f, "  \"tiles\": %d,\n  \"sigma\": %.3f,\n  \"cells\": [\n",
+               tiles, sigma);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"resources\": %d, \"tasks\": %zu, \"episodes\": %d, "
+                 "\"decisions_per_s\": %.1f, \"mean_makespan_ms\": %.3f}%s\n",
+                 r.resources, r.cell.tasks, r.cell.episodes,
+                 r.cell.decisions_per_s, r.cell.mean_makespan,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nresource-scaling series written to %s\n", path);
+  run.finish(path);
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -187,6 +255,11 @@ int main() {
   if (util::env_int("READYS_BENCH_TELEMETRY_OVERHEAD", 0) != 0) {
     return run_overhead_mode(tiles, sigma, min_seconds, fixed_episodes,
                              platform, costs);
+  }
+  const auto resources = util::env_int_list("READYS_BENCH_RESOURCES", {});
+  if (!resources.empty()) {
+    return run_resource_mode(resources, tiles.front(), sigma, min_seconds,
+                             fixed_episodes, costs);
   }
 
   // Honors READYS_METRICS_OUT / READYS_TRACE_OUT; leave both unset when

@@ -8,6 +8,7 @@
 //   readys_cli gantt    <app> <tiles> <ncpu> <ngpu> <scheduler> [sigma]
 //   readys_cli dot      <app> <tiles> <out.dot>
 //   readys_cli serve-bench [--config <run.json>] [serve flags]
+//   readys_cli cluster-bench [--config <run.json>] [cluster flags]
 //
 // train flags: [--trainer a2c|ppo] [--num-envs <n>]
 //              [--updates-per-round <g>] [--async] [--async-strict]
@@ -21,10 +22,12 @@
 // (run an unknown one to get the list). <run.json> is a "readys-run/1"
 // document (see docs/api.md).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "core/readys.hpp"
 
@@ -58,7 +61,15 @@ int usage() {
       "  readys_cli serve-bench [--config <run.json>] [serve flags]\n"
       "    serve flags: [--sessions <n>] [--rate <per_s>] [--queue <n>]\n"
       "                 [--active <n>] [--workers <n>] [--deadline-us <d>]\n"
-      "                 [--retries <n>]\n");
+      "                 [--retries <n>]\n"
+      "  readys_cli cluster-bench [--config <run.json>] [cluster flags]\n"
+      "    cluster flags: [--app <a>] [--tiles <n>] [--ncpu <n>] "
+      "[--ngpu <n>]\n"
+      "                   [--sigma <s>] [--scheduler <spec>] [--runs <n>]\n"
+      "                   [--seed <n>] [--shards <k>] [--stale-ms <d>]\n"
+      "                   [--hb-ms <d>] [--parallel <n>]\n"
+      "                   [--comm-tile-bytes <b>] [--comm-bandwidth <b_ms>]\n"
+      "                   [--comm-latency-ms <d>]\n");
   return 2;
 }
 
@@ -370,6 +381,120 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+// Episodes of one DAG under the sharded simulation core with the
+// decentralized shard:<inner> scheduler family, RunConfig-driven.
+// Prints makespan plus the cluster counters (steals, heartbeat
+// transitions, rescues, dropped proposals); the committed P x K scaling
+// sweep lives in bench/cluster_scale.
+int cmd_cluster_bench(int argc, char** argv) {
+  cluster::register_cluster_scheduler();
+  core::RunConfig cfg = core::RunConfig::from_env();
+  int runs = 5;
+  int i = 2;
+  if (argc >= 4 && std::strcmp(argv[2], "--config") == 0) {
+    cfg = core::RunConfig::from_file(argv[3]);
+    i = 4;
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--app" && i + 1 < argc) {
+      cfg.app = argv[++i];
+    } else if (flag == "--tiles" && i + 1 < argc) {
+      cfg.tiles = std::atoi(argv[++i]);
+    } else if (flag == "--ncpu" && i + 1 < argc) {
+      cfg.ncpu = std::atoi(argv[++i]);
+    } else if (flag == "--ngpu" && i + 1 < argc) {
+      cfg.ngpu = std::atoi(argv[++i]);
+    } else if (flag == "--sigma" && i + 1 < argc) {
+      cfg.sigma = std::atof(argv[++i]);
+    } else if (flag == "--scheduler" && i + 1 < argc) {
+      cfg.scheduler = argv[++i];
+    } else if (flag == "--runs" && i + 1 < argc) {
+      runs = std::atoi(argv[++i]);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (flag == "--shards" && i + 1 < argc) {
+      cfg.cluster_shards = std::atoi(argv[++i]);
+    } else if (flag == "--stale-ms" && i + 1 < argc) {
+      cfg.cluster_stale_ms = std::atof(argv[++i]);
+    } else if (flag == "--hb-ms" && i + 1 < argc) {
+      cfg.cluster_hb_ms = std::atof(argv[++i]);
+    } else if (flag == "--parallel" && i + 1 < argc) {
+      cfg.cluster_parallel = std::atoi(argv[++i]);
+    } else if (flag == "--comm-tile-bytes" && i + 1 < argc) {
+      cfg.comm_tile_bytes = std::atof(argv[++i]);
+    } else if (flag == "--comm-bandwidth" && i + 1 < argc) {
+      cfg.comm_bandwidth = std::atof(argv[++i]);
+    } else if (flag == "--comm-latency-ms" && i + 1 < argc) {
+      cfg.comm_latency_ms = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown cluster-bench option '%s'\n",
+                   flag.c_str());
+      return usage();
+    }
+  }
+  cfg.validate();
+  if (runs < 1) runs = 1;
+
+  const auto graph = cfg.make_graph();
+  const auto platform = cfg.make_platform();
+  const auto costs = cfg.make_costs();
+
+  // A bare inner spec gets wrapped into the decentralized family from
+  // the cluster_* knobs; a spec already naming shard(...) is kept as is
+  // so --config can pin exact options.
+  std::string spec = cfg.scheduler;
+  if (cfg.cluster_shards > 1 && spec.rfind("shard", 0) != 0) {
+    spec = "shard(shards=" + std::to_string(cfg.cluster_shards) +
+           ",stale_ms=" + std::to_string(cfg.cluster_stale_ms) +
+           ",hb_ms=" + std::to_string(cfg.cluster_hb_ms) +
+           ",parallel=" + std::to_string(cfg.cluster_parallel) + "):" + spec;
+  }
+
+  std::vector<double> mks;
+  std::size_t steals = 0, stolen = 0, rescues = 0, dropped = 0, hb = 0;
+  std::string sched_name;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t tasks_done = 0;
+  for (int run = 0; run < runs; ++run) {
+    sched::SchedulerConfig sc;
+    sc.seed = cfg.seed + static_cast<std::uint64_t>(run);
+    auto scheduler = sched::make_scheduler(spec, sc);
+    sched_name = scheduler->name();
+    cluster::ClusterSimulator::Options opt;
+    opt.sigma = cfg.sigma;
+    opt.seed = cfg.seed + static_cast<std::uint64_t>(run);
+    opt.shards = cfg.cluster_shards;
+    if (cfg.has_comm()) opt.comm = cfg.make_comm();
+    cluster::ClusterSimulator sim(graph, platform, costs, opt);
+    const auto r = sim.run(*scheduler);
+    mks.push_back(r.makespan);
+    tasks_done += r.trace.size();
+    if (const auto* ss =
+            dynamic_cast<const cluster::ShardScheduler*>(scheduler.get())) {
+      steals += ss->steals();
+      stolen += ss->stolen_tasks();
+      rescues += ss->rescue_fallbacks();
+      dropped += ss->dropped_assignments();
+      hb += ss->heartbeat().total_transitions();
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto s = util::summarize(mks);
+  std::printf("%s on %s via %s, sigma=%.2f, K=%d, %d runs\n",
+              graph.name().c_str(), platform.name().c_str(),
+              sched_name.c_str(), cfg.sigma, cfg.cluster_shards, runs);
+  std::printf("makespan %.1f ms (+/- %.1f), %.0f scheduled tasks/s wall\n",
+              s.mean, s.ci95_half_width,
+              wall_s > 0 ? static_cast<double>(tasks_done) / wall_s : 0.0);
+  std::printf("steals %zu (tasks %zu)  heartbeat transitions %zu  "
+              "rescues %zu  dropped %zu\n",
+              steals, stolen, hb, rescues, dropped);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -382,6 +507,7 @@ int main(int argc, char** argv) {
     if (cmd == "gantt") return cmd_gantt(argc, argv);
     if (cmd == "dot") return cmd_dot(argc, argv);
     if (cmd == "serve-bench") return cmd_serve_bench(argc, argv);
+    if (cmd == "cluster-bench") return cmd_cluster_bench(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

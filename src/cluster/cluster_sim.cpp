@@ -1,0 +1,59 @@
+#include "cluster/cluster_sim.hpp"
+
+#include <stdexcept>
+
+#include "obs/span.hpp"
+
+namespace readys::cluster {
+
+ClusterSimulator::ClusterSimulator(const dag::TaskGraph& graph,
+                                   const sim::Platform& platform,
+                                   const sim::CostModel& costs,
+                                   Options options)
+    : graph_(&graph),
+      platform_(platform),
+      costs_(costs),
+      options_(options) {}
+
+ClusterResult ClusterSimulator::run(sim::Scheduler& scheduler) {
+  obs::Span span("cluster/episode", "sim");
+  const sim::CommModel comm = options_.comm.has_value()
+                                  ? *options_.comm
+                                  : sim::CommModel::free();
+  const sim::FaultModel faults = options_.faults.has_value()
+                                     ? *options_.faults
+                                     : sim::FaultModel::none();
+  ShardedEngine engine(*graph_, platform_, costs_, comm, faults,
+                       options_.sigma, options_.seed, options_.shards);
+  scheduler.reset(engine.view());
+
+  ClusterResult result;
+  while (!engine.finished()) {
+    ++result.decision_instants;
+    for (;;) {
+      const auto assignments = scheduler.decide(engine.view());
+      if (assignments.empty()) break;
+      for (const auto& a : assignments) {
+        engine.start(a.task, a.resource);
+      }
+    }
+    if (engine.finished()) break;
+    if (engine.fault_enabled() && !engine.any_running() &&
+        engine.num_up() == 0 && engine.faults().mean_downtime <= 0.0) {
+      throw std::logic_error(
+          "ClusterSimulator: platform unrecoverable (every resource "
+          "permanently down, tasks remain)");
+    }
+    if (!engine.advance()) {
+      throw std::logic_error(
+          "ClusterSimulator: scheduler stalled (no task running, none "
+          "assigned, tasks remain)");
+    }
+  }
+  result.makespan = engine.makespan();
+  result.trace = engine.trace();
+  result.shard_traces = engine.shard_traces();
+  return result;
+}
+
+}  // namespace readys::cluster

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/sharded_engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace readys::cluster {
+
+/// Result of one cluster-scale execution: the plain SimResult fields
+/// plus the per-shard sub-traces (whose merge equals `trace` — pinned by
+/// the property suite).
+struct ClusterResult {
+  double makespan = 0.0;
+  sim::Trace trace;
+  std::size_t decision_instants = 0;
+  std::vector<sim::Trace> shard_traces;
+};
+
+/// Event-driven executor over a ShardedEngine — the same decide/start/
+/// advance protocol as sim::Simulator (including the stall and
+/// unrecoverable-platform failure modes), but the scheduler observes a
+/// table-backed EngineView published by the sharded core. Any Scheduler
+/// runs here unchanged; pairing it with a ShardScheduler built for the
+/// same shard count is what the "shard:<inner>" registry family does.
+class ClusterSimulator {
+ public:
+  struct Options {
+    double sigma = 0.0;
+    std::uint64_t seed = 1;
+    int shards = 1;
+    std::optional<sim::CommModel> comm;
+    std::optional<sim::FaultModel> faults;
+  };
+
+  ClusterSimulator(const dag::TaskGraph& graph, const sim::Platform& platform,
+                   const sim::CostModel& costs, Options options);
+
+  ClusterResult run(sim::Scheduler& scheduler);
+
+ private:
+  const dag::TaskGraph* graph_;  // must outlive the simulator
+  sim::Platform platform_;       // copied: inline temporaries are safe
+  sim::CostModel costs_;
+  Options options_;
+};
+
+}  // namespace readys::cluster

@@ -1,0 +1,105 @@
+#include "cluster/heartbeat.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace readys::cluster {
+
+namespace {
+/// Wake a hair before a computed threshold crossing so float rounding
+/// in `last_heard + k * period` can never make the detector look one
+/// observation *later* than the `missed >= k` comparison it models.
+/// Waking early is harmless (one extra no-op check); waking late would
+/// delay a transition.
+constexpr double kWakeSlack = 1e-9;
+}  // namespace
+
+void HeartbeatMonitor::reset(std::size_t num_resources, double now) {
+  state_.assign(num_resources, HbState::kAlive);
+  period_.resize(num_resources);
+  next_emit_.resize(num_resources);
+  last_heard_.assign(num_resources, now);
+  for (auto& row : transitions_) row.fill(0);
+  total_ = 0;
+  util::Rng rng(config_.seed);
+  heap_.clear();
+  heap_.reserve(num_resources);
+  due_.clear();
+  for (std::size_t r = 0; r < num_resources; ++r) {
+    // Jitter in [0.75, 1.25) x period so the fleet's emissions do not
+    // phase-lock; fixed per episode for determinism.
+    period_[r] = config_.period_ms * (0.75 + 0.5 * rng.uniform());
+    next_emit_[r] = now + period_[r];
+    heap_.push_back({next_wake(r, now), static_cast<std::uint32_t>(r)});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void HeartbeatMonitor::step_to(std::size_t r, HbState target) {
+  HbState cur = state_[r];
+  if (target == cur) return;
+  if (target < cur) {
+    // A heartbeat was heard: any belief snaps straight back to alive.
+    transitions_[static_cast<int>(cur)][static_cast<int>(HbState::kAlive)]++;
+    ++total_;
+    state_[r] = HbState::kAlive;
+    return;
+  }
+  // Worsening: one severity step per observation, so alive always
+  // passes through suspect before dead.
+  const HbState next = static_cast<HbState>(static_cast<int>(cur) + 1);
+  transitions_[static_cast<int>(cur)][static_cast<int>(next)]++;
+  ++total_;
+  state_[r] = next;
+}
+
+/// Earliest future time resource r's belief could change, given frozen
+/// inputs: its next beat boundary (a beat may be heard, or missed-beat
+/// counts grow past it), or — while silent — the crossing into the next
+/// severity band. A resource still worsening toward its target must be
+/// re-checked at the very next observe (one severity step per call).
+double HeartbeatMonitor::next_wake(std::size_t r, double now) const {
+  double cross = std::numeric_limits<double>::infinity();
+  if (state_[r] == HbState::kAlive) {
+    cross = last_heard_[r] +
+            static_cast<double>(config_.suspect_after) * period_[r];
+  } else if (state_[r] == HbState::kSuspect) {
+    cross =
+        last_heard_[r] + static_cast<double>(config_.dead_after) * period_[r];
+  }
+  return std::max(now, std::min(next_emit_[r], cross - kWakeSlack));
+}
+
+void HeartbeatMonitor::observe(double now, const UpFn& up) {
+  due_.clear();
+  while (!heap_.empty() && heap_.front().at <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const std::uint32_t r = heap_.back().resource;
+    heap_.pop_back();
+    while (next_emit_[r] <= now) {
+      if (up(r)) last_heard_[r] = next_emit_[r];
+      next_emit_[r] += period_[r];
+    }
+    const double missed = (now - last_heard_[r]) / period_[r];
+    HbState target = HbState::kAlive;
+    if (missed >= static_cast<double>(config_.dead_after)) {
+      target = HbState::kDead;
+    } else if (missed >= static_cast<double>(config_.suspect_after)) {
+      target = HbState::kSuspect;
+    }
+    step_to(r, target);
+    // Still short of a worsening target (alive stepped only to
+    // suspect): wake at `now` so the very next observe, at any later
+    // time, takes the following severity step.
+    const double at = state_[r] != target ? now : next_wake(r, now);
+    due_.push_back({at, r});
+  }
+  // Re-arm after the drain loop so a resource is processed at most
+  // once per observe call even when its wake time stays <= now.
+  for (const Wake& w : due_) {
+    heap_.push_back(w);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+}
+
+}  // namespace readys::cluster

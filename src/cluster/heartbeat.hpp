@@ -1,0 +1,128 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace readys::cluster {
+
+/// Believed liveness of one resource as seen through its heartbeats.
+/// Ordered by severity: transitions only ever move one step toward
+/// kDead, and any fresh heartbeat snaps straight back to kAlive.
+enum class HbState : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+inline constexpr int kNumHbStates = 3;
+
+/// Phi-accrual-flavored failure detector over simulated time.
+///
+/// Each resource emits a heartbeat every `period_ms` of simulated time
+/// (jittered per resource so emissions do not phase-lock across the
+/// platform), but only while it is actually up — an outage silences the
+/// resource and the detector *discovers* the failure after enough
+/// missed beats, it is never told. That indirection is the point: a
+/// decentralized scheduler composing with the engine's FaultModel sees
+/// outages with detection latency, exactly like a real cluster
+/// membership service, instead of reading ground truth.
+///
+///   missed < suspect_after          -> kAlive
+///   suspect_after <= missed < dead  -> kSuspect (stop stealing for it)
+///   dead_after <= missed            -> kDead    (treat as departed)
+///
+/// Worsening transitions step through kSuspect one observe() at a time
+/// (alive never jumps straight to dead); a heard heartbeat snaps any
+/// state back to kAlive. Every transition is counted into a 3x3 matrix
+/// so tests can pin the machine's validity (e.g. the dead->suspect cell
+/// stays zero forever) and the cluster.heartbeat_transitions metric has
+/// an exact source of truth.
+///
+/// observe() is event-driven: a wake-time min-heap holds, per resource,
+/// the earliest simulated time its belief could possibly change (its
+/// next beat boundary or its next missed-beat threshold crossing), so a
+/// call touches only the resources whose wake time has arrived instead
+/// of scanning the whole platform. A coordinator deciding every few
+/// microseconds of simulated time therefore pays O(beats crossed), not
+/// O(P), per round — with identical observable behavior, since a beat
+/// is still processed at the first observe() after its boundary.
+///
+/// The detector is deterministic: jitter comes from its own seeded Rng
+/// and time is simulation time, so a run is bit-reproducible.
+class HeartbeatMonitor {
+ public:
+  struct Config {
+    double period_ms = 1.0;  ///< mean heartbeat interval (simulated ms)
+    int suspect_after = 3;   ///< missed beats before kSuspect
+    int dead_after = 6;      ///< missed beats before kDead
+    std::uint64_t seed = 0x4bea7;
+  };
+
+  /// Ground-truth liveness query for one resource, answered by the
+  /// caller at observation time (see observe()).
+  using UpFn = std::function<bool(std::size_t)>;
+
+  HeartbeatMonitor() = default;
+  explicit HeartbeatMonitor(Config config) : config_(config) {}
+
+  /// (Re)starts the detector for `num_resources` resources at time
+  /// `now`: everyone starts kAlive with a heartbeat just heard, and the
+  /// per-resource jittered periods are re-drawn from the seed.
+  void reset(std::size_t num_resources, double now);
+
+  /// Advances every due resource's emission schedule to `now` and
+  /// updates beliefs. `up(r)` is the resource's *current* ground-truth
+  /// liveness: heartbeats scheduled in (last_observe, now] are heard
+  /// only if the resource is up at this observation (a discrete-time
+  /// approximation — detection latency is already the feature under
+  /// test, sub-period outage timing is noise).
+  void observe(double now, const UpFn& up);
+
+  /// Table-backed convenience overload: `up[r]` per resource.
+  void observe(double now, const std::vector<std::uint8_t>& up) {
+    observe(now, UpFn([&up](std::size_t r) { return up[r] != 0; }));
+  }
+
+  HbState state(std::size_t r) const { return state_[r]; }
+  /// True unless the resource is believed dead (suspects are still
+  /// polled, but not targeted by work stealing).
+  bool believed_alive(std::size_t r) const {
+    return state_[r] != HbState::kDead;
+  }
+  std::size_t num_resources() const noexcept { return state_.size(); }
+
+  /// transition_counts()[from][to]: times a resource moved from->to.
+  /// Diagonal stays zero (self-transitions are not transitions).
+  const std::array<std::array<std::uint64_t, kNumHbStates>, kNumHbStates>&
+  transition_counts() const noexcept {
+    return transitions_;
+  }
+  std::uint64_t total_transitions() const noexcept { return total_; }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  void step_to(std::size_t r, HbState target);
+  double next_wake(std::size_t r, double now) const;
+
+  /// Heap entry: (wake time, resource). Exactly one live entry per
+  /// resource — wake times only change when the entry is popped.
+  struct Wake {
+    double at = 0.0;
+    std::uint32_t resource = 0;
+    bool operator>(const Wake& o) const noexcept { return at > o.at; }
+  };
+
+  Config config_;
+  std::vector<HbState> state_;
+  std::vector<double> period_;     ///< jittered per-resource interval
+  std::vector<double> next_emit_;  ///< next scheduled heartbeat time
+  std::vector<double> last_heard_; ///< last heartbeat actually received
+  std::vector<Wake> heap_;  ///< min-heap on wake time
+  std::vector<Wake> due_;   ///< scratch: entries re-armed this call
+  std::array<std::array<std::uint64_t, kNumHbStates>, kNumHbStates>
+      transitions_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace readys::cluster

@@ -1,0 +1,66 @@
+#include "cluster/register.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace readys::cluster {
+
+ShardScheduler::Options parse_shard_options(const sched::SpecOptions& spec) {
+  ShardScheduler::Options opts;
+  for (const auto& [key, value] : spec.items) {
+    if (key == "shards") {
+      opts.shards = sched::option_int(key, value, 1, 4096);
+    } else if (key == "stale_ms") {
+      opts.stale_ms = sched::option_double(key, value, 0.0, 1e12);
+    } else if (key == "hb_ms") {
+      opts.hb_period_ms = sched::option_double(key, value, 1e-9, 1e12);
+    } else if (key == "suspect") {
+      opts.hb_suspect = sched::option_int(key, value, 1, 1 << 20);
+    } else if (key == "dead") {
+      opts.hb_dead = sched::option_int(key, value, 1, 1 << 20);
+    } else if (key == "steal") {
+      opts.steal = sched::option_int(key, value, 0, 1) != 0;
+    } else if (key == "parallel") {
+      opts.parallel = sched::option_int(key, value, 0, 1024);
+    } else {
+      throw std::invalid_argument(
+          "unknown shard option \"" + key +
+          "\" (known: shards, stale_ms, hb_ms, suspect, dead, steal, "
+          "parallel)");
+    }
+  }
+  if (opts.hb_dead < opts.hb_suspect) {
+    throw std::invalid_argument(
+        "shard option dead must be >= suspect (" +
+        std::to_string(opts.hb_dead) + " < " +
+        std::to_string(opts.hb_suspect) + ")");
+  }
+  return opts;
+}
+
+void register_cluster_scheduler() {
+  sched::registry().add_prefix(
+      "shard",
+      [](const sched::SpecOptions& spec) { (void)parse_shard_options(spec); },
+      [](const sched::SpecOptions& spec, const sched::SchedulerConfig& cfg,
+         const sched::Registry& self) -> std::unique_ptr<sched::Scheduler> {
+        const ShardScheduler::Options opts = parse_shard_options(spec);
+        std::vector<std::unique_ptr<sim::Scheduler>> inners;
+        inners.reserve(static_cast<std::size_t>(opts.shards));
+        for (int s = 0; s < opts.shards; ++s) {
+          sched::SchedulerConfig inner_cfg = cfg;
+          inner_cfg.seed = cfg.seed + static_cast<std::uint64_t>(s);
+          inners.push_back(self.make(spec.inner, inner_cfg));
+        }
+        ShardScheduler::Options seeded = opts;
+        seeded.seed = cfg.seed;
+        return std::make_unique<ShardScheduler>(std::move(inners), seeded,
+                                                spec.inner);
+      });
+}
+
+}  // namespace readys::cluster

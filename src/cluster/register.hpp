@@ -1,0 +1,23 @@
+#pragma once
+
+#include "cluster/shard_sched.hpp"
+#include "sched/spec.hpp"
+
+namespace readys::cluster {
+
+/// Interprets a parsed "shard(...)" option list. Known keys: shards,
+/// stale_ms, hb_ms, suspect, dead, steal (0/1), parallel. Throws
+/// std::invalid_argument on unknown keys or out-of-range values (the
+/// registry maps that to contains() == false).
+ShardScheduler::Options parse_shard_options(const sched::SpecOptions& spec);
+
+/// Registers the "shard:<inner>" / "shard(k=v,...):<inner>" decorator
+/// prefix in the process-wide scheduler registry. The factory builds one
+/// inner per shard (seeds offset per shard so stochastic inners
+/// decorrelate) — any registered name composes, including "readys" and
+/// "guarded:readys". Idempotent; call it from binaries that want the
+/// cluster family, mirroring rl::register_readys_scheduler (a static
+/// initializer would be dead-stripped out of archives).
+void register_cluster_scheduler();
+
+}  // namespace readys::cluster

@@ -1,0 +1,394 @@
+#include "cluster/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/telemetry.hpp"
+
+namespace readys::cluster {
+
+namespace {
+
+/// Same fault-stream salt as SimEngine — the streams must be identical
+/// for the bit-exactness contract.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA171E5D00DAD5ULL;
+
+bool event_after(double ta, std::uint64_t sa, double tb,
+                 std::uint64_t sb) noexcept {
+  if (ta != tb) return ta > tb;
+  return sa > sb;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const dag::TaskGraph& graph,
+                             const sim::Platform& platform,
+                             const sim::CostModel& costs,
+                             const sim::CommModel& comm,
+                             const sim::FaultModel& faults, double sigma,
+                             std::uint64_t seed, int shards)
+    : graph_(&graph),
+      platform_(platform),
+      costs_(costs),
+      noise_(sigma),
+      rng_(seed),
+      partition_(Partition::by_type_round_robin(platform, shards)) {
+  if (costs.num_kernels() < graph.num_kernel_types()) {
+    throw std::invalid_argument(
+        "ShardedEngine: cost model does not cover every kernel type");
+  }
+  faults.validate();
+  fault_ = faults;
+  fault_enabled_ = faults.enabled();
+  if (!comm.is_free()) comm_ = comm;
+  const auto n_res = static_cast<std::size_t>(platform_.size());
+  duration_table_.resize(static_cast<std::size_t>(costs_.num_kernels()) *
+                         n_res);
+  for (int k = 0; k < costs_.num_kernels(); ++k) {
+    for (sim::ResourceId r = 0; r < platform_.size(); ++r) {
+      duration_table_[static_cast<std::size_t>(k) * n_res +
+                      static_cast<std::size_t>(r)] =
+          costs_.expected(k, platform_.type(r));
+    }
+  }
+  bind_state();
+  reset(seed);
+}
+
+void ShardedEngine::bind_state() {
+  // Static aliasing into this engine's members: view() only touches the
+  // scalars afterwards. The vectors may reallocate their storage — the
+  // EngineState holds pointers to the vector objects, not their buffers.
+  state_.graph = graph_;
+  state_.platform = &platform_;
+  state_.costs = &costs_;
+  state_.comm = comm_ ? &*comm_ : nullptr;
+  state_.resources = &platform_.ids();
+  state_.ready = &merged_ready_;
+  state_.ready_log = &ready_log_;
+  state_.running = &running_;
+  state_.in_ready = &in_ready_;
+  state_.up = &resource_up_;
+  state_.done = &done_;
+  state_.producer_of = &producer_of_;
+  state_.resource_task = &resource_task_;
+  state_.expected_finish = &resource_expected_finish_;
+  state_.speed = &speed_factor_;
+  state_.duration_table = &duration_table_;
+  state_.base = nullptr;
+}
+
+void ShardedEngine::reset(std::uint64_t seed) {
+  if (obs::Telemetry* t_obs = obs::telemetry()) t_obs->sim_episodes.add();
+  rng_ = util::Rng(seed);
+  now_ = 0.0;
+  completed_ = 0;
+  started_ = 0;
+  outages_ = 0;
+  recoveries_ = 0;
+  lost_executions_ = 0;
+  event_seq_ = 0;
+  const std::size_t n = graph_->num_tasks();
+  const auto n_res = static_cast<std::size_t>(platform_.size());
+  const auto k = static_cast<std::size_t>(partition_.num_shards);
+  missing_preds_.assign(n, 0);
+  done_.assign(n, 0);
+  shard_ready_.assign(k, {});
+  in_ready_.assign(n, 0);
+  ready_log_.clear();
+  ready_log_.reserve(n);
+  running_.clear();
+  heaps_.assign(k, {});
+  resource_task_.assign(n_res, dag::kInvalidTask);
+  resource_expected_finish_.assign(
+      n_res, std::numeric_limits<double>::quiet_NaN());
+  resource_up_.assign(n_res, 1);
+  speed_factor_.assign(n_res, 1.0);
+  producer_of_.assign(n, -1);
+  trace_.clear();
+  shard_traces_.assign(k, {});
+  merged_ready_.clear();
+  merged_dirty_ = true;
+  for (dag::TaskId t = 0; t < n; ++t) {
+    missing_preds_[t] = graph_->in_degree(t);
+    if (missing_preds_[t] == 0) insert_ready(t);
+  }
+  if (fault_enabled_) {
+    fault_rng_ = util::Rng(seed ^ kFaultSeedSalt);
+    // Ascending resource order: consumes the fault stream exactly as
+    // SimEngine::reset does, whichever shard each event lands in.
+    for (sim::ResourceId r = 0; r < platform_.size(); ++r) {
+      if (fault_.outage_rate > 0.0) {
+        push_event(
+            sim::FaultModel::sample_gap(fault_.outage_rate, fault_rng_),
+            dag::kInvalidTask, r, EventKind::kOutage);
+      }
+      if (fault_.slowdown_rate > 0.0) {
+        push_event(
+            sim::FaultModel::sample_gap(fault_.slowdown_rate, fault_rng_),
+            dag::kInvalidTask, r, EventKind::kSlowdownBegin);
+      }
+    }
+  }
+}
+
+const std::vector<dag::TaskId>& ShardedEngine::ready() const {
+  if (merged_dirty_) {
+    merged_ready_.clear();
+    for (const auto& q : shard_ready_) {
+      merged_ready_.insert(merged_ready_.end(), q.begin(), q.end());
+    }
+    std::sort(merged_ready_.begin(), merged_ready_.end());
+    merged_dirty_ = false;
+  }
+  return merged_ready_;
+}
+
+sim::EngineView ShardedEngine::view() const {
+  (void)ready();  // settle the merged cache the state points at
+  state_.now = now_;
+  state_.fault_enabled = fault_enabled_;
+  state_.any_running = !running_.empty();
+  return sim::EngineView(state_);
+}
+
+int ShardedEngine::num_up() const noexcept {
+  int up = 0;
+  for (const std::uint8_t u : resource_up_) up += u != 0;
+  return up;
+}
+
+double ShardedEngine::expected_input_delay(dag::TaskId t,
+                                           sim::ResourceId r) const {
+  if (!comm_) return 0.0;
+  return comm_->input_delay(*graph_, t, platform_, producer_of_, r);
+}
+
+void ShardedEngine::insert_ready(dag::TaskId t) {
+  auto& q = shard_ready_[static_cast<std::size_t>(task_shard(t))];
+  q.insert(std::lower_bound(q.begin(), q.end(), t), t);
+  in_ready_[t] = 1;
+  ready_log_.push_back(t);
+  merged_dirty_ = true;
+}
+
+std::uint64_t ShardedEngine::push_event(double time, dag::TaskId task,
+                                        sim::ResourceId r, EventKind kind) {
+  const std::uint64_t seq = event_seq_++;
+  auto& heap = heaps_[static_cast<std::size_t>(partition_.shard(r))];
+  heap.push_back({time, seq, task, r, kind});
+  std::push_heap(heap.begin(), heap.end(),
+                 [](const Event& a, const Event& b) {
+                   return event_after(a.time, a.seq, b.time, b.seq);
+                 });
+  return seq;
+}
+
+int ShardedEngine::earliest_shard() const {
+  int best = -1;
+  for (std::size_t s = 0; s < heaps_.size(); ++s) {
+    if (heaps_[s].empty()) continue;
+    if (best < 0 ||
+        event_after(heaps_[static_cast<std::size_t>(best)].front().time,
+                    heaps_[static_cast<std::size_t>(best)].front().seq,
+                    heaps_[s].front().time, heaps_[s].front().seq)) {
+      best = static_cast<int>(s);
+    }
+  }
+  return best;
+}
+
+void ShardedEngine::start(dag::TaskId t, sim::ResourceId r) {
+  if (r < 0 || r >= platform_.size()) {
+    throw std::logic_error("ShardedEngine::start: invalid resource");
+  }
+  if (fault_enabled_ && !is_up(r)) {
+    throw std::logic_error("ShardedEngine::start: resource is down");
+  }
+  if (!is_idle(r)) {
+    throw std::logic_error("ShardedEngine::start: resource is busy");
+  }
+  if (!is_ready(t)) {
+    throw std::logic_error("ShardedEngine::start: task is not ready");
+  }
+  auto& q = shard_ready_[static_cast<std::size_t>(task_shard(t))];
+  q.erase(std::lower_bound(q.begin(), q.end(), t));
+  in_ready_[t] = 0;
+  merged_dirty_ = true;
+
+  const double expected = expected_duration(t, r);
+  const double actual = noise_.sample(expected, rng_);
+  const double shipping = expected_input_delay(t, r);
+  const bool fails = fault_enabled_ && fault_.task_failure_prob > 0.0 &&
+                     fault_rng_.uniform() < fault_.task_failure_prob;
+  sim::RunningInfo info;
+  info.task = t;
+  info.resource = r;
+  info.start = now_;
+  info.actual_finish = now_ + shipping + actual;
+  info.expected_finish = now_ + shipping + expected;
+  info.seq = push_event(info.actual_finish, t, r,
+                        fails ? EventKind::kFail : EventKind::kFinish);
+  running_.push_back(info);
+  resource_task_[static_cast<std::size_t>(r)] = t;
+  resource_expected_finish_[static_cast<std::size_t>(r)] =
+      info.expected_finish;
+  ++started_;
+  if (obs::Telemetry* t_obs = obs::telemetry()) t_obs->sim_tasks_started.add();
+}
+
+void ShardedEngine::complete(const sim::RunningInfo& info) {
+  resource_task_[static_cast<std::size_t>(info.resource)] = dag::kInvalidTask;
+  resource_expected_finish_[static_cast<std::size_t>(info.resource)] =
+      std::numeric_limits<double>::quiet_NaN();
+  producer_of_[info.task] = info.resource;
+  done_[info.task] = 1;
+  ++completed_;
+  const sim::TraceEntry entry{info.task, info.resource, info.start,
+                              info.actual_finish};
+  trace_.add(entry);
+  shard_traces_[static_cast<std::size_t>(partition_.shard(info.resource))]
+      .add(entry);
+  for (dag::TaskId s : graph_->successors(info.task)) {
+    if (--missing_preds_[s] == 0) insert_ready(s);
+  }
+}
+
+void ShardedEngine::kill_running(sim::ResourceId r) {
+  auto it = std::find_if(
+      running_.begin(), running_.end(),
+      [r](const sim::RunningInfo& info) { return info.resource == r; });
+  if (it == running_.end()) return;
+  const dag::TaskId task = it->task;
+  running_.erase(it);
+  resource_task_[static_cast<std::size_t>(r)] = dag::kInvalidTask;
+  resource_expected_finish_[static_cast<std::size_t>(r)] =
+      std::numeric_limits<double>::quiet_NaN();
+  insert_ready(task);
+  ++lost_executions_;
+}
+
+bool ShardedEngine::outage_would_strand(sim::ResourceId r) const {
+  if (fault_.min_survivors_per_type <= 0) return false;
+  const sim::ResourceType type = platform_.type(r);
+  int up_of_type = 0;
+  for (sim::ResourceId o = 0; o < platform_.size(); ++o) {
+    if (platform_.type(o) == type && is_up(o)) ++up_of_type;
+  }
+  return up_of_type <= fault_.min_survivors_per_type;
+}
+
+void ShardedEngine::dispatch(const Event& ev, bool& observable) {
+  switch (ev.kind) {
+    case EventKind::kFinish:
+    case EventKind::kFail: {
+      auto it = std::find_if(running_.begin(), running_.end(),
+                             [&ev](const sim::RunningInfo& info) {
+                               return info.task == ev.task &&
+                                      info.seq == ev.seq;
+                             });
+      if (it == running_.end()) {
+        if (!fault_enabled_) {
+          throw std::logic_error(
+              "ShardedEngine::complete: event for a task that is not "
+              "running (state corruption)");
+        }
+        return;  // stale: the execution was killed mid-flight
+      }
+      const sim::RunningInfo info = *it;
+      running_.erase(it);
+      if (ev.kind == EventKind::kFinish) {
+        complete(info);
+      } else {
+        resource_task_[static_cast<std::size_t>(info.resource)] =
+            dag::kInvalidTask;
+        resource_expected_finish_[static_cast<std::size_t>(info.resource)] =
+            std::numeric_limits<double>::quiet_NaN();
+        insert_ready(info.task);
+        ++lost_executions_;
+      }
+      observable = true;
+      return;
+    }
+    case EventKind::kOutage: {
+      if (!is_up(ev.resource)) return;
+      if (outage_would_strand(ev.resource)) {
+        push_event(now_ + sim::FaultModel::sample_gap(fault_.outage_rate,
+                                                      fault_rng_),
+                   dag::kInvalidTask, ev.resource, EventKind::kOutage);
+        return;
+      }
+      resource_up_[static_cast<std::size_t>(ev.resource)] = 0;
+      ++outages_;
+      kill_running(ev.resource);
+      if (fault_.mean_downtime > 0.0) {
+        push_event(
+            now_ + sim::FaultModel::sample_duration(fault_.mean_downtime,
+                                                    fault_rng_),
+            dag::kInvalidTask, ev.resource, EventKind::kRecovery);
+      }
+      observable = true;
+      return;
+    }
+    case EventKind::kRecovery: {
+      resource_up_[static_cast<std::size_t>(ev.resource)] = 1;
+      ++recoveries_;
+      push_event(
+          now_ + sim::FaultModel::sample_gap(fault_.outage_rate, fault_rng_),
+          dag::kInvalidTask, ev.resource, EventKind::kOutage);
+      observable = true;
+      return;
+    }
+    case EventKind::kSlowdownBegin: {
+      speed_factor_[static_cast<std::size_t>(ev.resource)] =
+          fault_.slowdown_factor;
+      push_event(
+          now_ + sim::FaultModel::sample_duration(fault_.mean_slowdown,
+                                                  fault_rng_),
+          dag::kInvalidTask, ev.resource, EventKind::kSlowdownEnd);
+      observable = true;
+      return;
+    }
+    case EventKind::kSlowdownEnd: {
+      speed_factor_[static_cast<std::size_t>(ev.resource)] = 1.0;
+      push_event(
+          now_ + sim::FaultModel::sample_gap(fault_.slowdown_rate,
+                                             fault_rng_),
+          dag::kInvalidTask, ev.resource, EventKind::kSlowdownBegin);
+      observable = true;
+      return;
+    }
+  }
+}
+
+bool ShardedEngine::advance() {
+  if (obs::Telemetry* t_obs = obs::telemetry()) t_obs->sim_events.add();
+  const auto later = [](const Event& a, const Event& b) {
+    return event_after(a.time, a.seq, b.time, b.seq);
+  };
+  int s = earliest_shard();
+  while (s >= 0) {
+    now_ = heaps_[static_cast<std::size_t>(s)].front().time;
+    // Epoch: drain every event at this instant in global (time, seq)
+    // order. Dispatch may push follow-up events into any shard's heap,
+    // so the argmin is recomputed per pop — the inner loop is exactly
+    // SimEngine's, just over K fronts instead of one.
+    bool observable = false;
+    while (s >= 0 &&
+           heaps_[static_cast<std::size_t>(s)].front().time <= now_) {
+      auto& heap = heaps_[static_cast<std::size_t>(s)];
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const Event ev = heap.back();
+      heap.pop_back();
+      dispatch(ev, observable);
+      s = earliest_shard();
+    }
+    if (observable) return true;
+    s = earliest_shard();
+  }
+  return false;
+}
+
+}  // namespace readys::cluster

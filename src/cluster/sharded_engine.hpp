@@ -1,0 +1,221 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "dag/task_graph.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine_view.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/noise.hpp"
+#include "sim/platform.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace readys::cluster {
+
+/// Sharded discrete-event core: SimEngine's semantics with the resources
+/// partitioned into K shards, each owning its own event heap and ready
+/// queue. Built for cluster-scale platforms (P up to ~1024) where one
+/// global heap and one global ready vector stop being cache-friendly and
+/// where the decentralized scheduler wants per-shard state to exist as
+/// real data structures rather than filtered views.
+///
+/// **Bit-exactness contract** (pinned by tests/test_cluster_engine.cpp
+/// against the golden-trace suite): for ANY shard count K, an execution
+/// is event-for-event identical to SimEngine under the same seed. Events
+/// live in the heap of the shard owning their resource, but advance()
+/// always pops the globally earliest (time, seq) pair — an O(K) argmin
+/// over heap fronts per pop. Since every event carries a globally unique
+/// (time, seq) key and all RNG streams are consumed in the same order as
+/// SimEngine (noise at start(), fault stream per ascending resource at
+/// reset and per dispatched fault event), the merged event order — and
+/// therefore the trace — cannot differ. K=1 degenerates to exactly one
+/// heap and one queue.
+///
+/// Ready queues are sharded by task id (t % K): insert_ready pays
+/// O(R/K + log R/K) instead of O(R), and the merged ascending ready()
+/// view is materialized lazily only when someone asks.
+///
+/// Schedulers observe the engine through view(): an EngineView backed by
+/// an EngineState whose pointers alias this engine's members directly
+/// (the promised-finish table is shared, not copied), so refreshing a
+/// view costs two scalar writes plus — at most — one merge of the ready
+/// cache.
+class ShardedEngine {
+ public:
+  ShardedEngine(const dag::TaskGraph& graph, const sim::Platform& platform,
+                const sim::CostModel& costs, const sim::CommModel& comm,
+                const sim::FaultModel& faults, double sigma,
+                std::uint64_t seed, int shards);
+
+  /// Restores the initial state with fresh noise and fault streams
+  /// derived from `seed` (same derivation as SimEngine::reset).
+  void reset(std::uint64_t seed);
+
+  /// Read-only window for schedulers; cheap (refreshes two scalars and,
+  /// if dirty, the merged ready cache). The view must not outlive the
+  /// engine and is invalidated by start()/advance()/reset().
+  sim::EngineView view() const;
+
+  double now() const noexcept { return now_; }
+  bool finished() const noexcept {
+    return completed_ == graph_->num_tasks();
+  }
+  std::size_t num_completed() const noexcept { return completed_; }
+
+  /// Merged ready set, ascending ids (lazily rebuilt from the shards).
+  const std::vector<dag::TaskId>& ready() const;
+  const std::vector<dag::TaskId>& ready_log() const noexcept {
+    return ready_log_;
+  }
+  /// Ready tasks owned by shard `s`, ascending.
+  const std::vector<dag::TaskId>& shard_ready(int s) const {
+    return shard_ready_[static_cast<std::size_t>(s)];
+  }
+
+  const std::vector<sim::RunningInfo>& running() const noexcept {
+    return running_;
+  }
+  bool any_running() const noexcept { return !running_.empty(); }
+
+  bool is_ready(dag::TaskId t) const noexcept {
+    return t < in_ready_.size() && in_ready_[t] != 0;
+  }
+  bool is_idle(sim::ResourceId r) const {
+    return resource_up_[static_cast<std::size_t>(r)] != 0 &&
+           resource_task_[static_cast<std::size_t>(r)] == dag::kInvalidTask;
+  }
+  bool is_done(dag::TaskId t) const { return done_[t] != 0; }
+  bool is_up(sim::ResourceId r) const {
+    return resource_up_[static_cast<std::size_t>(r)] != 0;
+  }
+  dag::TaskId running_on(sim::ResourceId r) const {
+    return resource_task_[static_cast<std::size_t>(r)];
+  }
+  int num_up() const noexcept;
+
+  double expected_duration(dag::TaskId t, sim::ResourceId r) const {
+    const double d =
+        duration_table_[static_cast<std::size_t>(graph_->kernel(t)) *
+                            static_cast<std::size_t>(platform_.size()) +
+                        static_cast<std::size_t>(r)];
+    return fault_enabled_ ? d * speed_factor_[static_cast<std::size_t>(r)]
+                          : d;
+  }
+  double expected_input_delay(dag::TaskId t, sim::ResourceId r) const;
+
+  bool fault_enabled() const noexcept { return fault_enabled_; }
+  const sim::FaultModel& faults() const noexcept { return fault_; }
+  std::size_t num_outages() const noexcept { return outages_; }
+  std::size_t num_recoveries() const noexcept { return recoveries_; }
+  std::size_t num_lost_executions() const noexcept {
+    return lost_executions_;
+  }
+
+  /// See SimEngine::start — identical protocol and RNG consumption.
+  void start(dag::TaskId t, sim::ResourceId r);
+
+  /// Advances to the next observable event across all shard heaps in
+  /// global (time, seq) order. Returns false when every heap is empty.
+  bool advance();
+
+  const dag::TaskGraph& graph() const noexcept { return *graph_; }
+  const sim::Platform& platform() const noexcept { return platform_; }
+  const sim::CostModel& costs() const noexcept { return costs_; }
+  const Partition& partition() const noexcept { return partition_; }
+  int num_shards() const noexcept { return partition_.num_shards; }
+
+  const sim::Trace& trace() const noexcept { return trace_; }
+  /// Per-shard sub-traces (entries whose resource the shard owns, in
+  /// completion order). Their union is trace(); pinned by the merge
+  /// property test.
+  const std::vector<sim::Trace>& shard_traces() const noexcept {
+    return shard_traces_;
+  }
+
+  double makespan() const noexcept { return trace_.makespan(); }
+  std::size_t num_started() const noexcept { return started_; }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kFinish,
+    kFail,
+    kOutage,
+    kRecovery,
+    kSlowdownBegin,
+    kSlowdownEnd,
+  };
+
+  /// Same layout and tie-break rule as SimEngine::Event; `seq` is global
+  /// across shards so the merged order is total.
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    dag::TaskId task = dag::kInvalidTask;
+    sim::ResourceId resource = -1;
+    EventKind kind = EventKind::kFinish;
+  };
+
+  int task_shard(dag::TaskId t) const noexcept {
+    return static_cast<int>(t % static_cast<dag::TaskId>(
+                                    partition_.num_shards));
+  }
+  void insert_ready(dag::TaskId t);
+  std::uint64_t push_event(double time, dag::TaskId task, sim::ResourceId r,
+                           EventKind kind);
+  /// Shard whose heap front is the globally earliest event, or -1.
+  int earliest_shard() const;
+  void dispatch(const Event& ev, bool& observable);
+  void complete(const sim::RunningInfo& info);
+  void kill_running(sim::ResourceId r);
+  bool outage_would_strand(sim::ResourceId r) const;
+  void bind_state();
+
+  const dag::TaskGraph* graph_;
+  sim::Platform platform_;
+  sim::CostModel costs_;
+  std::optional<sim::CommModel> comm_;
+  sim::NoiseModel noise_;
+  util::Rng rng_;
+  Partition partition_;
+
+  sim::FaultModel fault_;
+  bool fault_enabled_ = false;
+  util::Rng fault_rng_;
+
+  double now_ = 0.0;
+  std::vector<std::size_t> missing_preds_;
+  std::vector<std::uint8_t> done_;
+  std::vector<std::vector<dag::TaskId>> shard_ready_;  // per shard, ascending
+  std::vector<std::uint8_t> in_ready_;
+  std::vector<dag::TaskId> ready_log_;
+  std::vector<sim::RunningInfo> running_;
+  std::vector<std::vector<Event>> heaps_;  // per shard, (time, seq) min-heaps
+  std::uint64_t event_seq_ = 0;            // global: total order across shards
+  std::vector<dag::TaskId> resource_task_;
+  std::vector<double> resource_expected_finish_;  // NaN idle (shared w/ view)
+  std::vector<std::uint8_t> resource_up_;
+  std::vector<double> speed_factor_;
+  std::vector<sim::ResourceId> producer_of_;
+  std::vector<double> duration_table_;
+  sim::Trace trace_;
+  std::vector<sim::Trace> shard_traces_;
+  std::size_t completed_ = 0;
+  std::size_t started_ = 0;
+  std::size_t outages_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t lost_executions_ = 0;
+
+  // Lazy ascending merge of shard_ready_, plus the EngineState whose
+  // pointers alias the members above. Mutable: refreshed from const
+  // accessors without changing observable engine state.
+  mutable std::vector<dag::TaskId> merged_ready_;
+  mutable bool merged_dirty_ = true;
+  mutable sim::EngineState state_;
+};
+
+}  // namespace readys::cluster

@@ -18,6 +18,12 @@
 ///                                      /*sigma=*/0.2, /*seed=*/42);
 /// \endcode
 
+#include "cluster/cluster_sim.hpp"
+#include "cluster/heartbeat.hpp"
+#include "cluster/partition.hpp"
+#include "cluster/register.hpp"
+#include "cluster/shard_sched.hpp"
+#include "cluster/sharded_engine.hpp"
 #include "core/apps.hpp"
 #include "core/evaluation.hpp"
 #include "core/run_config.hpp"

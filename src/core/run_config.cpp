@@ -215,6 +215,13 @@ std::string RunConfig::to_json() const {
       .field("ngpu", ngpu)
       .field("sigma", sigma)
       .field("random_offer", random_offer)
+      .field("comm_tile_bytes", comm_tile_bytes)
+      .field("comm_bandwidth", comm_bandwidth)
+      .field("comm_latency_ms", comm_latency_ms)
+      .field("cluster_shards", cluster_shards)
+      .field("cluster_stale_ms", cluster_stale_ms)
+      .field("cluster_hb_ms", cluster_hb_ms)
+      .field("cluster_parallel", cluster_parallel)
       .field("scheduler", scheduler)
       .field("trainer", trainer)
       .field("episodes", episodes)
@@ -257,6 +264,13 @@ RunConfig RunConfig::from_json(const std::string& json) {
     else if (key == "ngpu") cfg.ngpu = parse_int_field(r);
     else if (key == "sigma") cfg.sigma = r.parse_number();
     else if (key == "random_offer") cfg.random_offer = r.parse_bool();
+    else if (key == "comm_tile_bytes") cfg.comm_tile_bytes = r.parse_number();
+    else if (key == "comm_bandwidth") cfg.comm_bandwidth = r.parse_number();
+    else if (key == "comm_latency_ms") cfg.comm_latency_ms = r.parse_number();
+    else if (key == "cluster_shards") cfg.cluster_shards = parse_int_field(r);
+    else if (key == "cluster_stale_ms") cfg.cluster_stale_ms = r.parse_number();
+    else if (key == "cluster_hb_ms") cfg.cluster_hb_ms = r.parse_number();
+    else if (key == "cluster_parallel") cfg.cluster_parallel = parse_int_field(r);
     else if (key == "scheduler") cfg.scheduler = r.parse_string();
     else if (key == "trainer") cfg.trainer = r.parse_string();
     else if (key == "episodes") cfg.episodes = parse_int_field(r);
@@ -320,6 +334,20 @@ RunConfig RunConfig::from_env() {
       util::env_double("READYS_SERVE_DEADLINE_US", cfg.serve_deadline_us);
   cfg.serve_retries =
       util::env_int("READYS_SERVE_RETRIES", cfg.serve_retries);
+  cfg.comm_tile_bytes =
+      util::env_double("READYS_COMM_TILE_BYTES", cfg.comm_tile_bytes);
+  cfg.comm_bandwidth =
+      util::env_double("READYS_COMM_BANDWIDTH", cfg.comm_bandwidth);
+  cfg.comm_latency_ms =
+      util::env_double("READYS_COMM_LATENCY_MS", cfg.comm_latency_ms);
+  cfg.cluster_shards =
+      util::env_int("READYS_CLUSTER_SHARDS", cfg.cluster_shards);
+  cfg.cluster_stale_ms =
+      util::env_double("READYS_CLUSTER_STALE_MS", cfg.cluster_stale_ms);
+  cfg.cluster_hb_ms =
+      util::env_double("READYS_CLUSTER_HB_MS", cfg.cluster_hb_ms);
+  cfg.cluster_parallel =
+      util::env_int("READYS_CLUSTER_PARALLEL", cfg.cluster_parallel);
   return cfg;
 }
 
@@ -383,6 +411,26 @@ void RunConfig::validate() const {
   }
   if (serve_retries < 0) {
     throw std::invalid_argument("RunConfig: serve_retries must be >= 0");
+  }
+  if (!(comm_tile_bytes >= 0.0) || !(comm_bandwidth >= 0.0) ||
+      !(comm_latency_ms >= 0.0)) {
+    throw std::invalid_argument("RunConfig: comm_* fields must be >= 0");
+  }
+  if (comm_tile_bytes > 0.0 && !(comm_bandwidth > 0.0)) {
+    throw std::invalid_argument(
+        "RunConfig: comm_bandwidth must be > 0 when comm_tile_bytes > 0");
+  }
+  if (cluster_shards < 1) {
+    throw std::invalid_argument("RunConfig: cluster_shards must be >= 1");
+  }
+  if (!(cluster_stale_ms >= 0.0)) {
+    throw std::invalid_argument("RunConfig: cluster_stale_ms must be >= 0");
+  }
+  if (!(cluster_hb_ms > 0.0)) {
+    throw std::invalid_argument("RunConfig: cluster_hb_ms must be > 0");
+  }
+  if (cluster_parallel < 0) {
+    throw std::invalid_argument("RunConfig: cluster_parallel must be >= 0");
   }
   if (agent.window < 1 || agent.gcn_layers < 1 || agent.hidden < 1) {
     throw std::invalid_argument(

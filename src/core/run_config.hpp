@@ -6,6 +6,7 @@
 #include "core/apps.hpp"
 #include "rl/config.hpp"
 #include "rl/env.hpp"
+#include "sim/comm_model.hpp"
 #include "sim/platform.hpp"
 
 namespace readys::core {
@@ -27,6 +28,17 @@ struct RunConfig {
   // --- environment ---
   double sigma = 0.0;
   bool random_offer = false;
+
+  // --- communication model (sim::CommModel; 0 bytes = disabled) ---
+  double comm_tile_bytes = 0.0;  ///< payload per dependency edge
+  double comm_bandwidth = 0.0;   ///< bytes/ms across locality domains
+  double comm_latency_ms = 0.0;  ///< per-transfer setup cost
+
+  // --- cluster-scale sharded scheduling (src/cluster) ---
+  int cluster_shards = 1;        ///< resource shards; 1 = centralized
+  double cluster_stale_ms = 5.0; ///< cross-shard directory staleness bound
+  double cluster_hb_ms = 1.0;    ///< heartbeat period (sim time)
+  int cluster_parallel = 0;      ///< >0: threads for per-shard decides
 
   // --- run ---
   std::string scheduler = "mct";  ///< a sched::registry() name
@@ -81,7 +93,10 @@ struct RunConfig {
   /// READYS_SEED) and the decision-service knobs (READYS_SERVE_SESSIONS,
   /// READYS_SERVE_RATE, READYS_SERVE_QUEUE, READYS_SERVE_ACTIVE,
   /// READYS_SERVE_WORKERS, READYS_SERVE_DEADLINE_US,
-  /// READYS_SERVE_RETRIES), so benches stay tunable without a config
+  /// READYS_SERVE_RETRIES), the communication axis (READYS_COMM_TILE_BYTES,
+  /// READYS_COMM_BANDWIDTH, READYS_COMM_LATENCY_MS) and the cluster knobs
+  /// (READYS_CLUSTER_SHARDS, READYS_CLUSTER_STALE_MS, READYS_CLUSTER_HB_MS,
+  /// READYS_CLUSTER_PARALLEL), so benches stay tunable without a config
   /// file.
   static RunConfig from_env();
 
@@ -95,6 +110,13 @@ struct RunConfig {
   dag::TaskGraph make_graph() const { return core::make_graph(parsed_app(), tiles); }
   sim::CostModel make_costs() const { return core::make_costs(parsed_app()); }
   sim::Platform make_platform() const { return sim::Platform::hybrid(ncpu, ngpu); }
+  /// True when the comm axis is active (comm_tile_bytes > 0).
+  bool has_comm() const noexcept { return comm_tile_bytes > 0.0; }
+  sim::CommModel make_comm() const {
+    return has_comm()
+               ? sim::CommModel(comm_tile_bytes, comm_bandwidth, comm_latency_ms)
+               : sim::CommModel::free();
+  }
   rl::SchedulingEnv::Config env_config() const;
   rl::TrainOptions train_options() const;
 };

@@ -46,6 +46,11 @@ Telemetry::Telemetry(TelemetryConfig config)
       serve_timeouts(registry_.counter("serve.deadline_timeouts")),
       serve_fallbacks(registry_.counter("serve.fallback_decisions")),
       sink_errors(registry_.counter("obs.sink_errors")),
+      cluster_steals(registry_.counter("cluster.steals")),
+      cluster_stolen(registry_.counter("cluster.stolen_tasks")),
+      cluster_hb_transitions(registry_.counter("cluster.heartbeat_transitions")),
+      cluster_rescues(registry_.counter("cluster.rescue_fallbacks")),
+      cluster_dropped(registry_.counter("cluster.dropped_assignments")),
       pool_queue_depth(registry_.gauge("util.pool_queue_depth")),
       train_envs(registry_.gauge("train.envs")),
       serve_queue_depth(registry_.gauge("serve.queue_depth")),
@@ -54,7 +59,10 @@ Telemetry::Telemetry(TelemetryConfig config)
       vec_step_us(registry_.histogram("rl.vec_step_us")),
       policy_forward_us(registry_.histogram("rl.policy_forward_us")),
       update_us(registry_.histogram("rl.update_us")),
-      serve_decide_us(registry_.histogram("serve.decide_us")) {
+      serve_decide_us(registry_.histogram("serve.decide_us")),
+      cluster_stale_age(registry_.histogram(
+          "cluster.stale_view_age_ms",
+          {0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0})) {
   if (!config_.metrics_path.empty()) {
     sink_ = std::make_unique<JsonlSink>(config_.metrics_path,
                                         config_.flush_every);

@@ -91,6 +91,11 @@ class Telemetry {
   Counter& serve_timeouts;      ///< serve.deadline_timeouts (budget blown)
   Counter& serve_fallbacks;     ///< serve.fallback_decisions (MCT degrades)
   Counter& sink_errors;         ///< obs.sink_errors (dropped sink rows)
+  Counter& cluster_steals;      ///< cluster.steals (steal attempts landed)
+  Counter& cluster_stolen;      ///< cluster.stolen_tasks (tasks migrated)
+  Counter& cluster_hb_transitions;  ///< cluster.heartbeat_transitions
+  Counter& cluster_rescues;     ///< cluster.rescue_fallbacks (full-view MCT)
+  Counter& cluster_dropped;     ///< cluster.dropped_assignments (stale inner)
   Gauge& pool_queue_depth;      ///< util.pool_queue_depth
   Gauge& train_envs;            ///< train.envs (width of the vector env)
   Gauge& serve_queue_depth;     ///< serve.queue_depth (admission queue)
@@ -100,6 +105,7 @@ class Telemetry {
   Histogram& policy_forward_us; ///< rl.policy_forward_us
   Histogram& update_us;         ///< rl.update_us
   Histogram& serve_decide_us;   ///< serve.decide_us (per-session latency)
+  Histogram& cluster_stale_age; ///< cluster.stale_view_age_ms (sim time)
 };
 
 namespace detail {

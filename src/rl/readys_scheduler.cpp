@@ -15,7 +15,7 @@ ReadysScheduler::ReadysScheduler(const PolicyNet& net, int window,
       seed_(seed),
       rng_(seed) {}
 
-void ReadysScheduler::reset(const sim::SimEngine& engine) {
+void ReadysScheduler::reset(const sim::EngineView& engine) {
   encoder_ = std::make_unique<StateEncoder>(engine.graph(), engine.costs(),
                                             window_);
   rng_ = util::Rng(seed_);
@@ -24,7 +24,7 @@ void ReadysScheduler::reset(const sim::SimEngine& engine) {
 }
 
 std::vector<sim::Assignment> ReadysScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   if (engine.now() != last_instant_) {
     declined_.clear();  // a new instant re-opens parked resources
     last_instant_ = engine.now();

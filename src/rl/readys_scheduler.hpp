@@ -23,8 +23,8 @@ class ReadysScheduler : public sim::Scheduler {
   ReadysScheduler(const PolicyNet& net, int window, bool greedy = true,
                   std::uint64_t seed = 1, bool random_offer = false);
 
-  void reset(const sim::SimEngine& engine) override;
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  void reset(const sim::EngineView& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override { return "READYS"; }
 
  private:

@@ -16,12 +16,12 @@ StateEncoder::StateEncoder(const dag::TaskGraph& graph,
   }
 }
 
-Observation StateEncoder::encode(const sim::SimEngine& engine,
+Observation StateEncoder::encode(const sim::EngineView& engine,
                                  sim::ResourceId current) const {
   return encode(engine, current, engine.any_running());
 }
 
-Observation StateEncoder::encode(const sim::SimEngine& engine,
+Observation StateEncoder::encode(const sim::EngineView& engine,
                                  sim::ResourceId current,
                                  bool allow_idle) const {
   Observation obs;
@@ -90,15 +90,20 @@ Observation StateEncoder::encode(const sim::SimEngine& engine,
   double idle_gpu = 0.0;
   double next_cpu = -1.0;
   double next_gpu = -1.0;
-  for (sim::ResourceId r = 0; r < platform.size(); ++r) {
+  // The summary covers the visible resources only: the full view walks
+  // the whole platform (identical to the historical 0..P-1 scan), a
+  // shard-scoped view summarizes its own shard — the agent's partial
+  // observation under the cluster scheduler.
+  double ncpu = 0.0;
+  double ngpu = 0.0;
+  for (const sim::ResourceId r : engine.resources()) {
     const bool gpu = platform.type(r) == sim::ResourceType::kGpu;
+    (gpu ? ngpu : ncpu) += 1.0;
     if (engine.is_idle(r)) (gpu ? idle_gpu : idle_cpu) += 1.0;
     const double avail = engine.expected_available_at(r) - now;
     double& next = gpu ? next_gpu : next_cpu;
     if (next < 0.0 || avail < next) next = avail;
   }
-  const double ncpu = static_cast<double>(platform.num_cpus());
-  const double ngpu = static_cast<double>(platform.num_gpus());
   const double total = ncpu + ngpu;
   obs.resource_state[0] =
       platform.type(current) == sim::ResourceType::kGpu ? 1.0 : 0.0;

@@ -5,6 +5,7 @@
 #include "dag/features.hpp"
 #include "dag/window.hpp"
 #include "sim/engine.hpp"
+#include "sim/engine_view.hpp"
 #include "tensor/tensor.hpp"
 
 namespace readys::rl {
@@ -61,9 +62,9 @@ class StateEncoder {
   /// resource is left to be offered at this instant. The overload without
   /// the flag derives the weaker any_running() condition, sufficient for
   /// standalone encoding.
-  Observation encode(const sim::SimEngine& engine, sim::ResourceId current,
+  Observation encode(const sim::EngineView& engine, sim::ResourceId current,
                      bool allow_idle) const;
-  Observation encode(const sim::SimEngine& engine,
+  Observation encode(const sim::EngineView& engine,
                      sim::ResourceId current) const;
 
   int window() const noexcept { return window_; }

@@ -23,7 +23,7 @@ std::string BatchModeScheduler::name() const {
 }
 
 std::vector<sim::Assignment> BatchModeScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   const auto& ready = engine.ready();
   const auto idle = engine.idle_resources();
   if (ready.empty() || idle.empty()) return {};

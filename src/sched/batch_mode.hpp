@@ -24,7 +24,7 @@ class BatchModeScheduler : public sim::Scheduler {
 
   explicit BatchModeScheduler(Rule rule);
 
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override;
 
  private:

@@ -5,7 +5,7 @@
 
 namespace readys::sched {
 
-void CriticalPathScheduler::reset(const sim::SimEngine& engine) {
+void CriticalPathScheduler::reset(const sim::EngineView& engine) {
   const auto& graph = engine.graph();
   rank_.assign(graph.num_tasks(), 0.0);
   const auto topo = graph.topological_order();
@@ -22,7 +22,7 @@ void CriticalPathScheduler::reset(const sim::SimEngine& engine) {
 }
 
 std::vector<sim::Assignment> CriticalPathScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   const auto& ready = engine.ready();
   const auto idle = engine.idle_resources();
   if (ready.empty() || idle.empty()) return {};

@@ -12,8 +12,8 @@ namespace readys::sched {
 /// needs the full DAG upfront to compute ranks.
 class CriticalPathScheduler : public sim::Scheduler {
  public:
-  void reset(const sim::SimEngine& engine) override;
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  void reset(const sim::EngineView& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override { return "CP-DYN"; }
 
  private:

@@ -5,7 +5,7 @@
 namespace readys::sched {
 
 std::vector<sim::Assignment> GreedyEftScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   const auto& ready = engine.ready();
   const auto idle = engine.idle_resources();
   if (ready.empty() || idle.empty()) return {};

@@ -11,7 +11,7 @@ namespace readys::sched {
 /// busy GPU — a useful ablation between MCT and READYS.
 class GreedyEftScheduler : public sim::Scheduler {
  public:
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override { return "GREEDY-EFT"; }
 };
 

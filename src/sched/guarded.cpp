@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "util/logging.hpp"
@@ -17,7 +19,7 @@ GuardedScheduler::GuardedScheduler(std::unique_ptr<sim::Scheduler> inner,
   opts_.max_strikes = std::max(1, opts_.max_strikes);
 }
 
-void GuardedScheduler::reset(const sim::SimEngine& engine) {
+void GuardedScheduler::reset(const sim::EngineView& engine) {
   inner_reset_ok_ = false;
   if (!degraded_) {
     try {
@@ -35,7 +37,7 @@ std::string GuardedScheduler::name() const {
   return "guarded(" + inner_->name() + ")";
 }
 
-bool GuardedScheduler::valid_batch(const sim::SimEngine& engine,
+bool GuardedScheduler::valid_batch(const sim::EngineView& engine,
                                    const std::vector<sim::Assignment>& batch,
                                    std::string& why) const {
   const auto num_tasks = engine.graph().num_tasks();
@@ -80,7 +82,7 @@ bool GuardedScheduler::valid_batch(const sim::SimEngine& engine,
 }
 
 std::vector<sim::Assignment> GuardedScheduler::fall_back(
-    const sim::SimEngine& engine, const std::string& why) {
+    const sim::EngineView& engine, const std::string& why) {
   last_fault_ = why;
   ++fallback_decisions_;
   if (obs::Telemetry* t = obs::telemetry()) t->sched_fallbacks.add();
@@ -95,13 +97,13 @@ std::vector<sim::Assignment> GuardedScheduler::fall_back(
 }
 
 std::vector<sim::Assignment> one_shot_mct(MctScheduler& scratch,
-                                          const sim::SimEngine& engine) {
+                                          const sim::EngineView& engine) {
   scratch.reset(engine);
   return scratch.decide(engine);
 }
 
 std::vector<sim::Assignment> GuardedScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   if (degraded_ || !inner_reset_ok_) {
     return fall_back(engine, last_fault_.empty() ? "degraded" : last_fault_);
   }
@@ -129,6 +131,27 @@ std::vector<sim::Assignment> GuardedScheduler::decide(
   }
   strikes_ = 0;
   return batch;
+}
+
+GuardedScheduler::Options parse_guarded_options(const SpecOptions& spec) {
+  constexpr double kMaxBudget = 1e12;
+  GuardedScheduler::Options opts;
+  for (const auto& [key, value] : spec.items) {
+    if (key == "budget_us") {
+      opts.decide_budget_ms =
+          option_double(key, value, 0.0, kMaxBudget) / 1000.0;
+    } else if (key == "budget_ms") {
+      opts.decide_budget_ms = option_double(key, value, 0.0, kMaxBudget);
+    } else if (key == "max_strikes") {
+      opts.max_strikes =
+          option_int(key, value, 1, std::numeric_limits<int>::max());
+    } else {
+      throw std::invalid_argument(
+          "unknown guarded option \"" + key +
+          "\" (known: budget_us, budget_ms, max_strikes)");
+    }
+  }
+  return opts;
 }
 
 }  // namespace readys::sched

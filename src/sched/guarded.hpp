@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sched/mct.hpp"
+#include "sched/spec.hpp"
 #include "sim/simulator.hpp"
 
 namespace readys::sched {
@@ -47,8 +48,8 @@ class GuardedScheduler : public sim::Scheduler {
   explicit GuardedScheduler(std::unique_ptr<sim::Scheduler> inner);
   GuardedScheduler(std::unique_ptr<sim::Scheduler> inner, Options opts);
 
-  void reset(const sim::SimEngine& engine) override;
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  void reset(const sim::EngineView& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override;
 
   /// Decisions answered by the MCT fallback instead of the inner
@@ -65,10 +66,10 @@ class GuardedScheduler : public sim::Scheduler {
  private:
   /// True iff `batch` can be applied to `engine` as-is; otherwise `why`
   /// describes the first violation.
-  bool valid_batch(const sim::SimEngine& engine,
+  bool valid_batch(const sim::EngineView& engine,
                    const std::vector<sim::Assignment>& batch,
                    std::string& why) const;
-  std::vector<sim::Assignment> fall_back(const sim::SimEngine& engine,
+  std::vector<sim::Assignment> fall_back(const sim::EngineView& engine,
                                          const std::string& why);
 
   std::unique_ptr<sim::Scheduler> inner_;
@@ -81,6 +82,11 @@ class GuardedScheduler : public sim::Scheduler {
   std::string last_fault_;
 };
 
+/// Interprets a parsed "guarded(...)" option list (keys budget_us /
+/// budget_ms / max_strikes) with the shared strict readers; throws
+/// std::invalid_argument on unknown keys or out-of-range values.
+GuardedScheduler::Options parse_guarded_options(const SpecOptions& spec);
+
 /// One-shot MCT answer for the current engine state: resets `scratch`
 /// (clearing its queues and ready-log cursor) and re-derives bindings
 /// from what is ready and idle right now. Correct mid-episode because
@@ -88,6 +94,6 @@ class GuardedScheduler : public sim::Scheduler {
 /// degrade primitive shared by GuardedScheduler and the serve deadline
 /// path.
 std::vector<sim::Assignment> one_shot_mct(MctScheduler& scratch,
-                                          const sim::SimEngine& engine);
+                                          const sim::EngineView& engine);
 
 }  // namespace readys::sched

@@ -109,14 +109,14 @@ double heft_expected_makespan(const TaskGraph& graph, const Platform& platform,
   return compute_heft(graph, platform, costs).expected_makespan;
 }
 
-void HeftScheduler::reset(const sim::SimEngine& engine) {
+void HeftScheduler::reset(const sim::EngineView& engine) {
   schedule_ = compute_heft(engine.graph(), engine.platform(), engine.costs());
   next_index_.assign(static_cast<std::size_t>(engine.platform().size()), 0);
   running_now_.assign(engine.graph().num_tasks(), 0);
 }
 
 std::vector<sim::Assignment> HeftScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   std::vector<sim::Assignment> out;
   const ResourceId n_res = engine.platform().size();
   const bool faulty = engine.fault_enabled();
@@ -129,8 +129,9 @@ std::vector<sim::Assignment> HeftScheduler::decide(
   // tracks the done prefix (not the started prefix), so a lost execution
   // is found again by the scan; fault-free the two notions coincide
   // whenever the resource is idle, so this selects exactly the entry the
-  // historical started-task cursor would.
-  for (ResourceId r = 0; r < n_res; ++r) {
+  // historical started-task cursor would. Only visible resources
+  // dispatch (the full view sees all of them, in the same order).
+  for (const ResourceId r : engine.resources()) {
     if (!engine.is_idle(r)) continue;
     auto& cursor = next_index_[static_cast<std::size_t>(r)];
     const auto& queue = schedule_.order[static_cast<std::size_t>(r)];
@@ -147,8 +148,12 @@ std::vector<sim::Assignment> HeftScheduler::decide(
     // Work-stealing, restricted to queues whose home resource is down:
     // an idle resource that found nothing above takes the first ready,
     // unclaimed task stranded behind an outage. Fault-free every queue's
-    // home is up and this loop is dead.
-    for (ResourceId r = 0; r < n_res; ++r) {
+    // home is up and this loop is dead. Shard-scoped views report remote
+    // resources as down, so under the cluster scheduler this same path
+    // claims ready work the static plan put on another shard. The victim
+    // scan deliberately covers the whole platform (invisible queues are
+    // exactly the ones worth raiding); the thief must be visible.
+    for (const ResourceId r : engine.resources()) {
       if (!engine.is_idle(r)) continue;
       bool busy = false;
       for (const auto& a : out) busy = busy || a.resource == r;

@@ -50,8 +50,8 @@ double heft_expected_makespan(const TaskGraph& graph, const Platform& platform,
 /// bit-exact with the historical started-task cursor.
 class HeftScheduler : public sim::Scheduler {
  public:
-  void reset(const sim::SimEngine& engine) override;
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  void reset(const sim::EngineView& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override { return "HEFT"; }
 
   const HeftSchedule& schedule() const noexcept { return schedule_; }

@@ -9,7 +9,7 @@ namespace readys::sched {
 
 MctScheduler::MctScheduler(bool comm_aware) : comm_aware_(comm_aware) {}
 
-void MctScheduler::reset(const sim::SimEngine& engine) {
+void MctScheduler::reset(const sim::EngineView& engine) {
   queue_.assign(static_cast<std::size_t>(engine.platform().size()), {});
   tail_.assign(static_cast<std::size_t>(engine.platform().size()), 0.0);
   queued_.assign(engine.graph().num_tasks(), 0);
@@ -17,21 +17,25 @@ void MctScheduler::reset(const sim::SimEngine& engine) {
   log_cursor_ = 0;
 }
 
-double MctScheduler::expected_available(const sim::SimEngine& engine,
+double MctScheduler::expected_available(const sim::EngineView& engine,
                                         sim::ResourceId r) const {
   return engine.expected_available_at(r) +
          tail_[static_cast<std::size_t>(r)];
 }
 
-void MctScheduler::bind_batch(const sim::SimEngine& engine) {
+void MctScheduler::bind_batch(const sim::EngineView& engine) {
   std::sort(batch_.begin(), batch_.end());
-  const sim::ResourceId n_res = engine.platform().size();
+  // Candidate resources are the visible ones: the full view sees the
+  // whole platform in ascending order (identical to the historical
+  // 0..P-1 scan), a shard-scoped view sees only its own resources, so
+  // the binding scan is O(P/K) per task under the cluster scheduler.
+  const auto& res = engine.resources();
   // Running-task remainders are fixed for the whole scan; only the
   // queue tails move as tasks are bound. A down resource reports an
   // infinite availability, but is skipped outright so a fully-down
   // platform parks the batch instead of binding to garbage.
-  avail_base_.resize(static_cast<std::size_t>(n_res));
-  for (sim::ResourceId r = 0; r < n_res; ++r) {
+  avail_base_.resize(static_cast<std::size_t>(engine.platform().size()));
+  for (const sim::ResourceId r : res) {
     avail_base_[static_cast<std::size_t>(r)] =
         engine.expected_available_at(r);
   }
@@ -39,7 +43,7 @@ void MctScheduler::bind_batch(const sim::SimEngine& engine) {
     if (queued_[t] != 0 || !engine.is_ready(t)) continue;
     double best = std::numeric_limits<double>::infinity();
     sim::ResourceId best_r = -1;
-    for (sim::ResourceId r = 0; r < n_res; ++r) {
+    for (const sim::ResourceId r : res) {
       if (!engine.is_up(r)) continue;
       double completion = (avail_base_[static_cast<std::size_t>(r)] +
                            tail_[static_cast<std::size_t>(r)]) +
@@ -62,12 +66,12 @@ void MctScheduler::bind_batch(const sim::SimEngine& engine) {
 }
 
 std::vector<sim::Assignment> MctScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   batch_.clear();
   // Backlog stranded on a dead resource is drained and re-bound; a task
   // whose *execution* was lost re-enters via the ready log below.
   if (engine.fault_enabled()) {
-    for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
+    for (const sim::ResourceId r : engine.resources()) {
       auto& q = queue_[static_cast<std::size_t>(r)];
       if (engine.is_up(r) || q.empty()) continue;
       for (const dag::TaskId t : q) {
@@ -97,8 +101,19 @@ std::vector<sim::Assignment> MctScheduler::decide(
   if (!batch_.empty()) bind_batch(engine);
   // Idle resources pull the head of their own queue.
   std::vector<sim::Assignment> out;
-  for (sim::ResourceId r = 0; r < engine.platform().size(); ++r) {
+  for (const sim::ResourceId r : engine.resources()) {
     auto& q = queue_[static_cast<std::size_t>(r)];
+    // Centrally a queued task stays ready until this scheduler starts
+    // it, but under the cluster coordinator a task can be stolen and
+    // run by another shard while it sits in our queue. Drop such stale
+    // entries instead of proposing work that no longer exists.
+    while (!q.empty() && !engine.is_ready(q.front())) {
+      tail_[static_cast<std::size_t>(r)] -=
+          engine.expected_duration(q.front(), r);
+      queued_[q.front()] = 0;
+      q.pop_front();
+    }
+    if (q.empty()) tail_[static_cast<std::size_t>(r)] = 0.0;
     if (engine.is_idle(r) && !q.empty()) {
       out.push_back({q.front(), r});
       tail_[static_cast<std::size_t>(r)] -=

@@ -30,8 +30,8 @@ class MctScheduler : public sim::Scheduler {
   /// "minimize data exchange" refinement of runtime systems (§III-A).
   explicit MctScheduler(bool comm_aware = false);
 
-  void reset(const sim::SimEngine& engine) override;
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  void reset(const sim::EngineView& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override {
     return comm_aware_ ? "MCT-COMM" : "MCT";
   }
@@ -39,13 +39,13 @@ class MctScheduler : public sim::Scheduler {
  private:
   /// Expected time at which resource r can start new work, accounting for
   /// the running task (expected remainder) and its queued backlog.
-  double expected_available(const sim::SimEngine& engine,
+  double expected_available(const sim::EngineView& engine,
                             sim::ResourceId r) const;
 
   /// Binds every task in `batch_` (sorted ascending) to its
   /// minimum-expected-completion resource among the up resources;
   /// unbindable tasks go to `pending_`.
-  void bind_batch(const sim::SimEngine& engine);
+  void bind_batch(const sim::EngineView& engine);
 
   bool comm_aware_;
   std::vector<std::deque<dag::TaskId>> queue_;  // per resource

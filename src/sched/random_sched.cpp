@@ -5,13 +5,13 @@ namespace readys::sched {
 RandomScheduler::RandomScheduler(std::uint64_t seed)
     : seed_(seed), rng_(seed) {}
 
-void RandomScheduler::reset(const sim::SimEngine& engine) {
+void RandomScheduler::reset(const sim::EngineView& engine) {
   (void)engine;
   rng_ = util::Rng(seed_);
 }
 
 std::vector<sim::Assignment> RandomScheduler::decide(
-    const sim::SimEngine& engine) {
+    const sim::EngineView& engine) {
   const auto& ready = engine.ready();
   const auto idle = engine.idle_resources();
   if (ready.empty() || idle.empty()) return {};

@@ -13,8 +13,8 @@ class RandomScheduler : public sim::Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed = 7);
 
-  void reset(const sim::SimEngine& engine) override;
-  std::vector<sim::Assignment> decide(const sim::SimEngine& engine) override;
+  void reset(const sim::EngineView& engine) override;
+  std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
   std::string name() const override { return "RANDOM"; }
 
  private:

@@ -13,119 +13,64 @@
 
 namespace readys::sched {
 
-namespace {
-
-/// Parsed "guarded..." spec. `matched` is false when `name` is not a
-/// guarded spec at all; `error` is non-empty when it is one but the
-/// option list is malformed.
-struct GuardedSpec {
-  bool matched = false;
-  std::string inner;
-  GuardedScheduler::Options opts;
-  std::string error;
-};
-
-/// Recognizes "guarded:<inner>" and "guarded(k=v,...):<inner>" with
-/// keys budget_us / budget_ms (wall-clock decide budget) and
-/// max_strikes. E.g. "guarded(budget_us=500,max_strikes=2):readys".
-GuardedSpec parse_guarded(const std::string& name) {
-  GuardedSpec spec;
-  constexpr const char* kWord = "guarded";
-  constexpr std::size_t kLen = 7;
-  if (name.size() <= kLen || name.compare(0, kLen, kWord) != 0) return spec;
-  std::size_t pos = kLen;
-  if (name[pos] == '(') {
-    const std::size_t close = name.find(')', pos);
-    if (close == std::string::npos) {
-      spec.matched = true;
-      spec.error = "missing ')' in \"" + name + "\"";
-      return spec;
-    }
-    std::string items = name.substr(pos + 1, close - pos - 1);
-    pos = close + 1;
-    std::size_t start = 0;
-    while (start <= items.size() && !items.empty()) {
-      std::size_t comma = items.find(',', start);
-      if (comma == std::string::npos) comma = items.size();
-      const std::string item = items.substr(start, comma - start);
-      start = comma + 1;
-      const std::size_t eq = item.find('=');
-      if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
-        spec.matched = true;
-        spec.error = "expected key=value, got \"" + item + "\"";
-        return spec;
-      }
-      const std::string key = item.substr(0, eq);
-      const std::string value = item.substr(eq + 1);
-      try {
-        std::size_t used = 0;
-        if (key == "budget_us") {
-          spec.opts.decide_budget_ms = std::stod(value, &used) / 1000.0;
-        } else if (key == "budget_ms") {
-          spec.opts.decide_budget_ms = std::stod(value, &used);
-        } else if (key == "max_strikes") {
-          spec.opts.max_strikes = std::stoi(value, &used);
-        } else {
-          spec.matched = true;
-          spec.error = "unknown guarded option \"" + key +
-                       "\" (known: budget_us, budget_ms, max_strikes)";
-          return spec;
-        }
-        if (used != value.size()) throw std::invalid_argument(value);
-      } catch (const std::exception&) {
-        spec.matched = true;
-        spec.error = "bad value for " + key + ": \"" + value + "\"";
-        return spec;
-      }
-      if (spec.opts.decide_budget_ms < 0.0 || spec.opts.max_strikes < 1) {
-        spec.matched = true;
-        spec.error = "out-of-range value for " + key + ": \"" + value +
-                     "\" (budgets >= 0, max_strikes >= 1)";
-        return spec;
-      }
-      if (start > items.size()) break;
-    }
-  }
-  if (pos >= name.size() || name[pos] != ':' || pos + 1 >= name.size()) {
-    // "guardedfoo" is some other (unknown) scheduler name, not a
-    // malformed guarded spec — unless an option list was present.
-    if (name.size() > kLen && name[kLen] == '(') {
-      spec.matched = true;
-      spec.error = "expected \":<inner>\" after the option list";
-    }
-    return spec;
-  }
-  spec.matched = true;
-  spec.inner = name.substr(pos + 1);
-  return spec;
-}
-
-}  // namespace
-
 void Registry::add(const std::string& name, Factory factory) {
   std::lock_guard<std::mutex> lock(mutex_);
   factories_[name] = std::move(factory);
 }
 
+void Registry::add_prefix(const std::string& word, PrefixValidator validate,
+                          PrefixFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  prefixes_[word] = {std::move(validate), std::move(factory)};
+}
+
 bool Registry::contains(const std::string& name) const {
-  const GuardedSpec spec = parse_guarded(name);
-  if (spec.matched) return spec.error.empty() && contains(spec.inner);
+  // Snapshot the prefix table under the lock; validation and the
+  // recursive inner lookup run outside it (they may re-enter).
+  std::vector<std::pair<std::string, PrefixValidator>> prefixes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [word, handler] : prefixes_) {
+      prefixes.emplace_back(word, handler.validate);
+    }
+  }
+  for (const auto& [word, validate] : prefixes) {
+    const SpecParse parse = parse_spec(name, word);
+    if (!parse.matched) continue;
+    if (!parse.error.empty()) return false;
+    try {
+      if (validate) validate(parse.spec);
+    } catch (const std::exception&) {
+      return false;  // unknown key or bad value: not a resolvable name
+    }
+    return contains(parse.spec.inner);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(name) != 0;
 }
 
 std::unique_ptr<sim::Scheduler> Registry::make(
     const std::string& name, const SchedulerConfig& cfg) const {
-  // "guarded:<inner>" / "guarded(budget_us=...,max_strikes=...):<inner>"
-  // wraps any registered scheduler (recursively, so "guarded:guarded:mct"
-  // also resolves — pointless but harmless).
-  const GuardedSpec spec = parse_guarded(name);
-  if (spec.matched) {
-    if (!spec.error.empty()) {
-      throw std::invalid_argument("bad guarded spec: " + spec.error);
+  // Decorator prefixes ("guarded:<inner>", "shard(k=4):<inner>", ...)
+  // wrap any registered scheduler, recursively — so
+  // "shard(shards=4):guarded:readys" composes fault guards under the
+  // decentralized coordinator.
+  std::vector<std::pair<std::string, PrefixFactory>> prefixes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [word, handler] : prefixes_) {
+      prefixes.emplace_back(word, handler.factory);
     }
-    return std::make_unique<GuardedScheduler>(make(spec.inner, cfg),
-                                              spec.opts);
+  }
+  for (const auto& [word, factory] : prefixes) {
+    const SpecParse parse = parse_spec(name, word);
+    if (!parse.matched) continue;
+    if (!parse.error.empty()) {
+      throw std::invalid_argument("bad " + word + " spec: " + parse.error);
+    }
+    // Invoked outside the lock: the factory recurses into the registry
+    // for the inner scheduler.
+    return factory(parse.spec, cfg, *this);
   }
   Factory factory;
   {
@@ -195,6 +140,14 @@ void add_builtins(Registry& r) {
   r.add("random", [](const SchedulerConfig& cfg) {
     return std::make_unique<RandomScheduler>(cfg.seed);
   });
+  r.add_prefix(
+      "guarded",
+      [](const SpecOptions& spec) { (void)parse_guarded_options(spec); },
+      [](const SpecOptions& spec, const SchedulerConfig& cfg,
+         const Registry& self) {
+        return std::make_unique<GuardedScheduler>(
+            self.make(spec.inner, cfg), parse_guarded_options(spec));
+      });
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "sched/spec.hpp"
 #include "sim/simulator.hpp"
 
 namespace readys::sched {
@@ -36,8 +37,24 @@ class Registry {
   using Factory =
       std::function<std::unique_ptr<sim::Scheduler>(const SchedulerConfig&)>;
 
+  /// Validates a matched spec's option list; throws std::invalid_argument
+  /// on unknown keys or malformed / out-of-range values. Called by
+  /// contains() (errors resolve to false) and by make() via the factory.
+  using PrefixValidator = std::function<void(const SpecOptions&)>;
+  /// Builds the decorator for a matched "<word>...:<inner>" spec. The
+  /// registry itself is passed in so the factory can construct the inner
+  /// scheduler (recursively: "guarded:shard(k=4):mct" resolves).
+  using PrefixFactory = std::function<std::unique_ptr<sim::Scheduler>(
+      const SpecOptions&, const SchedulerConfig&, const Registry&)>;
+
   /// Adds (or replaces) a factory under `name`.
   void add(const std::string& name, Factory factory);
+
+  /// Registers a decorator prefix: "<word>:<inner>" and
+  /// "<word>(k=v,...):<inner>" resolve through `factory` with the shared
+  /// strict key=value spec grammar (sched/spec.hpp).
+  void add_prefix(const std::string& word, PrefixValidator validate,
+                  PrefixFactory factory);
 
   bool contains(const std::string& name) const;
 
@@ -52,8 +69,14 @@ class Registry {
   std::vector<std::string> names() const;
 
  private:
+  struct PrefixHandler {
+    PrefixValidator validate;
+    PrefixFactory factory;
+  };
+
   mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
+  std::map<std::string, PrefixHandler> prefixes_;
 };
 
 /// The process-wide registry, pre-seeded with the built-in heuristics:

@@ -1,0 +1,107 @@
+#include "sched/spec.hpp"
+
+#include <stdexcept>
+
+namespace readys::sched {
+
+SpecParse parse_spec(const std::string& name, const std::string& word) {
+  SpecParse out;
+  const std::size_t len = word.size();
+  if (name.size() <= len || name.compare(0, len, word) != 0) return out;
+  std::size_t pos = len;
+  bool had_options = false;
+  if (name[pos] == '(') {
+    had_options = true;
+    const std::size_t close = name.find(')', pos);
+    if (close == std::string::npos) {
+      out.matched = true;
+      out.error = "missing ')' in \"" + name + "\"";
+      return out;
+    }
+    const std::string items = name.substr(pos + 1, close - pos - 1);
+    pos = close + 1;
+    std::size_t start = 0;
+    while (start <= items.size() && !items.empty()) {
+      std::size_t comma = items.find(',', start);
+      if (comma == std::string::npos) comma = items.size();
+      const std::string item = items.substr(start, comma - start);
+      start = comma + 1;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+        out.matched = true;
+        out.error = "expected key=value, got \"" + item + "\"";
+        return out;
+      }
+      out.spec.items.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+      if (start > items.size()) break;
+    }
+  }
+  if (pos >= name.size() || name[pos] != ':' || pos + 1 >= name.size()) {
+    // "<word>foo" is some other (unknown) scheduler name, not a
+    // malformed spec — unless an option list was present.
+    if (had_options) {
+      out.matched = true;
+      out.error = "expected \":<inner>\" after the option list";
+    }
+    return out;
+  }
+  out.matched = true;
+  out.spec.word = word;
+  out.spec.inner = name.substr(pos + 1);
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void throw_bad_value(const std::string& key,
+                                  const std::string& value) {
+  throw std::invalid_argument("bad value for " + key + ": \"" + value +
+                              "\"");
+}
+
+[[noreturn]] void throw_out_of_range(const std::string& key,
+                                     const std::string& value,
+                                     const std::string& lo,
+                                     const std::string& hi) {
+  throw std::invalid_argument("out-of-range value for " + key + ": \"" +
+                              value + "\" (expected " + lo + " to " + hi +
+                              ")");
+}
+
+}  // namespace
+
+double option_double(const std::string& key, const std::string& value,
+                     double min_value, double max_value) {
+  double v = 0.0;
+  try {
+    std::size_t used = 0;
+    v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw_bad_value(key, value);
+  }
+  if (!(v >= min_value && v <= max_value)) {
+    throw_out_of_range(key, value, std::to_string(min_value),
+                       std::to_string(max_value));
+  }
+  return v;
+}
+
+int option_int(const std::string& key, const std::string& value,
+               int min_value, int max_value) {
+  int v = 0;
+  try {
+    std::size_t used = 0;
+    v = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw_bad_value(key, value);
+  }
+  if (v < min_value || v > max_value) {
+    throw_out_of_range(key, value, std::to_string(min_value),
+                       std::to_string(max_value));
+  }
+  return v;
+}
+
+}  // namespace readys::sched

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace readys::sched {
+
+/// One parsed "<word>:<inner>" / "<word>(k=v,...):<inner>" scheduler
+/// spec, shared by every prefixed decorator in the registry (guarded,
+/// shard). The option items are raw key=value strings in written order;
+/// each decorator interprets them with the strict option_* readers
+/// below, so "what is a malformed spec" means the same thing for every
+/// prefix.
+struct SpecOptions {
+  std::string word;   ///< the matched prefix word
+  std::string inner;  ///< inner scheduler name (everything after ':')
+  std::vector<std::pair<std::string, std::string>> items;  ///< k=v pairs
+};
+
+/// Result of matching a name against one prefix word. `matched` is false
+/// when the name is not a spec for this word at all ("guardedfoo" is
+/// some other scheduler name, not a malformed guarded spec — unless an
+/// option list was present); `error` is non-empty when it is one but the
+/// syntax is malformed (missing ')', missing ":<inner>", bare items).
+struct SpecParse {
+  bool matched = false;
+  SpecOptions spec;
+  std::string error;
+};
+
+/// Matches "<word>:<inner>" and "<word>(k=v,...):<inner>". Purely
+/// syntactic: option keys and values are split but not interpreted —
+/// value validation belongs to the decorator's option parser so the
+/// registry can report unknown keys with the decorator's vocabulary.
+SpecParse parse_spec(const std::string& name, const std::string& word);
+
+/// Strict option-value readers: the whole string must parse (no trailing
+/// junk) and the value must land in [min_value, max_value]. Throws
+/// std::invalid_argument naming the key otherwise. Shared by every
+/// prefix so "budget_us=abc" and "shards=abc" fail identically.
+double option_double(const std::string& key, const std::string& value,
+                     double min_value, double max_value);
+int option_int(const std::string& key, const std::string& value,
+               int min_value, int max_value);
+
+}  // namespace readys::sched

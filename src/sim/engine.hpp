@@ -194,6 +194,21 @@ class SimEngine {
   const NoiseModel& noise() const noexcept { return noise_; }
   const Trace& trace() const noexcept { return trace_; }
 
+  /// Resource that produced each completed task's output (-1 while the
+  /// task has not completed). Drives communication-delay estimates and
+  /// shard-locality placement.
+  const std::vector<ResourceId>& producer_of() const noexcept {
+    return producer_of_;
+  }
+  /// Flattened (kernel x resource) expected-duration table, row-major.
+  const std::vector<double>& duration_table() const noexcept {
+    return duration_table_;
+  }
+  /// The engine's communication model, or nullptr without one.
+  const CommModel* comm_model() const noexcept {
+    return comm_ ? &*comm_ : nullptr;
+  }
+
   /// Makespan so far (= final makespan once finished()).
   double makespan() const noexcept { return trace_.makespan(); }
 

@@ -16,6 +16,10 @@ Platform::Platform(std::vector<ResourceType> resources)
       ++n_gpus_;
     }
   }
+  ids_.resize(resources_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    ids_[i] = static_cast<ResourceId>(i);
+  }
 }
 
 Platform Platform::cpus(int n) {

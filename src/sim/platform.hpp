@@ -35,11 +35,17 @@ class Platform {
   int num_cpus() const noexcept { return n_cpus_; }
   int num_gpus() const noexcept { return n_gpus_; }
 
+  /// Identity id list 0, 1, ..., size()-1 (ascending). Exists so full
+  /// engine views and scoped shard views can hand out one "visible
+  /// resources" representation without materializing per call.
+  const std::vector<ResourceId>& ids() const noexcept { return ids_; }
+
   /// Human-readable name like "2CPU+2GPU".
   std::string name() const;
 
  private:
   std::vector<ResourceType> resources_;
+  std::vector<ResourceId> ids_;
   int n_cpus_ = 0;
   int n_gpus_ = 0;
 };

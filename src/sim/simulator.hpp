@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "sim/engine.hpp"
+#include "sim/engine_view.hpp"
 
 namespace readys::sim {
 
@@ -14,19 +15,24 @@ struct Assignment {
 
 /// Interface every scheduling strategy implements to run under the
 /// Simulator (HEFT replay, MCT, random, and the READYS agent itself).
+///
+/// Schedulers observe the simulation through an EngineView — either a
+/// whole SimEngine (which converts implicitly, so `decide(engine)` call
+/// sites read naturally) or a table-backed view the cluster layer builds
+/// for sharded engines and per-shard partial observations.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   /// Called once before an execution begins.
-  virtual void reset(const SimEngine& engine) { (void)engine; }
+  virtual void reset(const EngineView& view) { (void)view; }
 
   /// Called at every decision instant (t = 0 and after each completion).
   /// The scheduler may start any subset of (ready task, idle resource)
   /// pairs; returning an empty vector lets the clock advance to the next
   /// completion. The simulator re-invokes decide() after applying the
   /// returned assignments, so returning one assignment at a time is fine.
-  virtual std::vector<Assignment> decide(const SimEngine& engine) = 0;
+  virtual std::vector<Assignment> decide(const EngineView& view) = 0;
 
   /// Human-readable name used in experiment tables.
   virtual std::string name() const = 0;

@@ -1,0 +1,249 @@
+// Bit-exactness contract of the sharded simulation core: for ANY shard
+// count K, a ShardedEngine execution must be event-for-event identical
+// to the single-heap SimEngine under the same seed. The existing golden
+// suite (tests/test_sim_equivalence.cpp) pins SimEngine to the recorded
+// seed-engine traces; here every pairwise SimEngine == ShardedEngine
+// check extends that chain of custody to the cluster core without
+// duplicating (or regenerating) the golden table.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/partition.hpp"
+#include "cluster/sharded_engine.hpp"
+#include "dag/cholesky.hpp"
+#include "dag/lu.hpp"
+#include "dag/random_dag.hpp"
+#include "sched/greedy_eft.hpp"
+#include "sched/heft.hpp"
+#include "sched/mct.hpp"
+#include "sched/random_sched.hpp"
+#include "sim/simulator.hpp"
+
+namespace rc = readys::cluster;
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rx = readys::sched;
+namespace ru = readys::util;
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const rs::Trace& trace) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& e : trace.entries()) {
+    h = fnv1a(h, &e.task, sizeof(e.task));
+    h = fnv1a(h, &e.resource, sizeof(e.resource));
+    h = fnv1a(h, &e.start, sizeof(e.start));
+    h = fnv1a(h, &e.finish, sizeof(e.finish));
+  }
+  return h;
+}
+
+struct Case {
+  std::string name;
+  rd::TaskGraph graph;
+  rs::CostModel costs;
+  rs::Platform platform;
+};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  cases.push_back({"chol4", rd::cholesky_graph(4), rs::CostModel::cholesky(),
+                   rs::Platform::hybrid(2, 2)});
+  cases.push_back({"chol8", rd::cholesky_graph(8), rs::CostModel::cholesky(),
+                   rs::Platform::hybrid(2, 2)});
+  cases.push_back(
+      {"lu5", rd::lu_graph(5), rs::CostModel::lu(), rs::Platform::cpus(3)});
+  ru::Rng rng(11);
+  cases.push_back({"rand1", rd::random_layered_dag({6, 5, 0.4, 4, true}, rng),
+                   rs::CostModel::cholesky(), rs::Platform::hybrid(4, 4)});
+  return cases;
+}
+
+std::unique_ptr<rs::Scheduler> make_sched(const std::string& name,
+                                          std::uint64_t seed) {
+  if (name == "heft") return std::make_unique<rx::HeftScheduler>();
+  if (name == "mct") return std::make_unique<rx::MctScheduler>();
+  if (name == "random") return std::make_unique<rx::RandomScheduler>(seed);
+  if (name == "eft") return std::make_unique<rx::GreedyEftScheduler>();
+  throw std::logic_error("unknown scheduler " + name);
+}
+
+}  // namespace
+
+TEST(ClusterEngine, BitExactWithSimEngineAtEveryShardCount) {
+  const char* scheds[] = {"heft", "mct", "random", "eft"};
+  for (const Case& c : make_cases()) {
+    for (const char* sname : scheds) {
+      for (const double sigma : {0.0, 0.1, 0.5}) {
+        for (const std::uint64_t seed : {1ull, 7ull}) {
+          auto sched = make_sched(sname, seed);
+          rs::Simulator base(c.graph, c.platform, c.costs, {sigma, seed});
+          const auto ref = base.run(*sched);
+          for (int k = 1; k <= c.platform.size(); k *= 2) {
+            auto sched_k = make_sched(sname, seed);
+            rc::ClusterSimulator::Options opt;
+            opt.sigma = sigma;
+            opt.seed = seed;
+            opt.shards = k;
+            rc::ClusterSimulator sim(c.graph, c.platform, c.costs, opt);
+            const auto got = sim.run(*sched_k);
+            ASSERT_DOUBLE_EQ(ref.makespan, got.makespan)
+                << c.name << "/" << sname << " sigma=" << sigma
+                << " seed=" << seed << " K=" << k;
+            ASSERT_EQ(trace_hash(ref.trace), trace_hash(got.trace))
+                << c.name << "/" << sname << " sigma=" << sigma
+                << " seed=" << seed << " K=" << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusterEngine, BitExactUnderFaultInjection) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(4, 4);
+  rs::FaultModel faults;
+  faults.outage_rate = 0.002;
+  faults.mean_downtime = 60.0;
+  faults.slowdown_rate = 0.004;
+  faults.mean_slowdown = 30.0;
+  faults.slowdown_factor = 2.0;
+  faults.task_failure_prob = 0.02;
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    rx::MctScheduler ref_sched;
+    rs::Simulator::Options base_opt;
+    base_opt.sigma = 0.1;
+    base_opt.seed = seed;
+    base_opt.faults = faults;
+    rs::Simulator base(graph, platform, costs, base_opt);
+    const auto ref = base.run(ref_sched);
+    for (const int k : {1, 2, 4, 8}) {
+      rx::MctScheduler sched;
+      rc::ClusterSimulator::Options opt;
+      opt.sigma = 0.1;
+      opt.seed = seed;
+      opt.shards = k;
+      opt.faults = faults;
+      rc::ClusterSimulator sim(graph, platform, costs, opt);
+      const auto got = sim.run(sched);
+      ASSERT_DOUBLE_EQ(ref.makespan, got.makespan) << "K=" << k;
+      ASSERT_EQ(trace_hash(ref.trace), trace_hash(got.trace)) << "K=" << k;
+    }
+  }
+}
+
+TEST(ClusterEngine, BitExactUnderCommunicationModel) {
+  const auto graph = rd::cholesky_graph(6);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(2, 2);
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    rx::MctScheduler ref_sched(/*comm_aware=*/true);
+    rs::Simulator::Options base_opt;
+    base_opt.sigma = 0.1;
+    base_opt.seed = seed;
+    base_opt.comm = rs::CommModel::pcie_like();
+    rs::Simulator base(graph, platform, costs, base_opt);
+    const auto ref = base.run(ref_sched);
+    for (const int k : {1, 2, 4}) {
+      rx::MctScheduler sched(/*comm_aware=*/true);
+      rc::ClusterSimulator::Options opt;
+      opt.sigma = 0.1;
+      opt.seed = seed;
+      opt.shards = k;
+      opt.comm = rs::CommModel::pcie_like();
+      rc::ClusterSimulator sim(graph, platform, costs, opt);
+      const auto got = sim.run(sched);
+      ASSERT_DOUBLE_EQ(ref.makespan, got.makespan) << "K=" << k;
+      ASSERT_EQ(trace_hash(ref.trace), trace_hash(got.trace)) << "K=" << k;
+    }
+  }
+}
+
+TEST(ClusterEngine, ShardTracesPartitionTheGlobalTrace) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(4, 4);
+  rx::MctScheduler sched;
+  rc::ClusterSimulator::Options opt;
+  opt.sigma = 0.1;
+  opt.seed = 5;
+  opt.shards = 4;
+  rc::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(sched);
+  ASSERT_EQ(r.shard_traces.size(), 4u);
+  const rc::Partition part =
+      rc::Partition::by_type_round_robin(platform, 4);
+  std::size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (const auto& e : r.shard_traces[static_cast<std::size_t>(s)]
+                             .entries()) {
+      EXPECT_EQ(part.shard(e.resource), s)
+          << "entry in the wrong shard's trace";
+    }
+    total += r.shard_traces[static_cast<std::size_t>(s)].size();
+  }
+  EXPECT_EQ(total, r.trace.size());
+}
+
+TEST(ClusterEngine, PartitionKeepsShardsHeterogeneous) {
+  const auto platform = rs::Platform::hybrid(8, 4);
+  const auto part = rc::Partition::by_type_round_robin(platform, 4);
+  ASSERT_EQ(part.members.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    int cpus = 0;
+    int gpus = 0;
+    for (const rs::ResourceId r : part.members[static_cast<std::size_t>(s)]) {
+      EXPECT_EQ(part.shard(r), s);
+      (platform.type(r) == rs::ResourceType::kCpu ? cpus : gpus)++;
+    }
+    EXPECT_EQ(cpus, 2);  // 8 CPUs round-robined over 4 shards
+    EXPECT_EQ(gpus, 1);  // 4 GPUs round-robined over 4 shards
+    // Ascending member lists, as the scoped views require.
+    const auto& m = part.members[static_cast<std::size_t>(s)];
+    for (std::size_t i = 1; i < m.size(); ++i) EXPECT_LT(m[i - 1], m[i]);
+  }
+  EXPECT_THROW(rc::Partition::by_type_round_robin(platform, 0),
+               std::invalid_argument);
+  EXPECT_THROW(rc::Partition::by_type_round_robin(platform, 13),
+               std::invalid_argument);
+}
+
+TEST(ClusterEngine, ViewExposesConsistentScalarsAndTables) {
+  const auto graph = rd::cholesky_graph(4);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(2, 2);
+  rc::ShardedEngine engine(graph, platform, costs, rs::CommModel::free(),
+                           rs::FaultModel::none(), 0.0, 1, 2);
+  const rs::EngineView v = engine.view();
+  EXPECT_EQ(v.resources().size(), 4u);
+  EXPECT_EQ(v.ready().size(), engine.ready().size());
+  EXPECT_FALSE(v.any_running());
+  for (const rs::ResourceId r : v.resources()) {
+    EXPECT_TRUE(v.is_idle(r));
+    EXPECT_DOUBLE_EQ(v.expected_available_at(r), 0.0);
+  }
+  // Start the single source; the view must track it.
+  const auto t0 = engine.ready().front();
+  engine.start(t0, 0);
+  const rs::EngineView v2 = engine.view();
+  EXPECT_TRUE(v2.any_running());
+  EXPECT_FALSE(v2.is_idle(0));
+  EXPECT_EQ(v2.running_on(0), t0);
+  EXPECT_GT(v2.expected_available_at(0), 0.0);
+  EXPECT_FALSE(v2.is_ready(t0));
+}

@@ -1,0 +1,357 @@
+// Property suite for the decentralized shard scheduler: task
+// conservation under steal interleavings, heartbeat state-machine
+// validity, bounded staleness of the cross-shard directory, shard-trace
+// merge validity, and the registry surface of the "shard:<inner>"
+// family. Style follows the mapf-het-inspired invariant tests in
+// tests/test_schedulers_property.cpp: run real episodes, then assert
+// invariants that must hold under EVERY interleaving rather than pinning
+// one specific schedule.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/heartbeat.hpp"
+#include "cluster/register.hpp"
+#include "cluster/shard_sched.hpp"
+#include "dag/cholesky.hpp"
+#include "dag/random_dag.hpp"
+#include "sched/guarded.hpp"
+#include "sched/mct.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace rc = readys::cluster;
+namespace rd = readys::dag;
+namespace rs = readys::sim;
+namespace rx = readys::sched;
+namespace ru = readys::util;
+
+namespace {
+
+std::unique_ptr<rc::ShardScheduler> make_shard_mct(
+    rc::ShardScheduler::Options opts) {
+  std::vector<std::unique_ptr<rs::Scheduler>> inners;
+  for (int s = 0; s < opts.shards; ++s) {
+    inners.push_back(std::make_unique<rx::MctScheduler>());
+  }
+  return std::make_unique<rc::ShardScheduler>(std::move(inners), opts, "mct");
+}
+
+/// Probe that samples the coordinator's directory clock after every
+/// decide, so the bounded-staleness property can be asserted across a
+/// whole episode without instrumenting the scheduler itself.
+class StaleProbe : public rs::Scheduler {
+ public:
+  StaleProbe(rc::ShardScheduler& inner) : inner_(&inner) {}
+  void reset(const rs::EngineView& view) override { inner_->reset(view); }
+  std::vector<rs::Assignment> decide(const rs::EngineView& view) override {
+    const auto out = inner_->decide(view);
+    const double at = inner_->directory_refreshed_at();
+    EXPECT_GE(at, last_at_) << "directory timestamp went backwards";
+    EXPECT_LE(at, view.now() + 1e-12) << "directory refreshed in the future";
+    EXPECT_LT(view.now() - at, inner_->options().stale_ms + 1e-12)
+        << "directory older than the staleness bound after decide";
+    last_at_ = at;
+    return out;
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  rc::ShardScheduler* inner_;
+  double last_at_ = 0.0;
+};
+
+}  // namespace
+
+// Cholesky starts from a single POTRF, so every second-wave task is
+// owned by the producer's shard — the other shards MUST steal to get
+// work. Conservation: every task still executes exactly once and the
+// trace stays a valid schedule, no matter how ownership migrated.
+TEST(ClusterSched, TaskConservationUnderStealInterleavings) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(8, 8);
+  for (const std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    rc::ShardScheduler::Options opts;
+    opts.shards = 4;
+    opts.stale_ms = 5.0;
+    auto sched = make_shard_mct(opts);
+    rc::ClusterSimulator::Options opt;
+    opt.sigma = 0.1;
+    opt.seed = seed;
+    opt.shards = 4;
+    rc::ClusterSimulator sim(graph, platform, costs, opt);
+    const auto r = sim.run(*sched);
+    EXPECT_EQ(r.trace.validate(graph, platform), "");
+    EXPECT_EQ(r.trace.size(), graph.num_tasks());
+    EXPECT_GT(sched->steals(), 0u) << "workload was built to force steals";
+    EXPECT_GE(sched->stolen_tasks(), sched->steals());
+    // Conservation while stealing: nothing duplicated, nothing lost —
+    // every shard queue drained by the end.
+    for (int s = 0; s < sched->num_shards(); ++s) {
+      EXPECT_TRUE(sched->shard_queue(s).empty());
+    }
+  }
+}
+
+// A guarded inner must not count a stolen-away task as a strike: the
+// scoped view answers is_ready globally, so a late proposal for stolen
+// work passes the guard and gets dropped by the coordinator's ownership
+// check instead. Were it otherwise, three steals from one shard would
+// permanently degrade its guarded:readys agent to MCT.
+TEST(ClusterSched, GuardedInnersSurviveStealInterleavings) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(8, 8);
+  std::vector<rx::GuardedScheduler*> guards;
+  std::vector<std::unique_ptr<rs::Scheduler>> inners;
+  for (int s = 0; s < 4; ++s) {
+    auto g = std::make_unique<rx::GuardedScheduler>(
+        std::make_unique<rx::MctScheduler>());
+    guards.push_back(g.get());
+    inners.push_back(std::move(g));
+  }
+  rc::ShardScheduler::Options opts;
+  opts.shards = 4;
+  rc::ShardScheduler sched(std::move(inners), opts, "guarded:mct");
+  rc::ClusterSimulator::Options opt;
+  opt.sigma = 0.1;
+  opt.seed = 5;
+  opt.shards = 4;
+  rc::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(sched);
+  EXPECT_EQ(r.trace.validate(graph, platform), "");
+  EXPECT_GT(sched.steals(), 0u) << "workload was built to force steals";
+  for (const rx::GuardedScheduler* g : guards) {
+    EXPECT_FALSE(g->degraded());
+    EXPECT_EQ(g->fallback_decisions(), 0u);
+  }
+}
+
+TEST(ClusterSched, StealingDisabledStillCompletesViaRescue) {
+  const auto graph = rd::cholesky_graph(6);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(4, 4);
+  rc::ShardScheduler::Options opts;
+  opts.shards = 4;
+  opts.steal = false;
+  auto sched = make_shard_mct(opts);
+  rc::ClusterSimulator::Options opt;
+  opt.seed = 3;
+  opt.shards = 4;
+  rc::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(*sched);
+  EXPECT_EQ(r.trace.validate(graph, platform), "");
+  EXPECT_EQ(sched->steals(), 0u);
+}
+
+// The failure detector only worsens one step per observation and only
+// revives on a heard heartbeat: alive->dead and dead->suspect must
+// never appear in the transition matrix, dead->alive requires the
+// resource to actually be up (a recovery), and under an outage/recovery
+// fault model transitions do happen.
+TEST(ClusterSched, HeartbeatTransitionValidityUnderFaults) {
+  const auto graph = rd::cholesky_graph(10);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(6, 6);
+  rs::FaultModel faults;
+  faults.outage_rate = 0.004;
+  faults.mean_downtime = 120.0;
+  rc::ShardScheduler::Options opts;
+  opts.shards = 3;
+  opts.hb_period_ms = 1.0;
+  opts.hb_suspect = 2;
+  opts.hb_dead = 4;
+  auto sched = make_shard_mct(opts);
+  rc::ClusterSimulator::Options opt;
+  opt.sigma = 0.1;
+  opt.seed = 17;
+  opt.shards = 3;
+  opt.faults = faults;
+  rc::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(*sched);
+  EXPECT_EQ(r.trace.size(), graph.num_tasks());
+  const auto& m = sched->heartbeat().transition_counts();
+  const auto alive = static_cast<int>(rc::HbState::kAlive);
+  const auto suspect = static_cast<int>(rc::HbState::kSuspect);
+  const auto dead = static_cast<int>(rc::HbState::kDead);
+  EXPECT_EQ(m[alive][dead], 0u) << "alive may never jump straight to dead";
+  EXPECT_EQ(m[dead][suspect], 0u) << "dead only revives on a heartbeat";
+  for (int i = 0; i < rc::kNumHbStates; ++i) {
+    EXPECT_EQ(m[i][i], 0u) << "self-transitions are not transitions";
+  }
+  EXPECT_GT(sched->heartbeat().total_transitions(), 0u)
+      << "outages lasting >> dead_after beats must be detected";
+  EXPECT_GT(m[alive][suspect], 0u);
+}
+
+// Unit-level detector check with a hand-driven liveness sequence: a
+// silenced resource degrades alive -> suspect -> dead over observations
+// and snaps back to alive only once heartbeats resume.
+TEST(ClusterSched, HeartbeatMonitorDetectsOutageAndRecovery) {
+  rc::HeartbeatMonitor::Config cfg;
+  cfg.period_ms = 1.0;
+  cfg.suspect_after = 2;
+  cfg.dead_after = 4;
+  rc::HeartbeatMonitor mon(cfg);
+  mon.reset(2, 0.0);
+  std::vector<std::uint8_t> up = {1, 1};
+  mon.observe(1.5, up);
+  EXPECT_EQ(mon.state(0), rc::HbState::kAlive);
+  up[0] = 0;  // resource 0 goes silent
+  bool saw_suspect = false;
+  for (double t = 2.0; t <= 10.0; t += 0.5) {
+    mon.observe(t, up);
+    if (mon.state(0) == rc::HbState::kSuspect) saw_suspect = true;
+    // Resource 1 keeps heartbeating and never degrades.
+    EXPECT_EQ(mon.state(1), rc::HbState::kAlive);
+  }
+  EXPECT_TRUE(saw_suspect) << "must pass through suspect on the way down";
+  EXPECT_EQ(mon.state(0), rc::HbState::kDead);
+  EXPECT_FALSE(mon.believed_alive(0));
+  up[0] = 1;  // recovery: heartbeats resume
+  mon.observe(12.0, up);
+  EXPECT_EQ(mon.state(0), rc::HbState::kAlive);
+  const auto& m = mon.transition_counts();
+  EXPECT_EQ(m[static_cast<int>(rc::HbState::kDead)]
+             [static_cast<int>(rc::HbState::kAlive)],
+            1u);
+  EXPECT_EQ(m[static_cast<int>(rc::HbState::kAlive)]
+             [static_cast<int>(rc::HbState::kDead)],
+            0u);
+}
+
+TEST(ClusterSched, DirectoryStalenessIsBoundedAndMonotone) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(4, 4);
+  for (const double stale : {0.5, 5.0, 50.0}) {
+    rc::ShardScheduler::Options opts;
+    opts.shards = 4;
+    opts.stale_ms = stale;
+    auto sched = make_shard_mct(opts);
+    StaleProbe probe(*sched);
+    rc::ClusterSimulator::Options opt;
+    opt.sigma = 0.1;
+    opt.seed = 2;
+    opt.shards = 4;
+    rc::ClusterSimulator sim(graph, platform, costs, opt);
+    const auto r = sim.run(probe);
+    EXPECT_EQ(r.trace.validate(graph, platform), "");
+  }
+}
+
+// The per-shard sub-traces of a sharded run merge back into a valid
+// global schedule: same multiset of entries as the global trace, and
+// the merge itself passes Trace::validate.
+TEST(ClusterSched, ShardTracesMergeIntoValidGlobalTrace) {
+  ru::Rng rng(33);
+  const auto graph = rd::random_layered_dag({8, 12, 0.3, 4, true}, rng);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(8, 8);
+  rc::ShardScheduler::Options opts;
+  opts.shards = 4;
+  auto sched = make_shard_mct(opts);
+  rc::ClusterSimulator::Options opt;
+  opt.sigma = 0.1;
+  opt.seed = 13;
+  opt.shards = 4;
+  rc::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(*sched);
+  rs::Trace merged;
+  for (const auto& st : r.shard_traces) {
+    for (const auto& e : st.entries()) merged.add(e);
+  }
+  EXPECT_EQ(merged.size(), r.trace.size());
+  EXPECT_EQ(merged.validate(graph, platform), "");
+  EXPECT_DOUBLE_EQ(merged.makespan(), r.makespan);
+}
+
+// The coordinator also runs under the plain (non-sharded) Simulator:
+// engine-backed views go through the exact same scoping machinery.
+TEST(ClusterSched, RunsUnderPlainSimulator) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(4, 4);
+  rc::ShardScheduler::Options opts;
+  opts.shards = 4;
+  auto sched = make_shard_mct(opts);
+  rs::Simulator sim(graph, platform, costs, {0.1, 9});
+  const auto r = sim.run(*sched);
+  EXPECT_EQ(r.trace.validate(graph, platform), "");
+}
+
+// Parallel per-shard decide must be observationally identical to the
+// serial path (disjoint scopes, results applied in shard order).
+TEST(ClusterSched, ParallelDecideMatchesSerial) {
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(8, 8);
+  rc::ShardScheduler::Options serial_opts;
+  serial_opts.shards = 4;
+  auto serial = make_shard_mct(serial_opts);
+  rc::ShardScheduler::Options par_opts;
+  par_opts.shards = 4;
+  par_opts.parallel = 4;
+  auto parallel = make_shard_mct(par_opts);
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    rc::ClusterSimulator::Options opt;
+    opt.sigma = 0.1;
+    opt.seed = seed;
+    opt.shards = 4;
+    rc::ClusterSimulator sim_a(graph, platform, costs, opt);
+    rc::ClusterSimulator sim_b(graph, platform, costs, opt);
+    const auto ra = sim_a.run(*serial);
+    const auto rb = sim_b.run(*parallel);
+    ASSERT_DOUBLE_EQ(ra.makespan, rb.makespan) << "seed=" << seed;
+    ASSERT_EQ(ra.trace.size(), rb.trace.size());
+    for (std::size_t i = 0; i < ra.trace.entries().size(); ++i) {
+      EXPECT_EQ(ra.trace.entries()[i].task, rb.trace.entries()[i].task);
+      EXPECT_EQ(ra.trace.entries()[i].resource,
+                rb.trace.entries()[i].resource);
+    }
+  }
+}
+
+TEST(ClusterSched, RegistrySurface) {
+  rc::register_cluster_scheduler();
+  auto& reg = rx::registry();
+  EXPECT_TRUE(reg.contains("shard:mct"));
+  EXPECT_TRUE(reg.contains("shard(shards=2,steal=0):mct"));
+  EXPECT_TRUE(reg.contains("shard(shards=4):guarded:mct"));
+  EXPECT_FALSE(reg.contains("shard(bogus=1):mct"));
+  EXPECT_FALSE(reg.contains("shard(shards=0):mct"));
+  EXPECT_FALSE(reg.contains("shard(dead=1,suspect=3):mct"));
+  EXPECT_FALSE(reg.contains("shard(shards=2):nope"));
+  EXPECT_FALSE(reg.contains("shardfoo"));
+  const auto s = reg.make("shard(shards=2,stale_ms=1.5,parallel=0):mct");
+  EXPECT_EQ(s->name(), "shard(2xmct)");
+  // The composed family actually runs.
+  const auto graph = rd::cholesky_graph(6);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(2, 2);
+  auto composed = reg.make("shard(shards=2):guarded:mct");
+  rc::ClusterSimulator::Options opt;
+  opt.seed = 1;
+  opt.shards = 2;
+  rc::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(*composed);
+  EXPECT_EQ(r.trace.validate(graph, platform), "");
+}
+
+TEST(ClusterSched, ShardCountClampsToPlatform) {
+  const auto graph = rd::cholesky_graph(4);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(1, 1);  // P = 2
+  rc::ShardScheduler::Options opts;
+  opts.shards = 8;  // more shards than resources
+  auto sched = make_shard_mct(opts);
+  rs::Simulator sim(graph, platform, costs, {0.0, 1});
+  const auto r = sim.run(*sched);
+  EXPECT_EQ(r.trace.validate(graph, platform), "");
+  EXPECT_EQ(sched->num_shards(), 2);
+}

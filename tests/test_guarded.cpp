@@ -35,13 +35,13 @@ class FaultyScheduler : public rs::Scheduler {
   explicit FaultyScheduler(std::vector<Mode> script)
       : script_(std::move(script)) {}
 
-  void reset(const rs::SimEngine& engine) override {
+  void reset(const rs::EngineView& engine) override {
     if (throw_on_reset_) throw std::runtime_error("reset boom");
     calls_ = 0;
     inner_.reset(engine);
   }
 
-  std::vector<rs::Assignment> decide(const rs::SimEngine& engine) override {
+  std::vector<rs::Assignment> decide(const rs::EngineView& engine) override {
     const Mode mode =
         script_.empty() ? Mode::kDelegate
                         : script_[std::min(calls_, script_.size() - 1)];

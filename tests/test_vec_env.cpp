@@ -558,6 +558,13 @@ TEST(RunConfig, JsonRoundTripIsIdentity) {
   cfg.ngpu = 3;
   cfg.sigma = 0.25;
   cfg.random_offer = true;
+  cfg.comm_tile_bytes = 7.4e6;
+  cfg.comm_bandwidth = 1.2e7;
+  cfg.comm_latency_ms = 0.01;
+  cfg.cluster_shards = 4;
+  cfg.cluster_stale_ms = 2.5;
+  cfg.cluster_hb_ms = 0.5;
+  cfg.cluster_parallel = 2;
   cfg.scheduler = "heft";
   cfg.trainer = "ppo";
   cfg.episodes = 77;
@@ -584,6 +591,13 @@ TEST(RunConfig, JsonRoundTripIsIdentity) {
   EXPECT_EQ(back.agent.hidden, 32);
   EXPECT_DOUBLE_EQ(back.agent.lr, 5e-3);
   EXPECT_FALSE(back.agent.squash_reward);
+  EXPECT_DOUBLE_EQ(back.comm_tile_bytes, 7.4e6);
+  EXPECT_DOUBLE_EQ(back.comm_latency_ms, 0.01);
+  EXPECT_EQ(back.cluster_shards, 4);
+  EXPECT_DOUBLE_EQ(back.cluster_stale_ms, 2.5);
+  EXPECT_EQ(back.cluster_parallel, 2);
+  EXPECT_TRUE(back.has_comm());
+  EXPECT_FALSE(back.make_comm().is_free());
   EXPECT_NO_THROW(back.validate());
 }
 
@@ -630,19 +644,41 @@ TEST(RunConfig, StrictParsingRejectsMalformedDocuments) {
   bad = rc::RunConfig();
   bad.num_envs = 0;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+  // Comm axis needs a positive bandwidth once tile bytes are nonzero.
+  bad = rc::RunConfig();
+  bad.comm_tile_bytes = 1e6;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = rc::RunConfig();
+  bad.cluster_shards = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = rc::RunConfig();
+  bad.cluster_hb_ms = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
 }
 
 TEST(RunConfig, EnvOverlayHonorsLegacyVariables) {
   ::setenv("READYS_TILES", "12", 1);
   ::setenv("READYS_NUM_ENVS", "4", 1);
   ::setenv("READYS_SIGMA", "0.4", 1);
+  ::setenv("READYS_COMM_TILE_BYTES", "1000000", 1);
+  ::setenv("READYS_COMM_BANDWIDTH", "2000000", 1);
+  ::setenv("READYS_CLUSTER_SHARDS", "8", 1);
+  ::setenv("READYS_CLUSTER_STALE_MS", "1.25", 1);
   const rc::RunConfig cfg = rc::RunConfig::from_env();
   ::unsetenv("READYS_TILES");
   ::unsetenv("READYS_NUM_ENVS");
   ::unsetenv("READYS_SIGMA");
+  ::unsetenv("READYS_COMM_TILE_BYTES");
+  ::unsetenv("READYS_COMM_BANDWIDTH");
+  ::unsetenv("READYS_CLUSTER_SHARDS");
+  ::unsetenv("READYS_CLUSTER_STALE_MS");
   EXPECT_EQ(cfg.tiles, 12);
   EXPECT_EQ(cfg.num_envs, 4);
   EXPECT_DOUBLE_EQ(cfg.sigma, 0.4);
+  EXPECT_TRUE(cfg.has_comm());
+  EXPECT_DOUBLE_EQ(cfg.comm_tile_bytes, 1e6);
+  EXPECT_EQ(cfg.cluster_shards, 8);
+  EXPECT_DOUBLE_EQ(cfg.cluster_stale_ms, 1.25);
   // Derived builders pull from the overlaid values.
   EXPECT_EQ(cfg.env_config().sigma, 0.4);
   EXPECT_EQ(cfg.train_options().episodes, cfg.episodes);
