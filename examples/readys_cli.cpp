@@ -61,7 +61,7 @@ int usage() {
       "  readys_cli serve-bench [--config <run.json>] [serve flags]\n"
       "    serve flags: [--sessions <n>] [--rate <per_s>] [--queue <n>]\n"
       "                 [--active <n>] [--workers <n>] [--deadline-us <d>]\n"
-      "                 [--retries <n>]\n"
+      "                 [--retries <n>] [--backend f64ref|f32simd]\n"
       "  readys_cli cluster-bench [--config <run.json>] [cluster flags]\n"
       "    cluster flags: [--app <a>] [--tiles <n>] [--ncpu <n>] "
       "[--ngpu <n>]\n"
@@ -69,7 +69,8 @@ int usage() {
       "                   [--seed <n>] [--shards <k>] [--stale-ms <d>]\n"
       "                   [--hb-ms <d>] [--parallel <n>]\n"
       "                   [--comm-tile-bytes <b>] [--comm-bandwidth <b_ms>]\n"
-      "                   [--comm-latency-ms <d>]\n");
+      "                   [--comm-latency-ms <d>] "
+      "[--backend f64ref|f32simd]\n");
   return 2;
 }
 
@@ -322,6 +323,8 @@ int cmd_serve_bench(int argc, char** argv) {
       cfg.serve_deadline_us = std::atof(argv[++i]);
     } else if (flag == "--retries" && i + 1 < argc) {
       cfg.serve_retries = std::atoi(argv[++i]);
+    } else if (flag == "--backend" && i + 1 < argc) {
+      cfg.inference_backend = argv[++i];
     } else {
       std::fprintf(stderr, "unknown serve-bench option '%s'\n", flag.c_str());
       return usage();
@@ -344,6 +347,7 @@ int cmd_serve_bench(int argc, char** argv) {
   sc.workers = cfg.serve_workers > 0 ? cfg.serve_workers : 1;
   sc.deadline_us = cfg.serve_deadline_us;
   sc.max_retries = cfg.serve_retries;
+  sc.inference_backend = rl::parse_inference_backend(cfg.inference_backend);
   sc.record_latencies = true;
   sc.watchdog_period_ms = 200.0;
   serve::DecisionService svc(net, cfg.agent, sc);
@@ -354,10 +358,11 @@ int cmd_serve_bench(int argc, char** argv) {
   lg.seed = cfg.seed;
   lg.sigma = cfg.sigma;
   std::printf("serving %d sessions at %.1f/s (queue %d, active %d, "
-              "workers %d, deadline %.0f us, retries %d)...\n",
+              "workers %d, deadline %.0f us, retries %d, backend %s)...\n",
               cfg.serve_sessions, cfg.serve_rate, cfg.serve_queue,
               cfg.serve_active, sc.workers, cfg.serve_deadline_us,
-              cfg.serve_retries);
+              cfg.serve_retries,
+              rl::inference_backend_name(sc.inference_backend));
   const serve::LoadReport r = serve::run_poisson_load(svc, lg);
   svc.shutdown();
 
@@ -427,6 +432,8 @@ int cmd_cluster_bench(int argc, char** argv) {
       cfg.comm_bandwidth = std::atof(argv[++i]);
     } else if (flag == "--comm-latency-ms" && i + 1 < argc) {
       cfg.comm_latency_ms = std::atof(argv[++i]);
+    } else if (flag == "--backend" && i + 1 < argc) {
+      cfg.inference_backend = argv[++i];
     } else {
       std::fprintf(stderr, "unknown cluster-bench option '%s'\n",
                    flag.c_str());
@@ -439,6 +446,17 @@ int cmd_cluster_bench(int argc, char** argv) {
   const auto graph = cfg.make_graph();
   const auto platform = cfg.make_platform();
   const auto costs = cfg.make_costs();
+
+  // Make "readys" resolvable inside cluster specs ("shard(...):readys",
+  // "guarded:readys") with the configured inference backend. Untrained
+  // seeded net: scheduling throughput does not depend on policy quality.
+  cfg.agent.seed = cfg.seed;
+  rl::PolicyNet net(rl::StateEncoder::node_feature_width(4),
+                    rl::StateEncoder::kResourceFeatureWidth, cfg.agent);
+  rl::ReadysOptions readys_defaults;
+  readys_defaults.backend = rl::parse_inference_backend(cfg.inference_backend);
+  rl::register_readys_scheduler(net, cfg.agent.window, cfg.random_offer,
+                                readys_defaults);
 
   // A bare inner spec gets wrapped into the decentralized family from
   // the cluster_* knobs; a spec already naming shard(...) is kept as is

@@ -48,6 +48,7 @@
 #include "rl/checkpoint.hpp"
 #include "rl/config.hpp"
 #include "rl/env.hpp"
+#include "rl/inference.hpp"
 #include "rl/policy_net.hpp"
 #include "rl/readys_scheduler.hpp"
 #include "rl/state_encoder.hpp"

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/sink.hpp"
+#include "rl/inference.hpp"
 #include "util/env.hpp"
 
 namespace readys::core {
@@ -245,6 +246,7 @@ std::string RunConfig::to_json() const {
       .field("serve_workers", serve_workers)
       .field("serve_deadline_us", serve_deadline_us)
       .field("serve_retries", serve_retries)
+      .field("inference_backend", inference_backend)
       .raw("agent", agent_json.str());
   return j.str();
 }
@@ -294,6 +296,7 @@ RunConfig RunConfig::from_json(const std::string& json) {
     else if (key == "serve_workers") cfg.serve_workers = parse_int_field(r);
     else if (key == "serve_deadline_us") cfg.serve_deadline_us = r.parse_number();
     else if (key == "serve_retries") cfg.serve_retries = parse_int_field(r);
+    else if (key == "inference_backend") cfg.inference_backend = r.parse_string();
     else if (key == "agent") parse_agent(r, cfg.agent);
     else r.fail("unknown key \"" + key + "\"");
   });
@@ -334,6 +337,8 @@ RunConfig RunConfig::from_env() {
       util::env_double("READYS_SERVE_DEADLINE_US", cfg.serve_deadline_us);
   cfg.serve_retries =
       util::env_int("READYS_SERVE_RETRIES", cfg.serve_retries);
+  cfg.inference_backend =
+      util::env_string("READYS_INFERENCE_BACKEND", cfg.inference_backend);
   cfg.comm_tile_bytes =
       util::env_double("READYS_COMM_TILE_BYTES", cfg.comm_tile_bytes);
   cfg.comm_bandwidth =
@@ -411,6 +416,11 @@ void RunConfig::validate() const {
   }
   if (serve_retries < 0) {
     throw std::invalid_argument("RunConfig: serve_retries must be >= 0");
+  }
+  try {
+    (void)rl::parse_inference_backend(inference_backend);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("RunConfig: ") + e.what());
   }
   if (!(comm_tile_bytes >= 0.0) || !(comm_bandwidth >= 0.0) ||
       !(comm_latency_ms >= 0.0)) {

@@ -69,6 +69,13 @@ struct RunConfig {
   double serve_deadline_us = 0.0;  ///< per-decision budget; 0 disables
   int serve_retries = 0;           ///< transient-fault retries per session
 
+  // --- inference fast path (rl::InferenceBackend) ---
+  /// Arithmetic for policy evaluation on the decision path: "f64ref"
+  /// reproduces training-precision forward bit-for-bit, "f32simd" runs
+  /// the float32 SIMD backend. Honored by serve-bench, cluster-bench and
+  /// the registry default for "readys" specs; training always uses f64.
+  std::string inference_backend = "f64ref";
+
   rl::AgentConfig agent;
 
   /// Serializes to a single-line JSON object, "config":"readys-run/1"
@@ -93,7 +100,8 @@ struct RunConfig {
   /// READYS_SEED) and the decision-service knobs (READYS_SERVE_SESSIONS,
   /// READYS_SERVE_RATE, READYS_SERVE_QUEUE, READYS_SERVE_ACTIVE,
   /// READYS_SERVE_WORKERS, READYS_SERVE_DEADLINE_US,
-  /// READYS_SERVE_RETRIES), the communication axis (READYS_COMM_TILE_BYTES,
+  /// READYS_SERVE_RETRIES), the inference fast path
+  /// (READYS_INFERENCE_BACKEND), the communication axis (READYS_COMM_TILE_BYTES,
   /// READYS_COMM_BANDWIDTH, READYS_COMM_LATENCY_MS) and the cluster knobs
   /// (READYS_CLUSTER_SHARDS, READYS_CLUSTER_STALE_MS, READYS_CLUSTER_HB_MS,
   /// READYS_CLUSTER_PARALLEL), so benches stay tunable without a config

@@ -46,4 +46,35 @@ class GCNLayer : public Module {
 Tensor normalized_adjacency(
     std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& edges);
 
+/// Compressed-sparse-row view of a normalized adjacency: row i's nonzero
+/// columns are col[row_ptr[i] .. row_ptr[i+1]), ascending, with matching
+/// values in val. Ahat has n + 2|edges| nonzeros out of n^2 entries, so
+/// the f32 inference fast path consumes this instead of the dense matrix
+/// (tensor::f32::spmm_bias) — O(nnz) per decision instead of O(n^2).
+struct SparseAdj {
+  std::vector<std::size_t> row_ptr;  ///< n + 1 entries
+  std::vector<std::size_t> col;      ///< nnz column indices
+  std::vector<double> val;           ///< nnz values, aligned with col
+
+  std::size_t rows() const noexcept {
+    return row_ptr.empty() ? 0 : row_ptr.size() - 1;
+  }
+  bool empty() const noexcept { return row_ptr.empty(); }
+  void clear() noexcept {
+    row_ptr.clear();
+    col.clear();
+    val.clear();
+  }
+};
+
+/// Fills `out` with the CSR form of normalized_adjacency(n, edges).
+/// Every stored value is bit-identical to the corresponding dense entry
+/// (both are the product dinv_sqrt[i] * dinv_sqrt[j] of exactly the same
+/// doubles), and columns are ascending within each row, so a product
+/// accumulated over the CSR nonzeros reproduces a dense product that
+/// skips zeros term for term. Buffers are reused across calls.
+void normalized_adjacency_csr(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    SparseAdj& out);
+
 }  // namespace readys::nn

@@ -29,6 +29,7 @@ Telemetry::Telemetry(TelemetryConfig config)
       env_resets(registry_.counter("rl.env_resets")),
       vec_steps(registry_.counter("rl.vec_steps")),
       policy_forwards(registry_.counter("rl.policy_forwards")),
+      encoder_delta_events(registry_.counter("rl.encoder_delta_events")),
       optim_updates(registry_.counter("rl.optimizer_updates")),
       optim_skipped(registry_.counter("rl.skipped_updates")),
       checkpoint_writes(registry_.counter("rl.checkpoint_writes")),
@@ -58,6 +59,7 @@ Telemetry::Telemetry(TelemetryConfig config)
       env_step_us(registry_.histogram("rl.env_step_us")),
       vec_step_us(registry_.histogram("rl.vec_step_us")),
       policy_forward_us(registry_.histogram("rl.policy_forward_us")),
+      infer_us(registry_.histogram("rl.infer_us")),
       update_us(registry_.histogram("rl.update_us")),
       serve_decide_us(registry_.histogram("serve.decide_us")),
       cluster_stale_age(registry_.histogram(

@@ -74,6 +74,8 @@ class Telemetry {
   Counter& env_resets;          ///< rl.env_resets
   Counter& vec_steps;           ///< rl.vec_steps (batched VecEnv::step calls)
   Counter& policy_forwards;     ///< rl.policy_forwards
+  Counter& encoder_delta_events;///< rl.encoder_delta_events (incremental
+                                ///< re-encodes that reused the window)
   Counter& optim_updates;       ///< rl.optimizer_updates
   Counter& optim_skipped;       ///< rl.skipped_updates
   Counter& checkpoint_writes;   ///< rl.checkpoint_writes
@@ -103,6 +105,7 @@ class Telemetry {
   Histogram& env_step_us;       ///< rl.env_step_us
   Histogram& vec_step_us;       ///< rl.vec_step_us (whole-batch latency)
   Histogram& policy_forward_us; ///< rl.policy_forward_us
+  Histogram& infer_us;          ///< rl.infer_us (InferenceBackend latency)
   Histogram& update_us;         ///< rl.update_us
   Histogram& serve_decide_us;   ///< serve.decide_us (per-session latency)
   Histogram& cluster_stale_age; ///< cluster.stale_view_age_ms (sim time)

@@ -16,6 +16,9 @@ SchedulingEnv::SchedulingEnv(const dag::TaskGraph& graph,
       config_(config),
       action_rng_(config.seed ^ 0xD1B54A32D192ED03ULL),
       heft_ref_(sched::heft_expected_makespan(graph, platform, costs)) {
+  if (config.incremental_encoding) {
+    inc_ = std::make_unique<IncrementalEncoder>(graph, costs, config.window);
+  }
   reset(config.seed);
 }
 
@@ -28,7 +31,7 @@ const Observation& SchedulingEnv::reset(std::optional<std::uint64_t> seed) {
   declined_.clear();
   decisions_ = 0;
   advance_to_decision();
-  return obs_;
+  return observation();
 }
 
 std::vector<sim::ResourceId> SchedulingEnv::candidates() const {
@@ -54,7 +57,11 @@ void SchedulingEnv::advance_to_decision() {
         const bool allow_idle = engine_.any_running() || cands.size() > 1;
         {
           obs::Span encode_span("rl/state_encode", "train");
-          obs_ = encoder_.encode(engine_, current, allow_idle);
+          if (inc_) {
+            inc_->encode(engine_, current, allow_idle);
+          } else {
+            obs_ = encoder_.encode(engine_, current, allow_idle);
+          }
         }
         return;
       }
@@ -83,14 +90,15 @@ SchedulingEnv::StepResult SchedulingEnv::step(std::size_t a) {
   if (engine_.finished()) {
     throw std::logic_error("SchedulingEnv::step: episode already done");
   }
-  if (a >= obs_.num_actions()) {
+  const Observation& obs = observation();
+  if (a >= obs.num_actions()) {
     throw std::out_of_range("SchedulingEnv::step: bad action index");
   }
   ++decisions_;
-  if (obs_.allow_idle && a == obs_.idle_action()) {
-    declined_.insert(obs_.current_resource);
+  if (obs.allow_idle && a == obs.idle_action()) {
+    declined_.insert(obs.current_resource);
   } else {
-    engine_.start(obs_.ready_tasks[a], obs_.current_resource);
+    engine_.start(obs.ready_tasks[a], obs.current_resource);
   }
   advance_to_decision();
   StepResult result;

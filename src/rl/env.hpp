@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
@@ -39,6 +40,11 @@ class SchedulingEnv {
     /// ready actions. none() keeps the environment bit-exact with the
     /// fault-free construction.
     sim::FaultModel faults = sim::FaultModel::none();
+    /// Maintain observations with the IncrementalEncoder (bit-identical
+    /// to the full encoder by contract; see state_encoder.hpp). Off by
+    /// default: the training loop keeps its historical code path, serve
+    /// sessions turn it on.
+    bool incremental_encoding = false;
   };
 
   struct StepResult {
@@ -62,7 +68,9 @@ class SchedulingEnv {
   StepResult step(std::size_t a);
 
   /// Valid between reset() and a step() returning done.
-  const Observation& observation() const noexcept { return obs_; }
+  const Observation& observation() const noexcept {
+    return inc_ ? inc_->observation() : obs_;
+  }
 
   bool done() const noexcept { return engine_.finished(); }
   double makespan() const noexcept { return engine_.makespan(); }
@@ -83,6 +91,7 @@ class SchedulingEnv {
 
   sim::SimEngine engine_;
   StateEncoder encoder_;
+  std::unique_ptr<IncrementalEncoder> inc_;  ///< when incremental_encoding
   Config config_;
   util::Rng action_rng_;  ///< current-processor draw (independent of noise)
   double heft_ref_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/telemetry.hpp"
+#include "rl/inference.hpp"
 #include "tensor/ops.hpp"
 
 namespace readys::rl {
@@ -34,6 +35,11 @@ PolicyNet::PolicyNet(int node_features, int resource_features,
   value_head_ = std::make_unique<nn::Linear>(
       critic_sees_resources_ ? 2 * h : h, 1, rng);
   register_module("value", *value_head_);
+}
+
+std::unique_ptr<InferenceBackend> PolicyNet::make_inference(
+    InferenceBackendKind kind) const {
+  return make_inference_backend(*this, kind);
 }
 
 Var PolicyNet::embed(const Observation& obs) const {

@@ -10,6 +10,9 @@
 
 namespace readys::rl {
 
+class InferenceBackend;
+enum class InferenceBackendKind : int;
+
 using tensor::Var;
 
 /// The READYS network (Fig. 2 of the paper).
@@ -51,6 +54,18 @@ class PolicyNet : public nn::Module {
   int num_gcn_layers() const noexcept {
     return static_cast<int>(gcn_.size());
   }
+  bool critic_sees_resources() const noexcept {
+    return critic_sees_resources_;
+  }
+
+  /// Builds an inference-only backend over this net (see
+  /// rl/inference.hpp): kF64Ref reads the weights live and reproduces
+  /// forward()/forward_batched() bit-for-bit; kF32Simd freezes a float32
+  /// snapshot of the current weights for the SIMD fast path. The net
+  /// must outlive a kF64Ref backend; a kF32Simd backend is
+  /// self-contained after construction.
+  std::unique_ptr<InferenceBackend> make_inference(
+      InferenceBackendKind kind) const;
 
  private:
   /// GCN stack -> (|window| x hidden) node embeddings.

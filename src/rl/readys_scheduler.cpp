@@ -3,22 +3,33 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sched/spec.hpp"
+
 namespace readys::rl {
 
 ReadysScheduler::ReadysScheduler(const PolicyNet& net, int window,
-                                 bool greedy, std::uint64_t seed,
-                                 bool random_offer)
-    : net_(&net),
-      window_(window),
-      greedy_(greedy),
-      random_offer_(random_offer),
-      seed_(seed),
-      rng_(seed) {}
+                                 ReadysOptions opts)
+    : net_(&net), window_(window), opts_(opts), rng_(opts.seed) {}
 
 void ReadysScheduler::reset(const sim::EngineView& engine) {
-  encoder_ = std::make_unique<StateEncoder>(engine.graph(), engine.costs(),
-                                            window_);
-  rng_ = util::Rng(seed_);
+  if (opts_.incremental) {
+    inc_ = std::make_unique<IncrementalEncoder>(engine.graph(), engine.costs(),
+                                                window_);
+    // The f32 backend reads Â through the CSR view only; skip the O(n^2)
+    // dense build. The f64 reference forward needs the dense matrix.
+    if (opts_.backend == InferenceBackendKind::kF32Simd) {
+      inc_->set_sparse_ahat(true);
+    }
+    encoder_.reset();
+  } else {
+    encoder_ = std::make_unique<StateEncoder>(engine.graph(), engine.costs(),
+                                              window_);
+    inc_.reset();
+  }
+  // Rebuilt per episode so a kF32Simd snapshot tracks the live weights
+  // across train-then-evaluate flows.
+  backend_ = net_->make_inference(opts_.backend);
+  rng_ = util::Rng(opts_.seed);
   declined_.clear();
   last_instant_ = -1.0;
 }
@@ -37,14 +48,16 @@ std::vector<sim::Assignment> ReadysScheduler::decide(
   }
   while (!cands.empty()) {
     const std::size_t pick =
-        random_offer_ ? rng_.uniform_index(cands.size()) : 0;
+        opts_.random_offer ? rng_.uniform_index(cands.size()) : 0;
     const sim::ResourceId current = cands[pick];
     const bool allow_idle = engine.any_running() || cands.size() > 1;
-    const Observation obs = encoder_->encode(engine, current, allow_idle);
-    const PolicyNet::Output out = net_->forward(obs);
+    const Observation& obs =
+        inc_ ? inc_->encode(engine, current, allow_idle)
+             : (obs_full_ = encoder_->encode(engine, current, allow_idle));
+    backend_->forward(obs, out_);
 
     // Greedy argmax or categorical sample over π.
-    const tensor::Tensor& p = out.probs.value();
+    const std::vector<double>& p = out_.probs;
     // A NaN policy must not silently argmax to action 0: surface it so a
     // wrapper (sched::GuardedScheduler) can fall back to a heuristic.
     for (std::size_t i = 0; i < p.size(); ++i) {
@@ -55,7 +68,7 @@ std::vector<sim::Assignment> ReadysScheduler::decide(
       }
     }
     std::size_t a = 0;
-    if (greedy_) {
+    if (opts_.greedy) {
       for (std::size_t i = 1; i < p.size(); ++i) {
         if (p[i] > p[a]) a = i;
       }
@@ -81,13 +94,40 @@ std::vector<sim::Assignment> ReadysScheduler::decide(
   return {};
 }
 
+namespace {
+
+ReadysOptions parse_readys_options(const sched::SpecOptions& spec,
+                                   ReadysOptions opts) {
+  for (const auto& [key, value] : spec.items) {
+    if (key == "backend") {
+      opts.backend = parse_inference_backend(value);  // throws on bad value
+    } else if (key == "incremental") {
+      opts.incremental = sched::option_int(key, value, 0, 1) != 0;
+    } else {
+      throw std::invalid_argument("unknown readys option \"" + key +
+                                  "\" (known: backend, incremental)");
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
 void register_readys_scheduler(const PolicyNet& net, int window,
-                               bool random_offer) {
-  sched::registry().add(
-      "readys", [&net, window, random_offer](const sched::SchedulerConfig& cfg)
-                    -> std::unique_ptr<sim::Scheduler> {
-        return std::make_unique<ReadysScheduler>(net, window, cfg.greedy,
-                                                 cfg.seed, random_offer);
+                               bool random_offer, ReadysOptions defaults) {
+  defaults.random_offer = random_offer;
+  sched::registry().add_spec(
+      "readys",
+      [defaults](const sched::SpecOptions& spec) {
+        (void)parse_readys_options(spec, defaults);
+      },
+      [&net, window, defaults](const sched::SpecOptions& spec,
+                               const sched::SchedulerConfig& cfg)
+          -> std::unique_ptr<sim::Scheduler> {
+        ReadysOptions opts = parse_readys_options(spec, defaults);
+        opts.greedy = cfg.greedy;
+        opts.seed = cfg.seed;
+        return std::make_unique<ReadysScheduler>(net, window, opts);
       });
 }
 

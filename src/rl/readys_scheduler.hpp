@@ -3,25 +3,50 @@
 #include <memory>
 #include <unordered_set>
 
+#include "rl/inference.hpp"
 #include "rl/policy_net.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace readys::rl {
 
+/// How a ReadysScheduler evaluates the policy. The defaults keep the
+/// historical bit-exact behavior (f64 reference arithmetic) while
+/// enabling the incremental encoder, which is bit-identical by contract.
+struct ReadysOptions {
+  bool greedy = true;          ///< argmax instead of sampling from π
+  std::uint64_t seed = 1;      ///< rng seed (offers + sampling)
+  bool random_offer = false;   ///< must match how the policy was trained
+  /// Inference arithmetic: kF64Ref reproduces PolicyNet::forward
+  /// bit-for-bit; kF32Simd runs the float32 SIMD fast path (argmax
+  /// agreement pinned by tests, not bit-exact).
+  InferenceBackendKind backend = InferenceBackendKind::kF64Ref;
+  /// Maintain the window observation incrementally between decisions
+  /// instead of re-encoding from scratch. Bit-identical either way.
+  bool incremental = true;
+};
+
 /// Adapter running a (trained) READYS policy under the generic Simulator,
 /// so the agent can be compared, traced, and validity-checked exactly
 /// like HEFT and MCT. Implements the same decision protocol as
 /// SchedulingEnv: random current processor among non-declined idle
 /// resources, ∅ parks the processor until the next completion.
+///
+/// The policy is evaluated through an InferenceBackend built in reset()
+/// — per episode, so a kF32Simd weight snapshot stays fresh across
+/// train-then-evaluate flows.
 class ReadysScheduler : public sim::Scheduler {
  public:
-  /// The policy must outlive the scheduler. `greedy` takes argmax actions
-  /// (evaluation mode); otherwise actions are sampled from π.
-  /// `random_offer` mirrors SchedulingEnv::Config::random_offer and must
-  /// match how the policy was trained.
+  /// The policy must outlive the scheduler.
+  ReadysScheduler(const PolicyNet& net, int window, ReadysOptions opts);
+
+  /// Historical convenience signature; `greedy` takes argmax actions
+  /// (evaluation mode), otherwise actions are sampled from π.
   ReadysScheduler(const PolicyNet& net, int window, bool greedy = true,
-                  std::uint64_t seed = 1, bool random_offer = false);
+                  std::uint64_t seed = 1, bool random_offer = false)
+      : ReadysScheduler(net, window,
+                        ReadysOptions{greedy, seed, random_offer,
+                                      InferenceBackendKind::kF64Ref, true}) {}
 
   void reset(const sim::EngineView& engine) override;
   std::vector<sim::Assignment> decide(const sim::EngineView& engine) override;
@@ -30,21 +55,28 @@ class ReadysScheduler : public sim::Scheduler {
  private:
   const PolicyNet* net_;
   int window_;
-  bool greedy_;
-  bool random_offer_;
-  std::uint64_t seed_;
+  ReadysOptions opts_;
   util::Rng rng_;
-  std::unique_ptr<StateEncoder> encoder_;
+  std::unique_ptr<InferenceBackend> backend_;
+  std::unique_ptr<IncrementalEncoder> inc_;
+  std::unique_ptr<StateEncoder> encoder_;  ///< when !opts_.incremental
+  Observation obs_full_;                   ///< scratch for the full encoder
+  InferenceOutput out_;                    ///< scratch, reused per decision
   std::unordered_set<int> declined_;
   double last_instant_ = -1.0;
 };
 
 /// Registers (or re-registers) the trained policy in sched::registry()
 /// under the name "readys", so bench/CLI code can construct it like any
-/// heuristic: make_scheduler("readys", {.seed = 3, .greedy = false}).
+/// heuristic: make_scheduler("readys", {.seed = 3, .greedy = false}), or
+/// with per-spec overrides: "readys(backend=f32simd,incremental=1)".
+/// `defaults` seeds the options every spec starts from (the CLI routes
+/// RunConfig::inference_backend through it), so plain "readys" — and
+/// wrapped forms like "guarded:readys" — inherit the configured backend.
 /// The net must outlive every scheduler the registry hands out. Lives
 /// here — not in sched — because sched cannot depend on rl.
 void register_readys_scheduler(const PolicyNet& net, int window,
-                               bool random_offer = false);
+                               bool random_offer = false,
+                               ReadysOptions defaults = {});
 
 }  // namespace readys::rl

@@ -1,5 +1,6 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -24,6 +25,13 @@ void Registry::add_prefix(const std::string& word, PrefixValidator validate,
   prefixes_[word] = {std::move(validate), std::move(factory)};
 }
 
+void Registry::add_spec(const std::string& word, PrefixValidator validate,
+                        SpecFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_.erase(word);  // one resolution mechanism per name
+  specs_[word] = {std::move(validate), std::move(factory)};
+}
+
 bool Registry::contains(const std::string& name) const {
   // Snapshot the prefix table under the lock; validation and the
   // recursive inner lookup run outside it (they may re-enter).
@@ -44,6 +52,24 @@ bool Registry::contains(const std::string& name) const {
       return false;  // unknown key or bad value: not a resolvable name
     }
     return contains(parse.spec.inner);
+  }
+  std::vector<std::pair<std::string, PrefixValidator>> specs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [word, handler] : specs_) {
+      specs.emplace_back(word, handler.validate);
+    }
+  }
+  for (const auto& [word, validate] : specs) {
+    const SpecParse parse = parse_base_spec(name, word);
+    if (!parse.matched) continue;
+    if (!parse.error.empty()) return false;
+    try {
+      if (validate) validate(parse.spec);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
   }
   std::lock_guard<std::mutex> lock(mutex_);
   return factories_.count(name) != 0;
@@ -72,6 +98,22 @@ std::unique_ptr<sim::Scheduler> Registry::make(
     // for the inner scheduler.
     return factory(parse.spec, cfg, *this);
   }
+  // Configurable leaf schedulers: "<word>" / "<word>(k=v,...)".
+  std::vector<std::pair<std::string, SpecFactory>> specs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [word, handler] : specs_) {
+      specs.emplace_back(word, handler.factory);
+    }
+  }
+  for (const auto& [word, factory] : specs) {
+    const SpecParse parse = parse_base_spec(name, word);
+    if (!parse.matched) continue;
+    if (!parse.error.empty()) {
+      throw std::invalid_argument("bad " + word + " spec: " + parse.error);
+    }
+    return factory(parse.spec, cfg);
+  }
   Factory factory;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -82,6 +124,11 @@ std::unique_ptr<sim::Scheduler> Registry::make(
         (void)f;
         if (!known.empty()) known += ", ";
         known += n;
+      }
+      for (const auto& [w, h] : specs_) {
+        (void)h;
+        if (!known.empty()) known += ", ";
+        known += w;
       }
       throw std::invalid_argument("unknown scheduler \"" + name +
                                   "\" (known: " + known + ")");
@@ -95,11 +142,16 @@ std::unique_ptr<sim::Scheduler> Registry::make(
 std::vector<std::string> Registry::names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
-  out.reserve(factories_.size());
+  out.reserve(factories_.size() + specs_.size());
   for (const auto& [n, f] : factories_) {
     (void)f;
-    out.push_back(n);  // std::map iterates sorted
+    out.push_back(n);
   }
+  for (const auto& [w, h] : specs_) {
+    (void)h;
+    out.push_back(w);
+  }
+  std::sort(out.begin(), out.end());  // the two maps interleave
   return out;
 }
 

@@ -47,6 +47,11 @@ class Registry {
   using PrefixFactory = std::function<std::unique_ptr<sim::Scheduler>(
       const SpecOptions&, const SchedulerConfig&, const Registry&)>;
 
+  /// Builds a configurable leaf scheduler for a matched "<word>" /
+  /// "<word>(k=v,...)" base spec (no inner scheduler).
+  using SpecFactory = std::function<std::unique_ptr<sim::Scheduler>(
+      const SpecOptions&, const SchedulerConfig&)>;
+
   /// Adds (or replaces) a factory under `name`.
   void add(const std::string& name, Factory factory);
 
@@ -55,6 +60,14 @@ class Registry {
   /// strict key=value spec grammar (sched/spec.hpp).
   void add_prefix(const std::string& word, PrefixValidator validate,
                   PrefixFactory factory);
+
+  /// Registers a configurable leaf scheduler: both "<word>" and
+  /// "<word>(k=v,...)" resolve through `factory` with the shared strict
+  /// key=value grammar (sched/spec.hpp, parse_base_spec). Replaces any
+  /// exact factory previously add()ed under `word` — a name resolves
+  /// through exactly one mechanism.
+  void add_spec(const std::string& word, PrefixValidator validate,
+                SpecFactory factory);
 
   bool contains(const std::string& name) const;
 
@@ -73,10 +86,15 @@ class Registry {
     PrefixValidator validate;
     PrefixFactory factory;
   };
+  struct SpecHandler {
+    PrefixValidator validate;
+    SpecFactory factory;
+  };
 
   mutable std::mutex mutex_;
   std::map<std::string, Factory> factories_;
   std::map<std::string, PrefixHandler> prefixes_;
+  std::map<std::string, SpecHandler> specs_;
 };
 
 /// The process-wide registry, pre-seeded with the built-in heuristics:

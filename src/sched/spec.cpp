@@ -4,6 +4,31 @@
 
 namespace readys::sched {
 
+namespace {
+
+/// Splits "k=v,k=v" into spec.items; sets matched+error on bad items.
+/// Returns false when an error was recorded.
+bool split_items(const std::string& items, SpecParse& out) {
+  std::size_t start = 0;
+  while (start <= items.size() && !items.empty()) {
+    std::size_t comma = items.find(',', start);
+    if (comma == std::string::npos) comma = items.size();
+    const std::string item = items.substr(start, comma - start);
+    start = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      out.matched = true;
+      out.error = "expected key=value, got \"" + item + "\"";
+      return false;
+    }
+    out.spec.items.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    if (start > items.size()) break;
+  }
+  return true;
+}
+
+}  // namespace
+
 SpecParse parse_spec(const std::string& name, const std::string& word) {
   SpecParse out;
   const std::size_t len = word.size();
@@ -18,23 +43,8 @@ SpecParse parse_spec(const std::string& name, const std::string& word) {
       out.error = "missing ')' in \"" + name + "\"";
       return out;
     }
-    const std::string items = name.substr(pos + 1, close - pos - 1);
+    if (!split_items(name.substr(pos + 1, close - pos - 1), out)) return out;
     pos = close + 1;
-    std::size_t start = 0;
-    while (start <= items.size() && !items.empty()) {
-      std::size_t comma = items.find(',', start);
-      if (comma == std::string::npos) comma = items.size();
-      const std::string item = items.substr(start, comma - start);
-      start = comma + 1;
-      const std::size_t eq = item.find('=');
-      if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
-        out.matched = true;
-        out.error = "expected key=value, got \"" + item + "\"";
-        return out;
-      }
-      out.spec.items.emplace_back(item.substr(0, eq), item.substr(eq + 1));
-      if (start > items.size()) break;
-    }
   }
   if (pos >= name.size() || name[pos] != ':' || pos + 1 >= name.size()) {
     // "<word>foo" is some other (unknown) scheduler name, not a
@@ -48,6 +58,34 @@ SpecParse parse_spec(const std::string& name, const std::string& word) {
   out.matched = true;
   out.spec.word = word;
   out.spec.inner = name.substr(pos + 1);
+  return out;
+}
+
+SpecParse parse_base_spec(const std::string& name, const std::string& word) {
+  SpecParse out;
+  const std::size_t len = word.size();
+  if (name.size() < len || name.compare(0, len, word) != 0) return out;
+  if (name.size() == len) {  // bare "<word>": defaults
+    out.matched = true;
+    out.spec.word = word;
+    return out;
+  }
+  if (name[len] != '(') return out;  // "<word>foo": some other name
+  const std::size_t close = name.find(')', len);
+  if (close == std::string::npos) {
+    out.matched = true;
+    out.error = "missing ')' in \"" + name + "\"";
+    return out;
+  }
+  if (!split_items(name.substr(len + 1, close - len - 1), out)) return out;
+  if (close + 1 != name.size()) {
+    out.matched = true;
+    out.spec.items.clear();
+    out.error = "unexpected trailing characters after ')' in \"" + name + "\"";
+    return out;
+  }
+  out.matched = true;
+  out.spec.word = word;
   return out;
 }
 

@@ -35,6 +35,13 @@ struct SpecParse {
 /// registry can report unknown keys with the decorator's vocabulary.
 SpecParse parse_spec(const std::string& name, const std::string& word);
 
+/// Matches "<word>" and "<word>(k=v,...)" — the base-scheduler form of
+/// the spec grammar, with no ":<inner>" (a configurable leaf scheduler
+/// such as "readys(backend=f32simd)" rather than a decorator). `inner`
+/// stays empty. Trailing characters after ')' are a syntax error;
+/// "<word>foo" is some other scheduler name, not a malformed spec.
+SpecParse parse_base_spec(const std::string& name, const std::string& word);
+
 /// Strict option-value readers: the whole string must parse (no trailing
 /// junk) and the value must land in [min_value, max_value]. Throws
 /// std::invalid_argument naming the key otherwise. Shared by every

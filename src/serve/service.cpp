@@ -3,12 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/obs.hpp"
-#include "tensor/autograd.hpp"
 #include "util/logging.hpp"
 
 namespace readys::serve {
@@ -69,6 +67,10 @@ DecisionService::DecisionService(const rl::PolicyNet& net,
     for (std::size_t p = 0; p < dst.size(); ++p) {
       dst[p].mutable_value() = src[p].value();
     }
+    // The backend snapshots (kF32Simd) or reads live (kF64Ref) the
+    // replica it shares a slot with; the replica never changes again.
+    backends_.push_back(
+        replicas_.back()->make_inference(cfg_.inference_backend));
   }
 
   for (int w = 0; w < cfg_.workers; ++w) {
@@ -101,7 +103,8 @@ std::unique_ptr<Session> DecisionService::build_session(
     graph = it->second;
   }
   return std::make_unique<Session>(id, spec, platform_, std::move(graph),
-                                   agent_.window, attempt);
+                                   agent_.window, attempt,
+                                   cfg_.incremental_encoding);
 }
 
 DecisionService::Admission DecisionService::submit(const SessionSpec& spec) {
@@ -248,34 +251,35 @@ void DecisionService::retry_or_quarantine(std::unique_ptr<Session> session,
 
 std::size_t DecisionService::run_round(
     std::vector<std::unique_ptr<Session>>& batch,
-    const rl::PolicyNet& replica) {
+    rl::InferenceBackend& backend) {
   if (batch.empty()) return 0;
 
   std::vector<const rl::Observation*> obs;
   obs.reserve(batch.size());
   for (const auto& s : batch) obs.push_back(&s->observation());
 
-  // One block-diagonal pass for the whole round. forward_batched matches
-  // per-observation forward bit-for-bit in value, which is the keystone
-  // of session isolation: what else shares the batch cannot change this
+  // One batched pass for the whole round. Every backend evaluates the
+  // batch per-observation-equivalent (kF64Ref's block-diagonal pass
+  // matches per-observation forward bit-for-bit; kF32Simd runs each
+  // observation independently by construction), which is the keystone of
+  // session isolation: what else shares the batch cannot change this
   // session's probabilities.
   const auto t0 = Clock::now();
-  std::vector<std::optional<rl::PolicyNet::Output>> outs(batch.size());
+  std::vector<rl::InferenceOutput> outs;
+  std::vector<char> have(batch.size(), 0);
   std::vector<std::string> forward_error(batch.size());
   try {
-    tensor::NoGradGuard no_grad;
-    auto batched = replica.forward_batched(obs);
-    for (std::size_t i = 0; i < batched.size(); ++i) {
-      outs[i] = std::move(batched[i]);
-    }
+    backend.forward_batched(obs, outs);
+    std::fill(have.begin(), have.end(), 1);
   } catch (const std::exception& batched_err) {
-    // The batched pass failed somewhere inside the packed graph. Fall
-    // back to per-session forwards so only the faulty session pays:
-    // each one re-runs alone, and whoever throws is quarantined below.
+    // The batched pass failed somewhere inside. Fall back to per-session
+    // forwards so only the faulty session pays: each one re-runs alone,
+    // and whoever throws is quarantined below.
+    outs.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       try {
-        tensor::NoGradGuard no_grad;
-        outs[i] = replica.forward(*obs[i]);
+        backend.forward(*obs[i], outs[i]);
+        have[i] = 1;
       } catch (const std::exception& e) {
         forward_error[i] =
             std::string("policy forward threw: ") + e.what() +
@@ -299,14 +303,14 @@ std::size_t DecisionService::run_round(
     std::unique_ptr<Session> s = std::move(batch[i]);
     SessionResult& r = s->result();
 
-    if (!outs[i].has_value()) {
+    if (!have[i]) {
       retire(std::move(s), SessionState::kQuarantined, forward_error[i]);
       continue;
     }
 
     // The service's view of the policy output: a plain row it can vet
     // before anything touches the env.
-    const tensor::Tensor& pt = outs[i]->probs.value();
+    const std::vector<double>& pt = outs[i].probs;
     const std::size_t n = obs[i]->num_actions();
     std::vector<double> p(n);
     bool finite = true;
@@ -388,7 +392,7 @@ std::size_t DecisionService::run_round(
 void DecisionService::worker_loop(std::size_t slot) {
   std::vector<std::unique_ptr<Session>> batch;
   WorkerBeat& beat = *beats_[slot];
-  const rl::PolicyNet& replica = *replicas_[slot];
+  rl::InferenceBackend& backend = *backends_[slot];
   for (;;) {
     bool stopping = false;
     {
@@ -410,7 +414,7 @@ void DecisionService::worker_loop(std::size_t slot) {
     if (stopping) break;
     if (batch.empty()) return;  // drained dry: exit cleanly
     beat.busy.store(true, std::memory_order_relaxed);
-    run_round(batch, replica);
+    run_round(batch, backend);
     beat.beat.fetch_add(1, std::memory_order_relaxed);
   }
   // Abort: retire the in-flight batch deterministically at this round
@@ -432,7 +436,7 @@ std::size_t DecisionService::pump() {
     top_up(batch);
   }
   if (batch.empty()) return 0;
-  const std::size_t stepped = run_round(batch, *replicas_[0]);
+  const std::size_t stepped = run_round(batch, *backends_[0]);
   // Survivors go back to the queue front (in order) so the next pump
   // continues the same round-robin without re-admission accounting.
   if (!batch.empty()) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "rl/config.hpp"
+#include "rl/inference.hpp"
 #include "rl/policy_net.hpp"
 #include "serve/session.hpp"
 #include "sim/platform.hpp"
@@ -63,6 +64,16 @@ struct ServiceConfig {
   /// Greedy argmax decisions (serving default). False samples from the
   /// policy with the per-session stream.
   bool greedy = true;
+  /// Inference arithmetic for every worker's backend: kF64Ref reproduces
+  /// PolicyNet::forward bit-for-bit; kF32Simd runs the float32 SIMD fast
+  /// path over a frozen weight snapshot (argmax agreement pinned by
+  /// tests, not bit-exact).
+  rl::InferenceBackendKind inference_backend =
+      rl::InferenceBackendKind::kF64Ref;
+  /// Maintain session observations incrementally between decisions
+  /// (bit-identical by contract; on by default — long-lived sessions are
+  /// exactly the case the amortized encode pays for).
+  bool incremental_encoding = true;
 };
 
 /// A long-lived, multi-tenant decision service: admits SessionSpecs into
@@ -186,11 +197,11 @@ class DecisionService {
                                          const SessionSpec& spec,
                                          int attempt);
 
-  /// One decision round over `batch` using `replica`: top-up happens in
-  /// the caller. Retired sessions leave `batch`; the return value is the
-  /// number of sessions stepped.
+  /// One decision round over `batch` using `backend` (one per worker,
+  /// never shared): top-up happens in the caller. Retired sessions leave
+  /// `batch`; the return value is the number of sessions stepped.
   std::size_t run_round(std::vector<std::unique_ptr<Session>>& batch,
-                        const rl::PolicyNet& replica);
+                        rl::InferenceBackend& backend);
 
   /// Pulls due queue entries into `batch` up to max_active. Returns the
   /// earliest not_before among entries left behind (Clock::time_point::max()
@@ -218,7 +229,12 @@ class DecisionService {
   std::mutex graphs_mutex_;
 
   /// Per-worker policy replicas (slot 0 doubles as the pump-mode net).
+  /// Kept alive for the backends below: a kF64Ref backend reads its
+  /// replica's weights live.
   std::vector<std::unique_ptr<rl::PolicyNet>> replicas_;
+  /// Per-worker inference backends over the replicas (same slots; not
+  /// thread-safe, each used by exactly one worker / the pump caller).
+  std::vector<std::unique_ptr<rl::InferenceBackend>> backends_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< workers wait for runnable work

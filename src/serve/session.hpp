@@ -75,9 +75,12 @@ class Session {
   /// `attempt` counts retries (0 = first run): the env seed is derived
   /// from (spec.seed, attempt) so a transient-fault resubmission replays
   /// under a fresh fault/noise stream while staying deterministic.
+  /// `incremental_encoding` selects the IncrementalEncoder for this
+  /// session's env (bit-identical observations; the long-lived serving
+  /// path wants the amortized encode).
   Session(std::uint64_t id, SessionSpec spec, const sim::Platform& platform,
           std::shared_ptr<const dag::TaskGraph> graph, int window,
-          int attempt = 0);
+          int attempt = 0, bool incremental_encoding = false);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace readys::tensor {
+
+/// Bump allocator for the per-decision inference path.
+///
+/// One decision allocates a handful of small float matrices (GCN
+/// activations, head outputs) and throws them all away; malloc/free per
+/// matrix dominates at the microsecond scale. The arena hands out
+/// 32-byte-aligned slices of geometrically growing chunks, and reset()
+/// reclaims everything at once while keeping the capacity — so a steady
+/// state decision performs zero heap traffic.
+///
+/// Not thread-safe: each inference backend instance owns its own arena
+/// (matching the one-backend-per-worker replica model in serve).
+class Arena {
+ public:
+  /// Alignment of every allocation, wide enough for 256-bit AVX2 loads.
+  static constexpr std::size_t kAlign = 32;
+
+  explicit Arena(std::size_t initial_bytes = 1u << 16)
+      : next_chunk_bytes_(round_up(initial_bytes)) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` floats, 32-byte aligned.
+  float* alloc_f32(std::size_t n) {
+    return static_cast<float*>(alloc_bytes(n * sizeof(float)));
+  }
+
+  /// Uninitialized storage for `n` doubles, 32-byte aligned.
+  double* alloc_f64(std::size_t n) {
+    return static_cast<double*>(alloc_bytes(n * sizeof(double)));
+  }
+
+  /// Frees every allocation at once; capacity is retained so the next
+  /// decision reuses the same chunks.
+  void reset() noexcept {
+    chunk_ = 0;
+    offset_ = 0;
+  }
+
+  /// Bytes currently held across all chunks (diagnostics).
+  std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> raw;
+    std::uint8_t* base = nullptr;  ///< aligned start within raw
+    std::size_t size = 0;          ///< usable bytes from base
+  };
+
+  static constexpr std::size_t round_up(std::size_t n) noexcept {
+    return (n + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  void* alloc_bytes(std::size_t bytes) {
+    bytes = round_up(bytes);
+    while (chunk_ < chunks_.size()) {
+      Chunk& c = chunks_[chunk_];
+      if (offset_ + bytes <= c.size) {
+        void* p = c.base + offset_;
+        offset_ += bytes;
+        return p;
+      }
+      ++chunk_;
+      offset_ = 0;
+    }
+    // Need a fresh chunk: double the ask until it fits.
+    std::size_t want = next_chunk_bytes_;
+    while (want < bytes) want *= 2;
+    next_chunk_bytes_ = want * 2;
+    Chunk c;
+    c.raw = std::make_unique<std::uint8_t[]>(want + kAlign);
+    const auto addr = reinterpret_cast<std::uintptr_t>(c.raw.get());
+    const std::uintptr_t aligned = (addr + kAlign - 1) & ~(kAlign - 1);
+    c.base = c.raw.get() + (aligned - addr);
+    c.size = want;
+    chunks_.push_back(std::move(c));
+    chunk_ = chunks_.size() - 1;
+    offset_ = bytes;
+    return chunks_.back().base;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   ///< current chunk index
+  std::size_t offset_ = 0;  ///< bump offset within the current chunk
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace readys::tensor

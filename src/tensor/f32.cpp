@@ -1,0 +1,209 @@
+#include "tensor/f32.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#if defined(__x86_64__) && !defined(READYS_NO_AVX2)
+#define READYS_F32_HAVE_AVX2 1
+#include <immintrin.h>
+#else
+#define READYS_F32_HAVE_AVX2 0
+#endif
+
+namespace readys::tensor::f32 {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+void matmul_bias_scalar(const float* a, std::size_t m, std::size_t k,
+                        const float* b, std::size_t n, const float* bias,
+                        float* c) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (bias != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = bias[j];
+    } else {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    const float* arow = a + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const float ail = arow[l];
+      if (ail == 0.0f) continue;  // sparse adjacency rows skip cheaply
+      const float* brow = b + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += ail * brow[j];
+    }
+  }
+}
+
+#if READYS_F32_HAVE_AVX2
+// Same i-l-j loop (each output element accumulates the inner dimension
+// in ascending order, like the scalar kernel and the f64 matmul_value);
+// only the j loop is 8-wide and mul+add fuses into FMA.
+__attribute__((target("avx2,fma"))) void matmul_bias_avx2(
+    const float* a, std::size_t m, std::size_t k, const float* b,
+    std::size_t n, const float* bias, float* c) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    if (bias != nullptr) {
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(crow + j, _mm256_loadu_ps(bias + j));
+      }
+      for (; j < n; ++j) crow[j] = bias[j];
+    } else {
+      const __m256 zero = _mm256_setzero_ps();
+      for (; j + 8 <= n; j += 8) _mm256_storeu_ps(crow + j, zero);
+      for (; j < n; ++j) crow[j] = 0.0f;
+    }
+    const float* arow = a + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const float ail = arow[l];
+      if (ail == 0.0f) continue;
+      const float* brow = b + l * n;
+      const __m256 av = _mm256_set1_ps(ail);
+      j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 cv = _mm256_loadu_ps(crow + j);
+        cv = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j), cv);
+        _mm256_storeu_ps(crow + j, cv);
+      }
+      for (; j < n; ++j) crow[j] += ail * brow[j];
+    }
+  }
+}
+#endif  // READYS_F32_HAVE_AVX2
+
+void spmm_bias_scalar(const std::size_t* row_ptr, const std::size_t* col,
+                      const double* val, std::size_t m, const float* x,
+                      std::size_t n, const float* bias, float* c) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (bias != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = bias[j];
+    } else {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const float a = static_cast<float>(val[p]);
+      const float* xrow = x + col[p] * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += a * xrow[j];
+    }
+  }
+}
+
+#if READYS_F32_HAVE_AVX2
+__attribute__((target("avx2,fma"))) void spmm_bias_avx2(
+    const std::size_t* row_ptr, const std::size_t* col, const double* val,
+    std::size_t m, const float* x, std::size_t n, const float* bias,
+    float* c) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    if (bias != nullptr) {
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(crow + j, _mm256_loadu_ps(bias + j));
+      }
+      for (; j < n; ++j) crow[j] = bias[j];
+    } else {
+      const __m256 zero = _mm256_setzero_ps();
+      for (; j + 8 <= n; j += 8) _mm256_storeu_ps(crow + j, zero);
+      for (; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const float a = static_cast<float>(val[p]);
+      const float* xrow = x + col[p] * n;
+      const __m256 av = _mm256_set1_ps(a);
+      j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 cv = _mm256_loadu_ps(crow + j);
+        cv = _mm256_fmadd_ps(av, _mm256_loadu_ps(xrow + j), cv);
+        _mm256_storeu_ps(crow + j, cv);
+      }
+      for (; j < n; ++j) crow[j] += a * xrow[j];
+    }
+  }
+}
+#endif  // READYS_F32_HAVE_AVX2
+
+}  // namespace
+
+bool avx2_compiled() noexcept { return READYS_F32_HAVE_AVX2 != 0; }
+
+bool avx2_available() noexcept {
+#if READYS_F32_HAVE_AVX2
+  // __builtin_cpu_supports caches the cpuid probe after the first call.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const char* isa_name(Isa isa) noexcept {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+Isa active_isa() noexcept {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return Isa::kScalar;
+  return avx2_available() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+void force_scalar(bool on) noexcept {
+  g_force_scalar.store(on, std::memory_order_relaxed);
+}
+
+void matmul_bias(const float* a, std::size_t m, std::size_t k,
+                 const float* b, std::size_t n, const float* bias,
+                 float* c) noexcept {
+#if READYS_F32_HAVE_AVX2
+  if (active_isa() == Isa::kAvx2) {
+    matmul_bias_avx2(a, m, k, b, n, bias, c);
+    return;
+  }
+#endif
+  matmul_bias_scalar(a, m, k, b, n, bias, c);
+}
+
+void spmm_bias(const std::size_t* row_ptr, const std::size_t* col,
+               const double* val, std::size_t m, const float* x,
+               std::size_t n, const float* bias, float* c) noexcept {
+#if READYS_F32_HAVE_AVX2
+  if (active_isa() == Isa::kAvx2) {
+    spmm_bias_avx2(row_ptr, col, val, m, x, n, bias, c);
+    return;
+  }
+#endif
+  spmm_bias_scalar(row_ptr, col, val, m, x, n, bias, c);
+}
+
+void relu_inplace(float* x, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::max(x[i], 0.0f);
+}
+
+void mean_cols(const float* x, std::size_t m, std::size_t n,
+               float* out) noexcept {
+  for (std::size_t j = 0; j < n; ++j) out[j] = 0.0f;
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = x + i * n;
+    for (std::size_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(m);
+  for (std::size_t j = 0; j < n; ++j) out[j] *= inv;
+}
+
+void max_cols(const float* x, std::size_t m, std::size_t n,
+              float* out) noexcept {
+  for (std::size_t j = 0; j < n; ++j) out[j] = x[j];
+  for (std::size_t i = 1; i < m; ++i) {
+    const float* row = x + i * n;
+    for (std::size_t j = 0; j < n; ++j) out[j] = std::max(out[j], row[j]);
+  }
+}
+
+float dot(const float* a, const float* b, std::size_t n) noexcept {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace readys::tensor::f32

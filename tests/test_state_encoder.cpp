@@ -127,3 +127,188 @@ TEST(StateEncoder, CpuOnlyPlatformHasGpuDefaults) {
   EXPECT_DOUBLE_EQ(obs.resource_state[6], 0.0);  // zero GPU share
   EXPECT_DOUBLE_EQ(obs.resource_state[4], 1.0);  // sentinel availability
 }
+
+// --- IncrementalEncoder equivalence ---------------------------------------
+//
+// The fast-path contract: IncrementalEncoder::encode is bit-identical to
+// StateEncoder::encode on the same engine state, across every event type
+// the simulator produces — starts, completions, fault kill-and-re-ready,
+// and the cluster layer's scoped views (where a stolen task leaves the
+// shard's ready list while staying globally ready).
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/shard_sched.hpp"
+#include "sched/mct.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void expect_observations_equal(const rr::Observation& a,
+                               const rr::Observation& b) {
+  ASSERT_EQ(a.window.nodes, b.window.nodes);
+  ASSERT_EQ(a.window.edges, b.window.edges);
+  ASSERT_EQ(a.window.depth, b.window.depth);
+  ASSERT_EQ(a.features.rows(), b.features.rows());
+  ASSERT_EQ(a.features.cols(), b.features.cols());
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    ASSERT_EQ(a.features[i], b.features[i]) << "feature " << i;
+  }
+  ASSERT_EQ(a.ahat.rows(), b.ahat.rows());
+  for (std::size_t i = 0; i < a.ahat.size(); ++i) {
+    ASSERT_EQ(a.ahat[i], b.ahat[i]) << "ahat " << i;
+  }
+  ASSERT_EQ(a.ahat_csr.row_ptr, b.ahat_csr.row_ptr);
+  ASSERT_EQ(a.ahat_csr.col, b.ahat_csr.col);
+  ASSERT_EQ(a.ahat_csr.val, b.ahat_csr.val);
+  ASSERT_EQ(a.ready_positions, b.ready_positions);
+  ASSERT_EQ(a.ready_tasks, b.ready_tasks);
+  for (std::size_t i = 0; i < a.resource_state.size(); ++i) {
+    ASSERT_EQ(a.resource_state[i], b.resource_state[i]);
+  }
+  ASSERT_EQ(a.current_resource, b.current_resource);
+  ASSERT_EQ(a.allow_idle, b.allow_idle);
+}
+
+/// Scheduler wrapper comparing full vs incremental encodings at every
+/// decision instant, for every idle resource, then delegating to MCT so
+/// the run makes progress. Used under both the plain Simulator and the
+/// cluster's shard coordinator (scoped views with steals).
+class ComparingScheduler final : public rs::Scheduler {
+ public:
+  explicit ComparingScheduler(int window) : window_(window) {}
+
+  void reset(const rs::EngineView& view) override {
+    full_ = std::make_unique<rr::StateEncoder>(view.graph(), view.costs(),
+                                               window_);
+    inc_ = std::make_unique<rr::IncrementalEncoder>(view.graph(), view.costs(),
+                                                    window_);
+    inner_.reset(view);
+  }
+
+  std::vector<rs::Assignment> decide(const rs::EngineView& view) override {
+    if (!view.ready().empty()) {
+      for (const rs::ResourceId r : view.idle_resources()) {
+        const rr::Observation a = full_->encode(view, r);
+        const rr::Observation& b = inc_->encode(view, r);
+        expect_observations_equal(a, b);
+        ++comparisons_;
+      }
+    }
+    return inner_.decide(view);
+  }
+
+  std::string name() const override { return "comparing:mct"; }
+  std::size_t comparisons() const noexcept { return comparisons_; }
+
+ private:
+  int window_;
+  std::unique_ptr<rr::StateEncoder> full_;
+  std::unique_ptr<rr::IncrementalEncoder> inc_;
+  readys::sched::MctScheduler inner_;
+  std::size_t comparisons_ = 0;
+};
+
+}  // namespace
+
+TEST(IncrementalEncoder, MatchesFullEncoderThroughACleanRun) {
+  Fixture f;
+  for (const int w : {1, 2}) {
+    ComparingScheduler sched(w);
+    rs::Simulator sim(f.graph, f.platform, f.costs, {0.3, 7, {}, {}});
+    const auto r = sim.run(sched);
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_GT(sched.comparisons(), f.graph.num_tasks());
+  }
+}
+
+TEST(IncrementalEncoder, MatchesFullEncoderUnderFaultKillAndReReady) {
+  // Outages kill running tasks, which later re-enter the ready set —
+  // the event type that moves a task backwards through the lifecycle.
+  // Drive the engine directly so we can assert the scenario actually
+  // happened (lost executions > 0), not just that the run finished.
+  Fixture f;
+  rs::FaultModel faults;
+  faults.outage_rate = 0.05;  // expected first arrival ~20 ms
+  faults.mean_downtime = 10.0;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, faults, 0.3, 11);
+  ComparingScheduler sched(2);
+  sched.reset(engine);
+  std::size_t guard = 0;
+  while (!engine.finished()) {
+    ASSERT_LT(++guard, 100000u) << "fault run failed to converge";
+    for (const auto& a : sched.decide(engine)) engine.start(a.task, a.resource);
+    if (!engine.finished()) engine.advance();
+  }
+  EXPECT_GE(engine.num_outages(), 1u);
+  EXPECT_GE(engine.num_lost_executions(), 1u)
+      << "no task was killed mid-flight; raise outage_rate";
+  EXPECT_GT(sched.comparisons(), f.graph.num_tasks());
+}
+
+TEST(IncrementalEncoder, MatchesFullEncoderOnScopedViewsWithSteals) {
+  // Shard-scoped EngineViews: each inner scheduler sees its shard's
+  // ready list, and steals move tasks between shards without the victim
+  // shard's seed list changing — the case that forces the incremental
+  // encoder to rescan readiness globally.
+  const auto graph = rd::cholesky_graph(8);
+  const auto costs = rs::CostModel::cholesky();
+  const auto platform = rs::Platform::hybrid(8, 8);
+  std::vector<ComparingScheduler*> watchers;
+  std::vector<std::unique_ptr<rs::Scheduler>> inners;
+  for (int s = 0; s < 4; ++s) {
+    auto c = std::make_unique<ComparingScheduler>(2);
+    watchers.push_back(c.get());
+    inners.push_back(std::move(c));
+  }
+  readys::cluster::ShardScheduler::Options opts;
+  opts.shards = 4;
+  readys::cluster::ShardScheduler sched(std::move(inners), opts,
+                                        "comparing:mct");
+  readys::cluster::ClusterSimulator::Options opt;
+  opt.sigma = 0.1;
+  opt.seed = 5;
+  opt.shards = 4;
+  readys::cluster::ClusterSimulator sim(graph, platform, costs, opt);
+  const auto r = sim.run(sched);
+  EXPECT_EQ(r.trace.validate(graph, platform), "");
+  EXPECT_GT(sched.steals(), 0u) << "workload was built to force steals";
+  std::size_t total = 0;
+  for (const ComparingScheduler* c : watchers) total += c->comparisons();
+  EXPECT_GT(total, 0u);
+}
+
+TEST(IncrementalEncoder, ReusesTopologyAcrossIdleDeclines) {
+  // Consecutive offers at one decision instant (different current
+  // resource, same seeds) must reuse the cached window and Â outright.
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  engine.start(f.graph.sources().front(), 0);
+  engine.advance();  // 3 TRSMs ready
+  engine.start(engine.ready().front(), 1);
+  rr::IncrementalEncoder inc(f.graph, f.costs, 2);
+  (void)inc.encode(engine, 0);
+  const auto rebuilds = inc.window_rebuilds();
+  (void)inc.encode(engine, 2);  // same instant, different offer
+  (void)inc.encode(engine, 3);
+  EXPECT_EQ(inc.window_rebuilds(), rebuilds);
+  EXPECT_EQ(inc.window_reuses(), 2u);
+}
+
+TEST(IncrementalEncoder, SparseAhatModeSkipsDenseAndKeepsCsr) {
+  Fixture f;
+  rs::SimEngine engine(f.graph, f.platform, f.costs, 0.0, 1);
+  rr::StateEncoder full(f.graph, f.costs, 2);
+  rr::IncrementalEncoder inc(f.graph, f.costs, 2);
+  inc.set_sparse_ahat(true);
+  const auto a = full.encode(engine, 0);
+  const auto& b = inc.encode(engine, 0);
+  EXPECT_EQ(b.ahat.size(), 0u) << "dense Â must stay empty in sparse mode";
+  ASSERT_EQ(a.ahat_csr.row_ptr, b.ahat_csr.row_ptr);
+  ASSERT_EQ(a.ahat_csr.col, b.ahat_csr.col);
+  ASSERT_EQ(a.ahat_csr.val, b.ahat_csr.val);
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    ASSERT_EQ(a.features[i], b.features[i]);
+  }
+}
