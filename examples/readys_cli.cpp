@@ -22,12 +22,17 @@
 // (run an unknown one to get the list). <run.json> is a "readys-run/1"
 // document (see docs/api.md).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
+
+#include <sys/stat.h>
 
 #include "core/readys.hpp"
 
@@ -62,6 +67,11 @@ int usage() {
       "    serve flags: [--sessions <n>] [--rate <per_s>] [--queue <n>]\n"
       "                 [--active <n>] [--workers <n>] [--deadline-us <d>]\n"
       "                 [--retries <n>] [--backend f64ref|f32simd]\n"
+      "                 [--arrival poisson|bursty|pareto] "
+      "[--burst-factor <f>]\n"
+      "                 [--pareto-alpha <a>] [--tenant-rate <per_s>]\n"
+      "                 [--tenant-burst <n>] [--restart-budget <n>]\n"
+      "                 [--reload-watch <ckpt>]  (SIGHUP reloads now)\n"
       "  readys_cli cluster-bench [--config <run.json>] [cluster flags]\n"
       "    cluster flags: [--app <a>] [--tiles <n>] [--ncpu <n>] "
       "[--ngpu <n>]\n"
@@ -297,9 +307,25 @@ int cmd_dot(int argc, char** argv) {
   return 0;
 }
 
-// One Poisson load run against a live DecisionService, RunConfig-driven:
-// the admission/deadline/fault machinery exercised from the command line
-// (the committed baseline sweep lives in bench/serve_latency).
+// SIGHUP flips this; the reload watcher thread picks it up.
+volatile std::sig_atomic_t g_sighup = 0;
+void on_sighup(int) { g_sighup = 1; }
+
+serve::ArrivalMode parse_arrival(const std::string& name) {
+  if (name == "poisson") return serve::ArrivalMode::kPoisson;
+  if (name == "bursty") return serve::ArrivalMode::kBursty;
+  if (name == "pareto") return serve::ArrivalMode::kPareto;
+  throw std::invalid_argument("unknown arrival mode '" + name +
+                              "' (poisson | bursty | pareto)");
+}
+
+// One load run against a live DecisionService, RunConfig-driven: the
+// admission/QoS/deadline/fault/reload machinery exercised from the
+// command line (the committed baseline sweep lives in
+// bench/serve_latency). With --reload-watch the service hot-reloads the
+// named readys-ckpt/2 file whenever it changes on disk, and SIGHUP
+// forces an immediate reload attempt; rejected candidates keep the
+// last-good weights serving.
 int cmd_serve_bench(int argc, char** argv) {
   core::RunConfig cfg = core::RunConfig::from_env();
   int i = 2;
@@ -325,6 +351,20 @@ int cmd_serve_bench(int argc, char** argv) {
       cfg.serve_retries = std::atoi(argv[++i]);
     } else if (flag == "--backend" && i + 1 < argc) {
       cfg.inference_backend = argv[++i];
+    } else if (flag == "--arrival" && i + 1 < argc) {
+      cfg.serve_arrival = argv[++i];
+    } else if (flag == "--burst-factor" && i + 1 < argc) {
+      cfg.serve_burst_factor = std::atof(argv[++i]);
+    } else if (flag == "--pareto-alpha" && i + 1 < argc) {
+      cfg.serve_pareto_alpha = std::atof(argv[++i]);
+    } else if (flag == "--tenant-rate" && i + 1 < argc) {
+      cfg.serve_tenant_rate = std::atof(argv[++i]);
+    } else if (flag == "--tenant-burst" && i + 1 < argc) {
+      cfg.serve_tenant_burst = std::atof(argv[++i]);
+    } else if (flag == "--restart-budget" && i + 1 < argc) {
+      cfg.serve_restart_budget = std::atoi(argv[++i]);
+    } else if (flag == "--reload-watch" && i + 1 < argc) {
+      cfg.serve_reload_watch = argv[++i];
     } else {
       std::fprintf(stderr, "unknown serve-bench option '%s'\n", flag.c_str());
       return usage();
@@ -350,20 +390,64 @@ int cmd_serve_bench(int argc, char** argv) {
   sc.inference_backend = rl::parse_inference_backend(cfg.inference_backend);
   sc.record_latencies = true;
   sc.watchdog_period_ms = 200.0;
+  sc.default_tenant.rate_per_s = cfg.serve_tenant_rate;
+  sc.default_tenant.burst = cfg.serve_tenant_burst;
+  sc.supervise.restart_budget = cfg.serve_restart_budget;
   serve::DecisionService svc(net, cfg.agent, sc);
+
+  // Hot-reload plumbing: a watcher thread polls the checkpoint file's
+  // mtime and reloads on change; SIGHUP forces an immediate attempt.
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (!cfg.serve_reload_watch.empty()) {
+    std::signal(SIGHUP, on_sighup);
+    const std::string path = cfg.serve_reload_watch;
+    watcher = std::thread([&svc, &watch_stop, path] {
+      auto mtime_of = [&path]() -> long {
+        struct stat st {};
+        return stat(path.c_str(), &st) == 0
+                   ? static_cast<long>(st.st_mtime)
+                   : -1;
+      };
+      long last_mtime = mtime_of();
+      while (!watch_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        const long m = mtime_of();
+        const bool forced = g_sighup != 0;
+        if (forced) g_sighup = 0;
+        if (!forced && (m < 0 || m == last_mtime)) continue;
+        last_mtime = m;
+        const serve::ReloadResult rr = svc.reload_from_file(path);
+        std::printf("reload %s: version %llu%s%s\n",
+                    serve::reload_status_name(rr.status),
+                    static_cast<unsigned long long>(rr.version),
+                    rr.reason.empty() ? "" : " — ", rr.reason.c_str());
+      }
+    });
+  }
 
   serve::LoadGenConfig lg;
   lg.sessions = cfg.serve_sessions;
   lg.rate = cfg.serve_rate;
   lg.seed = cfg.seed;
   lg.sigma = cfg.sigma;
-  std::printf("serving %d sessions at %.1f/s (queue %d, active %d, "
-              "workers %d, deadline %.0f us, retries %d, backend %s)...\n",
-              cfg.serve_sessions, cfg.serve_rate, cfg.serve_queue,
+  lg.arrival = parse_arrival(cfg.serve_arrival);
+  lg.burst_factor = cfg.serve_burst_factor;
+  lg.pareto_alpha = cfg.serve_pareto_alpha;
+  std::printf("serving %d sessions at %.1f/s %s arrivals (queue %d, "
+              "active %d, workers %d, deadline %.0f us, retries %d, "
+              "backend %s)...\n",
+              cfg.serve_sessions, cfg.serve_rate,
+              serve::arrival_mode_name(lg.arrival), cfg.serve_queue,
               cfg.serve_active, sc.workers, cfg.serve_deadline_us,
               cfg.serve_retries,
               rl::inference_backend_name(sc.inference_backend));
   const serve::LoadReport r = serve::run_poisson_load(svc, lg);
+  if (watcher.joinable()) {
+    watch_stop.store(true, std::memory_order_relaxed);
+    watcher.join();
+  }
+  const serve::DecisionService::Counters fc = svc.counters();
   svc.shutdown();
 
   std::printf("offered   %d\n", r.offered);
@@ -383,6 +467,17 @@ int cmd_serve_bench(int argc, char** argv) {
               r.p99_decide_us);
   std::printf("%.1f sessions/s over %.2f s; mean makespan %.1f ms\n",
               r.sessions_per_s, r.duration_s, r.mean_makespan);
+  if (fc.reloads > 0 || fc.reload_rejects > 0 || fc.worker_restarts > 0 ||
+      fc.tenant_shed > 0) {
+    std::printf("reloads %llu (rejected %llu)  worker restarts %llu  "
+                "tenant shed %llu  active weight version %llu%s\n",
+                static_cast<unsigned long long>(fc.reloads),
+                static_cast<unsigned long long>(fc.reload_rejects),
+                static_cast<unsigned long long>(fc.worker_restarts),
+                static_cast<unsigned long long>(fc.tenant_shed),
+                static_cast<unsigned long long>(svc.active_weight_version()),
+                svc.degraded() ? "  [DEGRADED: one-shot MCT]" : "");
+  }
   return 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -246,6 +247,13 @@ std::string RunConfig::to_json() const {
       .field("serve_workers", serve_workers)
       .field("serve_deadline_us", serve_deadline_us)
       .field("serve_retries", serve_retries)
+      .field("serve_arrival", serve_arrival)
+      .field("serve_burst_factor", serve_burst_factor)
+      .field("serve_pareto_alpha", serve_pareto_alpha)
+      .field("serve_tenant_rate", serve_tenant_rate)
+      .field("serve_tenant_burst", serve_tenant_burst)
+      .field("serve_restart_budget", serve_restart_budget)
+      .field("serve_reload_watch", serve_reload_watch)
       .field("inference_backend", inference_backend)
       .raw("agent", agent_json.str());
   return j.str();
@@ -296,6 +304,13 @@ RunConfig RunConfig::from_json(const std::string& json) {
     else if (key == "serve_workers") cfg.serve_workers = parse_int_field(r);
     else if (key == "serve_deadline_us") cfg.serve_deadline_us = r.parse_number();
     else if (key == "serve_retries") cfg.serve_retries = parse_int_field(r);
+    else if (key == "serve_arrival") cfg.serve_arrival = r.parse_string();
+    else if (key == "serve_burst_factor") cfg.serve_burst_factor = r.parse_number();
+    else if (key == "serve_pareto_alpha") cfg.serve_pareto_alpha = r.parse_number();
+    else if (key == "serve_tenant_rate") cfg.serve_tenant_rate = r.parse_number();
+    else if (key == "serve_tenant_burst") cfg.serve_tenant_burst = r.parse_number();
+    else if (key == "serve_restart_budget") cfg.serve_restart_budget = parse_int_field(r);
+    else if (key == "serve_reload_watch") cfg.serve_reload_watch = r.parse_string();
     else if (key == "inference_backend") cfg.inference_backend = r.parse_string();
     else if (key == "agent") parse_agent(r, cfg.agent);
     else r.fail("unknown key \"" + key + "\"");
@@ -337,6 +352,20 @@ RunConfig RunConfig::from_env() {
       util::env_double("READYS_SERVE_DEADLINE_US", cfg.serve_deadline_us);
   cfg.serve_retries =
       util::env_int("READYS_SERVE_RETRIES", cfg.serve_retries);
+  cfg.serve_arrival =
+      util::env_string("READYS_SERVE_ARRIVAL", cfg.serve_arrival);
+  cfg.serve_burst_factor =
+      util::env_double("READYS_SERVE_BURST_FACTOR", cfg.serve_burst_factor);
+  cfg.serve_pareto_alpha =
+      util::env_double("READYS_SERVE_PARETO_ALPHA", cfg.serve_pareto_alpha);
+  cfg.serve_tenant_rate =
+      util::env_double("READYS_SERVE_TENANT_RATE", cfg.serve_tenant_rate);
+  cfg.serve_tenant_burst =
+      util::env_double("READYS_SERVE_TENANT_BURST", cfg.serve_tenant_burst);
+  cfg.serve_restart_budget =
+      util::env_int("READYS_SERVE_RESTART_BUDGET", cfg.serve_restart_budget);
+  cfg.serve_reload_watch =
+      util::env_string("READYS_SERVE_RELOAD_WATCH", cfg.serve_reload_watch);
   cfg.inference_backend =
       util::env_string("READYS_INFERENCE_BACKEND", cfg.inference_backend);
   cfg.comm_tile_bytes =
@@ -411,11 +440,35 @@ void RunConfig::validate() const {
   if (serve_workers < 0) {
     throw std::invalid_argument("RunConfig: serve_workers must be >= 0");
   }
-  if (!(serve_deadline_us >= 0.0)) {
-    throw std::invalid_argument("RunConfig: serve_deadline_us must be >= 0");
+  if (!std::isfinite(serve_deadline_us)) {
+    // Negative is meaningful (deadline disabled), as is literal zero
+    // (every decision degrades to one-shot MCT); only NaN/inf are out.
+    throw std::invalid_argument("RunConfig: serve_deadline_us must be finite");
   }
   if (serve_retries < 0) {
     throw std::invalid_argument("RunConfig: serve_retries must be >= 0");
+  }
+  if (serve_arrival != "poisson" && serve_arrival != "bursty" &&
+      serve_arrival != "pareto") {
+    throw std::invalid_argument(
+        "RunConfig: serve_arrival must be poisson | bursty | pareto");
+  }
+  if (!(serve_burst_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "RunConfig: serve_burst_factor must be >= 1");
+  }
+  if (!(serve_pareto_alpha > 1.0)) {
+    throw std::invalid_argument(
+        "RunConfig: serve_pareto_alpha must be > 1 (finite mean)");
+  }
+  if (!(serve_tenant_rate >= 0.0) || !(serve_tenant_burst >= 1.0)) {
+    throw std::invalid_argument(
+        "RunConfig: serve_tenant_rate must be >= 0 and serve_tenant_burst "
+        ">= 1");
+  }
+  if (serve_restart_budget < 0) {
+    throw std::invalid_argument(
+        "RunConfig: serve_restart_budget must be >= 0");
   }
   try {
     (void)rl::parse_inference_backend(inference_backend);

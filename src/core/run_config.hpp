@@ -66,8 +66,26 @@ struct RunConfig {
   int serve_queue = 64;            ///< admission queue capacity
   int serve_active = 8;            ///< sessions batched per decision round
   int serve_workers = 1;           ///< inference worker threads
-  double serve_deadline_us = 0.0;  ///< per-decision budget; 0 disables
+  /// Per-decision budget in microseconds: negative disables the
+  /// deadline, 0 degrades every decision to one-shot MCT
+  /// deterministically, positive degrades only blown decisions.
+  double serve_deadline_us = -1.0;
   int serve_retries = 0;           ///< transient-fault retries per session
+  /// Arrival process for the load generator: poisson | bursty | pareto
+  /// (serve::ArrivalMode).
+  std::string serve_arrival = "poisson";
+  double serve_burst_factor = 4.0;  ///< bursty: ON-state rate multiplier
+  double serve_pareto_alpha = 1.5;  ///< pareto: tail index (> 1)
+  /// Per-tenant token bucket for the default tenant policy: sustained
+  /// admissions/second (0 disables rate limiting) and bucket depth.
+  double serve_tenant_rate = 0.0;
+  double serve_tenant_burst = 8.0;
+  /// Worker deaths tolerated before the supervisor degrades the service
+  /// to one-shot MCT for every round.
+  int serve_restart_budget = 3;
+  /// Checkpoint file polled for hot weight reloads by the serve CLI
+  /// ("" disables); SIGHUP forces an immediate reload of the same path.
+  std::string serve_reload_watch;
 
   // --- inference fast path (rl::InferenceBackend) ---
   /// Arithmetic for policy evaluation on the decision path: "f64ref"

@@ -44,6 +44,7 @@ void Module::copy_parameters_from(const Module& other) {
     }
     var.mutable_value() = it->second.value();
   }
+  bump_weight_version();
 }
 
 Var Module::register_parameter(const std::string& name, Tensor init) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +41,18 @@ class Module {
   /// architecture (matched by name and shape). Throws on mismatch.
   void copy_parameters_from(const Module& other);
 
+  /// Monotone counter identifying the current weight values. Starts at 1
+  /// and is bumped by every mutation that rewrites parameter values as a
+  /// unit — optimizer step, deserialize_parameters, copy_parameters_from.
+  /// Consumers that cache derived weight snapshots (the f32 inference
+  /// backend, serve's PolicyStore) compare versions instead of tensors.
+  std::uint64_t weight_version() const { return weight_version_; }
+
+  /// Marks the parameters as mutated. Public because the mutators live
+  /// outside the class (optimizers hold raw Vars, the serializer is a
+  /// free function); bumping without changing weights is harmless.
+  void bump_weight_version() { ++weight_version_; }
+
  protected:
   /// Registers a trainable leaf; returns the handle to use in forward().
   Var register_parameter(const std::string& name, Tensor init);
@@ -54,6 +67,7 @@ class Module {
 
   std::vector<std::pair<std::string, Var>> params_;
   std::vector<std::pair<std::string, Module*>> children_;
+  std::uint64_t weight_version_ = 1;
 };
 
 /// Glorot/Xavier-uniform initialization for a (fan_in x fan_out) matrix.

@@ -157,6 +157,7 @@ void deserialize_parameters(Module& module, const std::string& blob) {
   for (auto& [pname, var] : named) {
     var.mutable_value() = std::move(entries.at(pname));
   }
+  module.bump_weight_version();
 }
 
 void save_parameters(const Module& module, const std::string& path) {

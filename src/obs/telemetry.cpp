@@ -46,6 +46,10 @@ Telemetry::Telemetry(TelemetryConfig config)
       serve_decisions(registry_.counter("serve.decisions")),
       serve_timeouts(registry_.counter("serve.deadline_timeouts")),
       serve_fallbacks(registry_.counter("serve.fallback_decisions")),
+      serve_reloads(registry_.counter("serve.reloads")),
+      serve_reload_rejects(registry_.counter("serve.reload_rejects")),
+      serve_worker_restarts(registry_.counter("serve.worker_restarts")),
+      serve_tenant_shed(registry_.counter("serve.tenant_shed")),
       sink_errors(registry_.counter("obs.sink_errors")),
       cluster_steals(registry_.counter("cluster.steals")),
       cluster_stolen(registry_.counter("cluster.stolen_tasks")),
@@ -56,6 +60,8 @@ Telemetry::Telemetry(TelemetryConfig config)
       train_envs(registry_.gauge("train.envs")),
       serve_queue_depth(registry_.gauge("serve.queue_depth")),
       serve_active(registry_.gauge("serve.active_sessions")),
+      serve_active_weight_version(
+          registry_.gauge("serve.active_weight_version")),
       env_step_us(registry_.histogram("rl.env_step_us")),
       vec_step_us(registry_.histogram("rl.vec_step_us")),
       policy_forward_us(registry_.histogram("rl.policy_forward_us")),

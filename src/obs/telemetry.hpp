@@ -92,6 +92,10 @@ class Telemetry {
   Counter& serve_decisions;     ///< serve.decisions (actions issued)
   Counter& serve_timeouts;      ///< serve.deadline_timeouts (budget blown)
   Counter& serve_fallbacks;     ///< serve.fallback_decisions (MCT degrades)
+  Counter& serve_reloads;       ///< serve.reloads (weight versions published)
+  Counter& serve_reload_rejects;  ///< serve.reload_rejects (validation fails)
+  Counter& serve_worker_restarts; ///< serve.worker_restarts (supervisor)
+  Counter& serve_tenant_shed;   ///< serve.tenant_shed (QoS rate-limit/evict)
   Counter& sink_errors;         ///< obs.sink_errors (dropped sink rows)
   Counter& cluster_steals;      ///< cluster.steals (steal attempts landed)
   Counter& cluster_stolen;      ///< cluster.stolen_tasks (tasks migrated)
@@ -102,6 +106,7 @@ class Telemetry {
   Gauge& train_envs;            ///< train.envs (width of the vector env)
   Gauge& serve_queue_depth;     ///< serve.queue_depth (admission queue)
   Gauge& serve_active;          ///< serve.active_sessions
+  Gauge& serve_active_weight_version;  ///< serve.active_weight_version
   Histogram& env_step_us;       ///< rl.env_step_us
   Histogram& vec_step_us;       ///< rl.vec_step_us (whole-batch latency)
   Histogram& policy_forward_us; ///< rl.policy_forward_us

@@ -199,8 +199,10 @@ bool A2CTrainer::apply_loss(const tensor::Var& loss) {
     // exclusive lock — backward/clipping touch gradients, not values.
     std::unique_lock lock(*net_mutex_);
     optimizer_.step();
+    net_->bump_weight_version();
   } else {
     optimizer_.step();
+    net_->bump_weight_version();
   }
   ++updates_;
   if (t_obs) t_obs->optim_updates.add();

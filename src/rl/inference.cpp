@@ -1,5 +1,6 @@
 #include "rl/inference.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -52,7 +53,16 @@ void softmax_rows(const std::vector<double>& logits, InferenceOutput& out) {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_snapshot_builds{0};
+}  // namespace
+
+std::uint64_t InferenceWeights::snapshot_builds() noexcept {
+  return g_snapshot_builds.load(std::memory_order_relaxed);
+}
+
 InferenceWeights InferenceWeights::snapshot(const PolicyNet& net) {
+  g_snapshot_builds.fetch_add(1, std::memory_order_relaxed);
   InferenceWeights w;
   w.node_features = net.node_features();
   w.resource_features = net.resource_features();
@@ -148,7 +158,15 @@ void F64RefBackend::forward_batched(
 // --- F32Simd --------------------------------------------------------------
 
 F32SimdBackend::F32SimdBackend(InferenceWeights weights)
-    : w_(std::move(weights)) {}
+    : F32SimdBackend(
+          std::make_shared<const InferenceWeights>(std::move(weights))) {}
+
+F32SimdBackend::F32SimdBackend(std::shared_ptr<const InferenceWeights> weights)
+    : w_(std::move(weights)) {
+  if (!w_) {
+    throw std::invalid_argument("F32SimdBackend: null weight snapshot");
+  }
+}
 
 void F32SimdBackend::forward(const Observation& obs, InferenceOutput& out) {
   readys::obs::Telemetry* t = readys::obs::telemetry();
@@ -158,9 +176,9 @@ void F32SimdBackend::forward(const Observation& obs, InferenceOutput& out) {
   }
   const std::size_t n = obs.features.rows();
   const std::size_t f = obs.features.cols();
-  const std::size_t h = static_cast<std::size_t>(w_.hidden);
-  const std::size_t rf = static_cast<std::size_t>(w_.resource_features);
-  if (f != w_.gcn_in.front()) {
+  const std::size_t h = static_cast<std::size_t>(w_->hidden);
+  const std::size_t rf = static_cast<std::size_t>(w_->resource_features);
+  if (f != w_->gcn_in.front()) {
     throw std::invalid_argument(
         "F32SimdBackend::forward: feature width mismatch");
   }
@@ -191,18 +209,18 @@ void F32SimdBackend::forward(const Observation& obs, InferenceOutput& out) {
   // last) — the same composition as PolicyNet::embed. The CSR and dense
   // products accumulate term for term in the same order (ascending
   // columns), so both routes produce the same floats.
-  const std::size_t layers = w_.gcn_in.size();
+  const std::size_t layers = w_->gcn_in.size();
   for (std::size_t l = 0; l < layers; ++l) {
-    const std::size_t in = w_.gcn_in[l];
+    const std::size_t in = w_->gcn_in[l];
     float* xw = arena_.alloc_f32(n * h);
-    tensor::f32::matmul_bias(x, n, in, w_.gcn_w[l].data(), h, nullptr, xw);
+    tensor::f32::matmul_bias(x, n, in, w_->gcn_w[l].data(), h, nullptr, xw);
     float* hl = arena_.alloc_f32(n * h);
     if (csr) {
       tensor::f32::spmm_bias(obs.ahat_csr.row_ptr.data(),
                              obs.ahat_csr.col.data(), obs.ahat_csr.val.data(),
-                             n, xw, h, w_.gcn_b[l].data(), hl);
+                             n, xw, h, w_->gcn_b[l].data(), hl);
     } else {
-      tensor::f32::matmul_bias(ahat, n, n, xw, h, w_.gcn_b[l].data(), hl);
+      tensor::f32::matmul_bias(ahat, n, n, xw, h, w_->gcn_b[l].data(), hl);
     }
     if (l + 1 < layers) tensor::f32::relu_inplace(hl, n * h);
     x = hl;
@@ -215,19 +233,19 @@ void F32SimdBackend::forward(const Observation& obs, InferenceOutput& out) {
     res_in[i] = static_cast<float>(obs.resource_state[i]);
   }
   float* rstate = arena_.alloc_f32(h);
-  tensor::f32::matmul_bias(res_in, 1, rf, w_.res_w.data(), h,
-                           w_.res_b.data(), rstate);
+  tensor::f32::matmul_bias(res_in, 1, rf, w_->res_w.data(), h,
+                           w_->res_b.data(), rstate);
   tensor::f32::relu_inplace(rstate, h);
 
   // Critic: mean-pool (+ resource embedding when configured) -> scalar.
   float* pooled = arena_.alloc_f32(h);
   tensor::f32::mean_cols(emb, n, h, pooled);
   float v;
-  if (w_.critic_sees_resources) {
-    v = tensor::f32::dot(pooled, w_.value_w.data(), h) +
-        tensor::f32::dot(rstate, w_.value_w.data() + h, h) + w_.value_b;
+  if (w_->critic_sees_resources) {
+    v = tensor::f32::dot(pooled, w_->value_w.data(), h) +
+        tensor::f32::dot(rstate, w_->value_w.data() + h, h) + w_->value_b;
   } else {
-    v = tensor::f32::dot(pooled, w_.value_w.data(), h) + w_.value_b;
+    v = tensor::f32::dot(pooled, w_->value_w.data(), h) + w_->value_b;
   }
   out.value = static_cast<double>(v);
 
@@ -237,15 +255,15 @@ void F32SimdBackend::forward(const Observation& obs, InferenceOutput& out) {
   for (std::size_t i = 0; i < k; ++i) {
     const float* row = emb + obs.ready_positions[i] * h;
     logits_[i] = static_cast<double>(
-        tensor::f32::dot(row, w_.actor_w.data(), h) + w_.actor_b);
+        tensor::f32::dot(row, w_->actor_w.data(), h) + w_->actor_b);
   }
   if (obs.allow_idle) {
     float* maxp = arena_.alloc_f32(h);
     tensor::f32::max_cols(emb, n, h, maxp);
     // idle head input is [rstate ‖ maxpool].
-    const float s = tensor::f32::dot(rstate, w_.idle_w.data(), h) +
-                    tensor::f32::dot(maxp, w_.idle_w.data() + h, h) +
-                    w_.idle_b;
+    const float s = tensor::f32::dot(rstate, w_->idle_w.data(), h) +
+                    tensor::f32::dot(maxp, w_->idle_w.data() + h, h) +
+                    w_->idle_b;
     logits_[k] = static_cast<double>(s);
   }
   softmax_rows(logits_, out);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,6 +88,12 @@ struct InferenceWeights {
   /// std::invalid_argument when the parameter names do not describe a
   /// PolicyNet architecture.
   static InferenceWeights snapshot(const PolicyNet& net);
+
+  /// Process-wide count of snapshot() calls. Purely observability: lets
+  /// tests pin that cached backends are reused instead of rebuilding the
+  /// snapshot every episode (see ReadysScheduler::reset) and that serve
+  /// workers share one snapshot per published version.
+  static std::uint64_t snapshot_builds() noexcept;
 };
 
 /// Bit-exact reference backend: delegates to PolicyNet::forward /
@@ -115,15 +122,22 @@ class F32SimdBackend final : public InferenceBackend {
  public:
   explicit F32SimdBackend(InferenceWeights weights);
 
+  /// Shares a frozen snapshot instead of owning a private copy — how
+  /// serve's PolicyStore fans one published version out to every worker
+  /// without per-worker re-snapshotting. The snapshot is immutable after
+  /// publication, so concurrent backends over the same pointer are safe
+  /// (each backend keeps its own arena/scratch).
+  explicit F32SimdBackend(std::shared_ptr<const InferenceWeights> weights);
+
   const char* name() const noexcept override { return "f32simd"; }
   void forward(const Observation& obs, InferenceOutput& out) override;
   void forward_batched(const std::vector<const Observation*>& batch,
                        std::vector<InferenceOutput>& outs) override;
 
-  const InferenceWeights& weights() const noexcept { return w_; }
+  const InferenceWeights& weights() const noexcept { return *w_; }
 
  private:
-  InferenceWeights w_;
+  std::shared_ptr<const InferenceWeights> w_;
   tensor::Arena arena_;
   std::vector<double> logits_;  ///< reused per-decision scratch row
 };

@@ -56,8 +56,10 @@ void PpoTrainer::optimize(std::vector<Step>& steps, TrainReport& report,
     if (net_mutex_ != nullptr) {
       std::unique_lock lock(*net_mutex_);
       optimizer_.step();
+      net_->bump_weight_version();
     } else {
       optimizer_.step();
+      net_->bump_weight_version();
     }
   };
   for (int epoch = 0; epoch < ppo_.epochs; ++epoch) {

@@ -26,9 +26,14 @@ void ReadysScheduler::reset(const sim::EngineView& engine) {
                                               window_);
     inc_.reset();
   }
-  // Rebuilt per episode so a kF32Simd snapshot tracks the live weights
-  // across train-then-evaluate flows.
-  backend_ = net_->make_inference(opts_.backend);
+  // Rebuilt only when the net's weights actually changed since the last
+  // episode (weight_version is bumped on optimizer step / deserialize),
+  // so a kF32Simd snapshot tracks the live weights across
+  // train-then-evaluate flows without re-snapshotting per reset.
+  if (!backend_ || backend_version_ != net_->weight_version()) {
+    backend_ = net_->make_inference(opts_.backend);
+    backend_version_ = net_->weight_version();
+  }
   rng_ = util::Rng(opts_.seed);
   declined_.clear();
   last_instant_ = -1.0;

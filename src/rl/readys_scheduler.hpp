@@ -58,6 +58,7 @@ class ReadysScheduler : public sim::Scheduler {
   ReadysOptions opts_;
   util::Rng rng_;
   std::unique_ptr<InferenceBackend> backend_;
+  std::uint64_t backend_version_ = 0;  ///< net weight_version backend_ saw
   std::unique_ptr<IncrementalEncoder> inc_;
   std::unique_ptr<StateEncoder> encoder_;  ///< when !opts_.incremental
   Observation obs_full_;                   ///< scratch for the full encoder

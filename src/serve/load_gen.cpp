@@ -7,6 +7,97 @@
 
 namespace readys::serve {
 
+namespace {
+
+/// Seeded inter-arrival gap generator for the three ArrivalModes. All
+/// state lives here so the offered trace is a pure function of the
+/// config seed.
+class ArrivalClock {
+ public:
+  ArrivalClock(const LoadGenConfig& cfg, util::Rng& rng)
+      : cfg_(cfg),
+        rng_(rng),
+        rate_(std::max(1e-9, cfg.rate)),
+        on_(rng.uniform() < 0.5),
+        dwell_left_(exp_draw(1.0 / std::max(1e-6, cfg.burst_dwell_s))) {
+    if (cfg_.arrival == ArrivalMode::kPareto) {
+      // Bounded Pareto on [1, H], tail alpha: analytic mean, so gaps can
+      // be rescaled to hit the configured long-run rate exactly.
+      const double a = std::max(1.01, cfg_.pareto_alpha);
+      const double h = std::max(2.0, cfg_.pareto_cap);
+      pareto_alpha_ = a;
+      pareto_cap_ = h;
+      pareto_mean_ = (a / (a - 1.0)) * (1.0 - std::pow(h, 1.0 - a)) /
+                     (1.0 - std::pow(h, -a));
+    }
+  }
+
+  /// Seconds until the next arrival.
+  double next_gap_s() {
+    switch (cfg_.arrival) {
+      case ArrivalMode::kPoisson:
+        return exp_draw(rate_);
+      case ArrivalMode::kBursty: {
+        // Two-state MMPP. Exponential holding times are memoryless, so
+        // when a candidate gap outlives the dwell we spend the dwell,
+        // flip state and redraw — exact, not an approximation.
+        const double factor = std::max(1.0, cfg_.burst_factor);
+        const double dwell_rate = 1.0 / std::max(1e-6, cfg_.burst_dwell_s);
+        double gap = 0.0;
+        for (;;) {
+          const double r = on_ ? rate_ * factor : rate_ / factor;
+          const double g = exp_draw(r);
+          if (g <= dwell_left_) {
+            dwell_left_ -= g;
+            return gap + g;
+          }
+          gap += dwell_left_;
+          on_ = !on_;
+          dwell_left_ = exp_draw(dwell_rate);
+        }
+      }
+      case ArrivalMode::kPareto: {
+        // Inverse-CDF bounded Pareto draw on [1, H], rescaled so the
+        // mean gap is 1/rate.
+        const double u = rng_.uniform();
+        const double a = pareto_alpha_;
+        const double lh = std::pow(1.0 / pareto_cap_, a);
+        const double x = std::pow(1.0 - u * (1.0 - lh), -1.0 / a);
+        return x / (pareto_mean_ * rate_);
+      }
+    }
+    return exp_draw(rate_);
+  }
+
+ private:
+  double exp_draw(double rate) {
+    return -std::log1p(-rng_.uniform()) / std::max(1e-12, rate);
+  }
+
+  const LoadGenConfig& cfg_;
+  util::Rng& rng_;
+  double rate_;
+  bool on_;              // bursty: current MMPP state
+  double dwell_left_;    // bursty: time left in the current state
+  double pareto_alpha_ = 1.5;
+  double pareto_cap_ = 50.0;
+  double pareto_mean_ = 1.0;
+};
+
+}  // namespace
+
+const char* arrival_mode_name(ArrivalMode m) {
+  switch (m) {
+    case ArrivalMode::kPoisson:
+      return "poisson";
+    case ArrivalMode::kBursty:
+      return "bursty";
+    case ArrivalMode::kPareto:
+      return "pareto";
+  }
+  return "unknown";
+}
+
 SessionSpec draw_catalog_spec(const LoadGenConfig& cfg, util::Rng& rng) {
   static constexpr core::App kCatalog[] = {core::App::kCholesky,
                                            core::App::kLu, core::App::kQr};
@@ -20,6 +111,8 @@ SessionSpec draw_catalog_spec(const LoadGenConfig& cfg, util::Rng& rng) {
   spec.sigma = cfg.sigma;
   spec.seed = rng();
   spec.deadline_us = cfg.deadline_us;
+  spec.tenant = cfg.tenant;
+  spec.qos = cfg.qos;
   return spec;
 }
 
@@ -39,22 +132,23 @@ LoadReport run_poisson_load(DecisionService& svc, const LoadGenConfig& cfg) {
 
   LoadReport report;
   report.offered = std::max(0, cfg.sessions);
-  const double rate = std::max(1e-9, cfg.rate);
 
   const auto start = clock::now();
+  ArrivalClock arrivals(cfg, rng);
   double arrival_s = 0.0;
   for (int i = 0; i < report.offered; ++i) {
-    // Exponential inter-arrival: -ln(1-u)/rate, seeded — the offered
-    // trace is identical across runs with the same config.
-    arrival_s += -std::log1p(-rng.uniform()) / rate;
+    // Seeded inter-arrival draw (exponential / MMPP / bounded Pareto) —
+    // the offered trace is identical across runs with the same config.
+    arrival_s += arrivals.next_gap_s();
     const auto due =
         start + std::chrono::duration_cast<clock::duration>(
                     std::chrono::duration<double>(arrival_s));
     std::this_thread::sleep_until(due);
     svc.submit(draw_catalog_spec(cfg, rng));
   }
-  // Open loop ends here; wait for the service to finish what it admitted.
-  svc.wait_idle();
+  // Open loop ends here; wait for the service to finish what it admitted
+  // (unless a multi-generator caller waits once for all of them).
+  if (cfg.wait_idle) svc.wait_idle();
   report.duration_s =
       std::chrono::duration<double>(clock::now() - start).count();
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serve/service.hpp"
@@ -9,18 +10,49 @@
 
 namespace readys::serve {
 
-/// Open-loop Poisson workload for a DecisionService: seeded exponential
-/// inter-arrival times over a mixed Cholesky/LU/QR catalog. Offered load
-/// is `rate` sessions/s regardless of how the service keeps up — that is
-/// what exercises admission control and shedding.
+/// Shape of the offered arrival process.
+enum class ArrivalMode : int {
+  kPoisson = 0,  ///< exponential inter-arrivals at `rate`
+  /// Markov-modulated on/off Poisson: ON dwell runs at rate *
+  /// burst_factor, OFF dwell at rate / burst_factor, exponential dwell
+  /// times with mean burst_dwell_s — bursty traffic that slams the queue
+  /// then goes quiet.
+  kBursty = 1,
+  /// Bounded-Pareto inter-arrivals (tail index pareto_alpha, bounded at
+  /// pareto_cap times the minimum gap), rescaled so the long-run offered
+  /// rate stays `rate` — heavy-tailed gaps: clumps of near-simultaneous
+  /// arrivals separated by long silences.
+  kPareto = 2,
+};
+
+const char* arrival_mode_name(ArrivalMode m);
+
+/// Open-loop workload for a DecisionService: seeded inter-arrival times
+/// (Poisson / bursty / heavy-tailed) over a mixed Cholesky/LU/QR
+/// catalog. Offered load is `rate` sessions/s in the long run regardless
+/// of how the service keeps up — that is what exercises admission
+/// control and shedding.
 struct LoadGenConfig {
   int sessions = 64;        ///< total sessions to offer
-  double rate = 50.0;       ///< offered arrivals per second
+  double rate = 50.0;       ///< offered arrivals per second (long-run)
   std::uint64_t seed = 1;   ///< arrival times + catalog draws
   int tiles_min = 3;        ///< catalog DAG sizes (inclusive range)
   int tiles_max = 5;
   double sigma = 0.1;       ///< task-duration noise per session
-  double deadline_us = 0.0; ///< per-spec deadline (0 = service default)
+  /// Per-spec deadline: 0 inherits the service default, negative opts
+  /// the session out, positive is a per-decision budget in microseconds.
+  double deadline_us = 0.0;
+  ArrivalMode arrival = ArrivalMode::kPoisson;
+  double burst_factor = 4.0;   ///< bursty: ON multiplies rate, OFF divides
+  double burst_dwell_s = 0.05; ///< bursty: mean dwell per state (seconds)
+  double pareto_alpha = 1.5;   ///< pareto: tail index (>1 = finite mean)
+  double pareto_cap = 50.0;    ///< pareto: gap bound, multiples of min gap
+  std::string tenant;          ///< stamped on every spec ("" = "default")
+  QosClass qos = QosClass::kNormal;  ///< priority class for every spec
+  /// False returns right after the last submit instead of waiting for
+  /// the service to go idle — for multi-generator runs (noisy-neighbor
+  /// bench) where the caller waits once after joining every generator.
+  bool wait_idle = true;
 };
 
 /// What one load run measured, aggregated from the service's results

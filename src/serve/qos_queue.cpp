@@ -1,0 +1,144 @@
+#include "serve/qos_queue.hpp"
+
+#include <algorithm>
+
+namespace readys::serve {
+
+namespace {
+
+std::size_t class_index(QosClass c) {
+  const int i = static_cast<int>(c);
+  return static_cast<std::size_t>(std::clamp(i, 0, 2));
+}
+
+}  // namespace
+
+QosQueue::Tenant& QosQueue::tenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, Tenant{}).first;
+    order_.push_back(name);
+  }
+  return it->second;
+}
+
+void QosQueue::set_weight(const std::string& name, double weight) {
+  tenant(name).weight = std::max(0.0, weight);
+}
+
+void QosQueue::push_back(Entry e) {
+  Tenant& t = tenant(e.session->spec().tenant);
+  t.lanes[class_index(e.session->spec().qos)].push_back(std::move(e));
+  ++t.total;
+  ++size_;
+}
+
+void QosQueue::push_front(Entry e) {
+  Tenant& t = tenant(e.session->spec().tenant);
+  t.lanes[class_index(e.session->spec().qos)].push_front(std::move(e));
+  ++t.total;
+  ++size_;
+}
+
+QosQueue::Clock::time_point QosQueue::pop_due(
+    Clock::time_point now, std::size_t max,
+    std::vector<std::unique_ptr<Session>>& out) {
+  Clock::time_point earliest = Clock::time_point::max();
+  if (order_.empty()) return earliest;
+  for (std::size_t cls = 0; cls < kClasses && max > 0; ++cls) {
+    // DRR: sweep tenants from the class cursor, crediting one weight
+    // quantum per visit; a visit pops due entries while credit lasts.
+    // Sweeps repeat until a full pass makes no progress (all lanes empty
+    // or waiting on backoff) so small quanta cannot under-fill a round.
+    bool progress = true;
+    while (progress && max > 0) {
+      progress = false;
+      for (std::size_t k = 0; k < order_.size() && max > 0; ++k) {
+        const std::size_t idx = (cursor_[cls] + k) % order_.size();
+        Tenant& t = tenants_[order_[idx]];
+        std::deque<Entry>& lane = t.lanes[cls];
+        if (lane.empty()) {
+          t.deficit[cls] = 0.0;  // an empty lane forfeits stored credit
+          continue;
+        }
+        t.deficit[cls] =
+            std::min(t.deficit[cls] + t.weight, t.weight + 1.0);
+        for (auto it = lane.begin();
+             it != lane.end() && max > 0 && t.deficit[cls] >= 1.0;) {
+          if (it->not_before > now) {
+            // Backoff entry not due yet: it keeps its lane position but
+            // does not block later due entries (the pre-QoS FIFO popped
+            // past backoffs the same way).
+            earliest = std::min(earliest, it->not_before);
+            ++it;
+            continue;
+          }
+          out.push_back(std::move(it->session));
+          it = lane.erase(it);
+          t.deficit[cls] -= 1.0;
+          --t.total;
+          --size_;
+          --max;
+          progress = true;
+        }
+      }
+    }
+    // Rotate the start tenant so a small max_active does not pin the
+    // first tenant to the front of every round.
+    cursor_[cls] = (cursor_[cls] + 1) % order_.size();
+  }
+  return earliest;
+}
+
+std::unique_ptr<Session> QosQueue::evict_for(const std::string& name,
+                                             QosClass cls) {
+  const std::size_t floor = class_index(cls);
+  // Victim tenant: most backlogged among those holding an entry of class
+  // >= floor (ties resolve to first-admitted — deterministic).
+  const std::string* victim = nullptr;
+  std::size_t victim_total = 0;
+  for (const std::string& cand : order_) {
+    const Tenant& t = tenants_[cand];
+    std::size_t evictable = 0;
+    for (std::size_t c = floor; c < kClasses; ++c) evictable += t.lanes[c].size();
+    if (evictable == 0) continue;
+    if (victim == nullptr || t.total > victim_total) {
+      victim = &cand;
+      victim_total = t.total;
+    }
+  }
+  if (victim == nullptr || *victim == name) return nullptr;
+  Tenant& t = tenants_[*victim];
+  for (std::size_t c = kClasses; c-- > floor;) {
+    if (t.lanes[c].empty()) continue;
+    std::unique_ptr<Session> s = std::move(t.lanes[c].back().session);
+    t.lanes[c].pop_back();
+    --t.total;
+    --size_;
+    return s;
+  }
+  return nullptr;  // unreachable: evictable > 0 guaranteed a lane
+}
+
+std::deque<QosQueue::Entry> QosQueue::drain() {
+  std::deque<Entry> out;
+  for (auto& [name, t] : tenants_) {
+    for (auto& lane : t.lanes) {
+      while (!lane.empty()) {
+        out.push_back(std::move(lane.front()));
+        lane.pop_front();
+      }
+    }
+    t.total = 0;
+    t.deficit.fill(0.0);
+  }
+  size_ = 0;
+  return out;
+}
+
+std::size_t QosQueue::queued_for(const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? 0 : it->second.total;
+}
+
+}  // namespace readys::serve

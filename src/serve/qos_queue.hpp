@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace readys::serve {
+
+/// Per-tenant admission policy: the DRR share inside a priority class
+/// and an optional token-bucket rate limit checked at submit time.
+struct TenantPolicy {
+  double weight = 1.0;      ///< deficit-round-robin share (>= 0; 0 starves)
+  double rate_per_s = 0.0;  ///< token refill rate; 0 = unlimited
+  double burst = 8.0;       ///< bucket capacity (max stored tokens)
+};
+
+/// The DecisionService admission queue: per-(tenant, class) FIFO lanes
+/// with strict priority between classes and deficit-weighted round robin
+/// across tenants inside a class. Not thread-safe — the service guards
+/// it with its own mutex. With a single tenant in a single class the
+/// dequeue order reduces exactly to the old FIFO queue (backoff entries
+/// stay put, later due entries may overtake them), so every pre-QoS
+/// determinism pin still holds.
+class QosQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued session: fresh from submit() or a backoff retry
+  /// (not_before in the future).
+  struct Entry {
+    std::unique_ptr<Session> session;
+    Clock::time_point not_before{};
+  };
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Registers (or updates) a tenant's DRR weight; called by the service
+  /// at first admission so the queue never consults the config map.
+  void set_weight(const std::string& tenant, double weight);
+
+  void push_back(Entry e);
+  /// Re-queues a round survivor at the head of its (tenant, class) lane
+  /// — pump mode's "continue the same round next pump" contract.
+  void push_front(Entry e);
+
+  /// Pops up to `max` due entries into `out`, highest class first, DRR
+  /// across tenants within a class. Returns the earliest not_before among
+  /// entries left waiting on backoff (time_point::max() when none).
+  Clock::time_point pop_due(Clock::time_point now, std::size_t max,
+                            std::vector<std::unique_ptr<Session>>& out);
+
+  /// Overload eviction: picks a victim to shed so an incoming session of
+  /// (tenant, cls) can be admitted to a full queue. The victim is the
+  /// newest entry in the lowest-priority non-empty class (never a class
+  /// above `cls`) of the most-backlogged tenant. Returns nullptr when
+  /// the incoming session should shed instead — because the submitter
+  /// itself is the most-backlogged tenant (no noisy neighbor to blame)
+  /// or every queued entry outranks `cls`.
+  std::unique_ptr<Session> evict_for(const std::string& tenant, QosClass cls);
+
+  /// Removes and returns every queued entry (abort sweep). Order is
+  /// tenant-lexicographic, class-major — deterministic, not admission
+  /// order.
+  std::deque<Entry> drain();
+
+  std::size_t queued_for(const std::string& tenant) const;
+
+ private:
+  static constexpr std::size_t kClasses = 3;
+
+  struct Tenant {
+    double weight = 1.0;
+    std::array<std::deque<Entry>, kClasses> lanes;
+    std::array<double, kClasses> deficit{};
+    std::size_t total = 0;
+  };
+
+  Tenant& tenant(const std::string& name);
+
+  std::map<std::string, Tenant> tenants_;
+  /// First-admission tenant order: the DRR cursor walks this, so the
+  /// schedule is deterministic in pump mode.
+  std::vector<std::string> order_;
+  std::array<std::size_t, kClasses> cursor_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace readys::serve

@@ -26,6 +26,18 @@ rl::SchedulingEnv::Config env_config(const SessionSpec& spec, int window,
 
 }  // namespace
 
+const char* qos_class_name(QosClass c) {
+  switch (c) {
+    case QosClass::kDeadline:
+      return "deadline";
+    case QosClass::kNormal:
+      return "normal";
+    case QosClass::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
 const char* session_state_name(SessionState s) {
   switch (s) {
     case SessionState::kCompleted:
@@ -56,6 +68,7 @@ Session::Session(std::uint64_t id, SessionSpec spec,
       action_rng_(spec.seed ^ 0x5E27E5E55104A7ULL) {
   env_.reset();
   result_.id = id_;
+  result_.tenant = spec_.tenant;
   result_.heft_reference = env_.heft_reference();
   result_.attempts = attempt_ + 1;
 }

@@ -14,6 +14,15 @@
 
 namespace readys::serve {
 
+/// Scheduling priority of a session. Deadline-class sessions dequeue
+/// strictly before normal ones, normal before batch; within one class
+/// tenants share the service by deficit-weighted round robin (see
+/// QosQueue). Numeric order IS priority order — eviction under overload
+/// never displaces a higher class for a lower one.
+enum class QosClass : int { kDeadline = 0, kNormal = 1, kBatch = 2 };
+
+const char* qos_class_name(QosClass c);
+
 /// What a client submits to the DecisionService: which DAG to schedule
 /// and under what conditions. Specs are plain data and survive retries
 /// unchanged — only the derived env seed varies per attempt.
@@ -22,6 +31,10 @@ struct SessionSpec {
   int tiles = 4;
   double sigma = 0.0;           ///< task-duration noise
   std::uint64_t seed = 1;       ///< env + action-sampling stream base
+  /// Admission identity for QoS: rate limits, fair dequeue and overload
+  /// eviction are all per tenant. Empty is normalized to "default".
+  std::string tenant = "default";
+  QosClass qos = QosClass::kNormal;
   /// Per-decision deadline budget in microseconds. 0 inherits the
   /// service default; negative disables the deadline for this session
   /// (deterministic tests need timing-independent decisions).
@@ -49,6 +62,7 @@ const char* session_state_name(SessionState s);
 struct SessionResult {
   std::uint64_t id = 0;
   SessionState state = SessionState::kShed;
+  std::string tenant;  ///< admission identity (normalized spec.tenant)
   std::string error;  ///< shed/quarantine/abort reason ("" for completed)
   double makespan = 0.0;
   double heft_reference = 0.0;
@@ -62,6 +76,11 @@ struct SessionResult {
   std::vector<std::uint32_t> actions;
   /// Per-decision latency in µs, recorded when record_latencies is set.
   std::vector<double> decide_us;
+  /// PolicyStore snapshot version each decision executed against,
+  /// recorded when record_actions is set. The reload chaos suite pins
+  /// that this is monotone per session and that every entry names a
+  /// published version — i.e. no decision ever saw a torn swap.
+  std::vector<std::uint64_t> weight_versions;
 };
 
 /// One live DAG session inside the service: the env, the graph it

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace readys::serve {
+
+/// Worker-restart policy knobs.
+struct SupervisorConfig {
+  /// Worker deaths tolerated before the service escalates to degraded
+  /// mode (one-shot MCT for every round). Restarts continue past the
+  /// budget — degraded rounds cannot crash on the policy, so serving
+  /// never stops, it just stops trusting the policy.
+  int restart_budget = 3;
+  /// Base delay before restarting a dead worker; doubles per death of
+  /// that slot (exponential backoff), capped at max_backoff_ms.
+  double backoff_ms = 5.0;
+  double max_backoff_ms = 1000.0;
+};
+
+/// Pure decision logic for worker supervision: given "slot S died at T",
+/// answers when to restart it and whether the service should degrade.
+/// Deliberately free of threads and locks so the policy is unit-testable
+/// without a live service; DecisionService drives it from the
+/// supervisor thread under its own mutex.
+class WorkerSupervisor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WorkerSupervisor(SupervisorConfig cfg, std::size_t slots)
+      : cfg_(cfg), deaths_(slots, 0) {}
+
+  /// Records a death of `slot` and returns the time to restart it:
+  /// now + backoff_ms * 2^(prior deaths of the slot), capped.
+  Clock::time_point on_death(std::size_t slot, Clock::time_point now) {
+    const std::uint64_t prior = deaths_[slot]++;
+    ++total_deaths_;
+    double delay = cfg_.backoff_ms;
+    for (std::uint64_t i = 0; i < prior && delay < cfg_.max_backoff_ms; ++i) {
+      delay *= 2.0;
+    }
+    delay = std::min(delay, cfg_.max_backoff_ms);
+    return now + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double, std::milli>(delay));
+  }
+
+  /// True once deaths exceed the budget: the policy (or something it
+  /// touches) is systematically killing workers.
+  bool should_degrade() const noexcept {
+    return total_deaths_ > static_cast<std::uint64_t>(
+                               std::max(0, cfg_.restart_budget));
+  }
+
+  void on_restart() noexcept { ++restarts_; }
+
+  std::uint64_t deaths(std::size_t slot) const { return deaths_[slot]; }
+  std::uint64_t total_deaths() const noexcept { return total_deaths_; }
+  std::uint64_t restarts() const noexcept { return restarts_; }
+
+ private:
+  SupervisorConfig cfg_;
+  std::vector<std::uint64_t> deaths_;
+  std::uint64_t total_deaths_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace readys::serve

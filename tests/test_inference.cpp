@@ -532,3 +532,42 @@ TEST(RunConfigInference, RoundTripValidateAndEnvOverlay) {
   ::unsetenv("READYS_INFERENCE_BACKEND");
   EXPECT_EQ(env_cfg.inference_backend, "f32simd");
 }
+
+// --- Snapshot reuse -------------------------------------------------------
+
+// ReadysScheduler::reset() runs once per episode; a kF32Simd scheduler
+// must NOT refreeze the weight snapshot every episode. The frozen
+// InferenceWeights is rebuilt only when the net's weight version moves —
+// optimizer step, deserialize_parameters, or copy_parameters_from.
+TEST(InferenceBackend, SnapshotReusedAcrossResetsUntilWeightsChange) {
+  auto net = make_net(16, 31);
+  rr::ReadysOptions opts;
+  opts.backend = rr::InferenceBackendKind::kF32Simd;
+  opts.seed = 7;
+  rr::ReadysScheduler sched(net, /*window=*/2, opts);
+  const auto graph = rd::cholesky_graph(4);
+  const auto platform = rs::Platform::hybrid(2, 2);
+  const auto costs = rs::CostModel::cholesky();
+
+  const std::uint64_t before = rr::InferenceWeights::snapshot_builds();
+  (void)rs::simulate_makespan(graph, platform, costs, sched, 0.0, 1);
+  EXPECT_EQ(rr::InferenceWeights::snapshot_builds(), before + 1);
+
+  // Unchanged weights: later episodes reuse the frozen snapshot.
+  (void)rs::simulate_makespan(graph, platform, costs, sched, 0.0, 1);
+  (void)rs::simulate_makespan(graph, platform, costs, sched, 0.0, 1);
+  EXPECT_EQ(rr::InferenceWeights::snapshot_builds(), before + 1);
+
+  // A weight-version bump (what every mutation path performs) makes the
+  // next reset refreeze exactly once.
+  net.bump_weight_version();
+  (void)rs::simulate_makespan(graph, platform, costs, sched, 0.0, 1);
+  (void)rs::simulate_makespan(graph, platform, costs, sched, 0.0, 1);
+  EXPECT_EQ(rr::InferenceWeights::snapshot_builds(), before + 2);
+
+  // copy_parameters_from is one of those mutation paths.
+  const auto donor = make_net(16, 32);
+  net.copy_parameters_from(donor);
+  (void)rs::simulate_makespan(graph, platform, costs, sched, 0.0, 1);
+  EXPECT_EQ(rr::InferenceWeights::snapshot_builds(), before + 3);
+}

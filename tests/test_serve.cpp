@@ -200,6 +200,67 @@ TEST(Serve, PerSessionDeadlineOverridesServiceDefault) {
   svc.shutdown();
 }
 
+TEST(Serve, ZeroDeadlineDegradesEveryDecisionDeterministically) {
+  // The deadline_us == 0 edge: a literal zero budget means every
+  // decision degrades to one-shot MCT without the clock being consulted
+  // — fully deterministic, unlike the 1e-6 "unmeetable but timed" case.
+  const auto agent = small_agent();
+  const auto net = small_net(agent);
+  auto run = [&](std::uint64_t seed) {
+    rv::ServiceConfig sc = pump_config();
+    sc.deadline_us = 0.0;
+    rv::DecisionService svc(net, agent, sc);
+    auto direct = spec_for(rc::App::kCholesky, 4, seed);
+    direct.deadline_us = 0.0;  // inherits the zero-budget default
+    svc.submit(direct);
+    auto inherit = spec_for(rc::App::kLu, 3, seed + 1);
+    inherit.deadline_us = 0.0;
+    svc.submit(inherit);
+    pump_dry(svc);
+    svc.shutdown();
+    return svc.results();
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].state, rv::SessionState::kCompleted);
+    EXPECT_GT(a[i].decisions, 0u);
+    EXPECT_EQ(a[i].timeouts, a[i].decisions);
+    EXPECT_EQ(a[i].fallbacks, a[i].decisions);
+    // Bit-identical across runs: no wall-clock coupling anywhere.
+    EXPECT_EQ(a[i].actions, b[i].actions);
+  }
+}
+
+TEST(Serve, NegativeDeadlineOptsOutOfZeroBudgetDefault) {
+  // spec.deadline_us < 0 must opt a session out even when the service
+  // default is the always-degrade zero budget.
+  const auto agent = small_agent();
+  const auto net = small_net(agent);
+  rv::ServiceConfig sc = pump_config();
+  sc.deadline_us = 0.0;
+  rv::DecisionService svc(net, agent, sc);
+  rv::SessionSpec opted_out = spec_for(rc::App::kCholesky, 3, 1);
+  opted_out.deadline_us = -1.0;
+  const auto id_out = svc.submit(opted_out).id;
+  rv::SessionSpec inherits = spec_for(rc::App::kCholesky, 3, 2);
+  inherits.deadline_us = 0.0;  // inherits the zero-budget default
+  svc.submit(inherits);
+  pump_dry(svc);
+  for (const auto& r : svc.results()) {
+    EXPECT_EQ(r.state, rv::SessionState::kCompleted);
+    if (r.id == id_out) {
+      EXPECT_EQ(r.timeouts, 0u);
+      EXPECT_EQ(r.fallbacks, 0u);
+    } else {
+      EXPECT_EQ(r.timeouts, r.decisions);
+    }
+  }
+  svc.shutdown();
+}
+
 TEST(Serve, EnvFaultRetriesThenQuarantines) {
   const auto agent = small_agent();
   const auto net = small_net(agent);
